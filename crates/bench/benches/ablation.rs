@@ -1,0 +1,26 @@
+//! E12 performance: cost of the exact check as the burst cap grows the
+//! adversary's intra-round power.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pa_lehmann_rabin::{check_arrow, paper, RoundConfig, RoundMdp};
+use std::hint::black_box;
+
+fn bench_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("burst_ablation_n3");
+    group.sample_size(10);
+    for burst in [1u8, 2, 3] {
+        let cfg = RoundConfig::new(3)
+            .expect("ring of 3")
+            .with_burst(burst)
+            .expect("valid burst");
+        let mdp = RoundMdp::new(cfg);
+        let arrow = paper::arrow_g_to_p();
+        group.bench_with_input(BenchmarkId::from_parameter(burst), &burst, |b, _| {
+            b.iter(|| check_arrow(black_box(&mdp), black_box(&arrow)).expect("checkable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_burst);
+criterion_main!(benches);

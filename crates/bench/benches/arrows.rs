@@ -1,0 +1,33 @@
+//! E1–E6 performance: cost of exactly verifying each paper arrow on the
+//! round model (n = 3, burst = 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pa_lehmann_rabin::{check_arrow, paper, RoundConfig, RoundMdp};
+use std::hint::black_box;
+
+fn bench_arrows(c: &mut Criterion) {
+    let mdp = RoundMdp::new(RoundConfig::new(3).expect("ring of 3"));
+    let mut group = c.benchmark_group("arrows_n3");
+    group.sample_size(10);
+    let arrows = [
+        ("E1_p_to_c", paper::arrow_p_to_c()),
+        ("E2_t_to_rtc", paper::arrow_t_to_rtc()),
+        ("E3_rt_to_fgp", paper::arrow_rt_to_fgp()),
+        ("E4_f_to_gp", paper::arrow_f_to_gp()),
+        ("E5_g_to_p", paper::arrow_g_to_p()),
+        ("E6_t_to_c_composed", paper::arrow_t_to_c()),
+    ];
+    for (name, arrow) in arrows {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = check_arrow(black_box(&mdp), black_box(&arrow)).expect("checkable");
+                assert!(report.holds());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrows);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Cost of the model-checking pipeline stages: state-space exploration,
+//! cost-bounded backward induction, unbounded value iteration, and the
+//! expected-time analysis, on the n = 3 round model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pa_lehmann_rabin::{regions, round_cost, sims, RoundConfig, RoundMdp};
+use pa_mdp::{cost_bounded_reach, explore, max_expected_cost, reach_prob, IterOptions, Objective};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mdp = RoundMdp::new(RoundConfig::new(3).expect("ring of 3"))
+        .with_starts(vec![sims::all_trying(3).expect("ring of 3")])
+        .with_absorb(regions::in_c);
+    let explored = explore(&mdp, round_cost, 10_000_000).expect("explorable");
+    let target = explored.target_where(|rs| regions::in_c(&rs.config));
+
+    let mut group = c.benchmark_group("checker_n3");
+    group.sample_size(20);
+    group.bench_function("explore", |b| {
+        b.iter(|| explore(black_box(&mdp), round_cost, 10_000_000).expect("explorable"))
+    });
+    group.bench_function("bounded_reach_t13", |b| {
+        b.iter(|| {
+            cost_bounded_reach(
+                black_box(&explored.mdp),
+                black_box(&target),
+                12,
+                Objective::MinProb,
+            )
+            .expect("checkable")
+        })
+    });
+    group.bench_function("unbounded_reach_min", |b| {
+        b.iter(|| {
+            reach_prob(
+                black_box(&explored.mdp),
+                black_box(&target),
+                Objective::MinProb,
+                IterOptions::default(),
+            )
+            .expect("checkable")
+        })
+    });
+    group.bench_function("max_expected_time", |b| {
+        b.iter(|| {
+            max_expected_cost(
+                black_box(&explored.mdp),
+                black_box(&target),
+                IterOptions::default(),
+            )
+            .expect("checkable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

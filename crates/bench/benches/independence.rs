@@ -1,0 +1,68 @@
+//! E8 performance: building execution automata and evaluating the
+//! `first`/`next` event schemas of Proposition 4.2, as the tree depth
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pa_core::{check_first_intersection, ActionBound, FirstEnabled, Fragment, TableAutomaton};
+use pa_prob::Prob;
+use std::hint::black_box;
+
+fn flippers(k: usize) -> TableAutomaton<Vec<u8>, usize> {
+    // k processes, each flipping one coin; state = outcome vector
+    // (0 = not flipped, 1 = heads, 2 = tails).
+    let mut b = TableAutomaton::builder().start(vec![0u8; k]);
+    // Enumerate all states where process i has not flipped.
+    let mut states = vec![vec![0u8; k]];
+    let mut idx = 0;
+    while idx < states.len() {
+        let s = states[idx].clone();
+        idx += 1;
+        for i in 0..k {
+            if s[i] == 0 {
+                let mut h = s.clone();
+                h[i] = 1;
+                let mut t = s.clone();
+                t[i] = 2;
+                if !states.contains(&h) {
+                    states.push(h.clone());
+                }
+                if !states.contains(&t) {
+                    states.push(t.clone());
+                }
+                b = b
+                    .step(s.clone(), i, [(h, 0.5), (t, 0.5)])
+                    .expect("fair coin");
+            }
+        }
+    }
+    b.build().expect("has start")
+}
+
+fn bench_independence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_intersection");
+    group.sample_size(20);
+    for k in [2usize, 3, 4] {
+        let m = flippers(k);
+        let bounds: Vec<ActionBound<Vec<u8>, usize>> = (0..k)
+            .map(|i| ActionBound::new(i, move |s: &Vec<u8>| s[i] == 1, Prob::HALF))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let check = check_first_intersection(
+                    black_box(&m),
+                    &FirstEnabled,
+                    Fragment::initial(vec![0u8; k]),
+                    2 * k,
+                    &bounds,
+                )
+                .expect("checkable");
+                assert!(check.holds());
+                check
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_independence);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E11 performance: how exact verification of the composed claim scales
+//! with the ring size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pa_lehmann_rabin::{check_arrow, paper, RoundConfig, RoundMdp};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_t13c");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let mdp = RoundMdp::new(RoundConfig::new(n).expect("valid ring"));
+        let arrow = paper::arrow_t_to_c();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| check_arrow(black_box(&mdp), black_box(&arrow)).expect("checkable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p pa-bench --bin tables            # all experiments
+//! cargo run --release -p pa-bench --bin tables -- e5 e7   # selected ones
+//! cargo run --release -p pa-bench --bin tables -- --full  # larger rings
+//! ```
+
+use std::error::Error;
+
+use pa_bench::{experiments, render_table, Row, Verdict};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |ids: &[&str]| {
+        selected.is_empty() || ids.iter().any(|id| selected.contains(&id.to_lowercase()))
+    };
+
+    let exact_sizes: Vec<usize> = if full {
+        vec![2, 3, 4, 5]
+    } else {
+        vec![2, 3, 4]
+    };
+    let invariant_sizes: Vec<usize> = if full {
+        vec![2, 3, 4, 5]
+    } else {
+        vec![2, 3, 4]
+    };
+
+    let mut sections: Vec<(&str, Vec<Row>)> = Vec::new();
+
+    if want(&["e1", "e2", "e3", "e4", "e5"]) {
+        println!("running E1–E5 (arrow axioms)…");
+        let mut rows = experiments::arrows(3, 1)?;
+        rows.extend(experiments::arrows(4, 1)?);
+        sections.push((
+            "E1–E5 — the five arrow axioms, exact, all adversaries",
+            rows,
+        ));
+    }
+    if want(&["e6"]) {
+        println!("running E6 (composition)…");
+        sections.push((
+            "E6 — Theorem 3.4 composition T —13→_{1/8} C",
+            experiments::composition(3)?,
+        ));
+    }
+    if want(&["e7"]) {
+        println!("running E7 (expected time)…");
+        sections.push((
+            "E7 — expected-time bounds (60 / 63)",
+            experiments::expected_time(3)?,
+        ));
+    }
+    if want(&["e8"]) {
+        println!("running E8 (independence)…");
+        sections.push((
+            "E8 — Proposition 4.2 and Example 4.1",
+            experiments::independence()?,
+        ));
+    }
+    if want(&["e9"]) {
+        println!("running E9 (Lemma 6.1)…");
+        sections.push((
+            "E9 — Lemma 6.1 resource invariant",
+            experiments::invariant(&invariant_sizes)?,
+        ));
+    }
+    if want(&["e10"]) {
+        println!("running E10 (soundness gap)…");
+        sections.push((
+            "E10 — conservatism of the composed bound",
+            experiments::soundness_gap(3)?,
+        ));
+    }
+    if want(&["e11"]) {
+        println!("running E11 (scaling)…");
+        sections.push((
+            "E11 — scaling in the ring size",
+            experiments::scaling(&exact_sizes)?,
+        ));
+    }
+    if want(&["e12"]) {
+        println!("running E12 (ablation + figure)…");
+        sections.push((
+            "E12 — adversary power ablation and time curve",
+            experiments::ablation(3)?,
+        ));
+    }
+    if want(&["e14"]) {
+        println!("running E14 (appendix lemmas)…");
+        let mut rows = experiments::appendix(3)?;
+        if full {
+            rows.extend(experiments::appendix(4)?);
+        }
+        sections.push((
+            "E14 — appendix lemmas A.4–A.10 + progress-time lower bound",
+            rows,
+        ));
+    }
+    if want(&["e13"]) {
+        println!("running E13 (concurrent implementation)…");
+        let trials = if full { 100 } else { 30 };
+        sections.push((
+            "E13 — real threads with try-locks",
+            experiments::concurrent_impl(&[3, 5, 8], trials)?,
+        ));
+    }
+
+    let mut any_violated = false;
+    for (title, rows) in &sections {
+        println!("\n## {title}\n");
+        println!("{}", render_table(rows));
+        any_violated |= rows.iter().any(|r| r.verdict == Verdict::Violated);
+    }
+
+    if any_violated {
+        Err("at least one paper claim failed to reproduce".into())
+    } else {
+        println!("\nall reproduced claims hold");
+        Ok(())
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark and experiment harness for the `timebounds` workspace.
+//!
+//! The paper is a theory paper: its "evaluation" is the set of proved
+//! quantitative propositions. This crate regenerates each of them
+//! mechanically — see the experiment index in `DESIGN.md` (E1–E13). The
+//! [`experiments`] module computes the rows; the `tables` binary prints
+//! them (and is what produced `EXPERIMENTS.md`); the Criterion benches
+//! under `benches/` measure the cost of the checking machinery itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::{render_table, Row, Verdict};

@@ -1,0 +1,174 @@
+use serde::Serialize;
+
+/// One experiment result row: a paper claim next to the measured quantity.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Row {
+    /// Experiment id from the DESIGN.md index (e.g. "E5").
+    pub experiment: String,
+    /// The claim being reproduced.
+    pub claim: String,
+    /// The paper's value/bound, rendered.
+    pub paper: String,
+    /// The measured value, rendered.
+    pub measured: String,
+    /// Verdict: does the measurement satisfy the claim?
+    pub verdict: Verdict,
+    /// Free-form context (model size, parameters, worst state, …).
+    pub detail: String,
+}
+
+/// Whether a measured quantity satisfies the paper's claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The claim is satisfied (on the sound side of any bracket).
+    Holds,
+    /// The claim is violated.
+    Violated,
+    /// The row is informational (no inequality to check).
+    Info,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Holds => "HOLDS",
+            Verdict::Violated => "VIOLATED",
+            Verdict::Info => "-",
+        })
+    }
+}
+
+impl Row {
+    /// Creates a checked row.
+    pub fn checked(
+        experiment: impl Into<String>,
+        claim: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        holds: bool,
+        detail: impl Into<String>,
+    ) -> Row {
+        Row {
+            experiment: experiment.into(),
+            claim: claim.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            verdict: if holds {
+                Verdict::Holds
+            } else {
+                Verdict::Violated
+            },
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates an informational row.
+    pub fn info(
+        experiment: impl Into<String>,
+        claim: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Row {
+        Row {
+            experiment: experiment.into(),
+            claim: claim.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            verdict: Verdict::Info,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Renders rows as an aligned plain-text table (also valid Markdown when
+/// pasted between pipes — the `tables` binary emits a Markdown variant).
+pub fn render_table(rows: &[Row]) -> String {
+    let headers = ["exp", "claim", "paper", "measured", "verdict", "detail"];
+    let cells: Vec<[String; 6]> = rows
+        .iter()
+        .map(|r| {
+            [
+                r.experiment.clone(),
+                r.claim.clone(),
+                r.paper.clone(),
+                r.measured.clone(),
+                r.verdict.to_string(),
+                r.detail.clone(),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(c.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cols: &[String]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cols.iter().zip(&widths) {
+            let pad = w - c.chars().count();
+            line.push(' ');
+            line.push_str(c);
+            line.push_str(&" ".repeat(pad + 1));
+            line.push('|');
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in &cells {
+        out.push_str(&fmt_row(row.as_slice()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_row_sets_verdict() {
+        let r = Row::checked("E1", "P→C", "1", "1", true, "");
+        assert_eq!(r.verdict, Verdict::Holds);
+        let r = Row::checked("E1", "P→C", "1", "0.5", false, "");
+        assert_eq!(r.verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            Row::checked("E1", "short", "1", "1", true, "x"),
+            Row::info(
+                "E99",
+                "a much longer claim string",
+                "bound",
+                "value",
+                "detail",
+            ),
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let lens: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{t}");
+        assert!(t.contains("HOLDS"));
+    }
+
+    #[test]
+    fn rows_are_serializable() {
+        fn assert_serialize<T: serde::Serialize>() {}
+        assert_serialize::<Row>();
+        assert_serialize::<Verdict>();
+    }
+}

@@ -1,0 +1,283 @@
+use crate::{Automaton, CoreError, Fragment, Step};
+
+/// An adversary (scheduler) for a probabilistic automaton, per
+/// Definition 2.2 of the paper: a *deterministic* function taking a finite
+/// execution fragment and returning either nothing (the adversary stops the
+/// system) or one of the steps enabled in the fragment's last state.
+///
+/// The fragment argument gives the adversary complete knowledge of the past,
+/// including the outcomes of past random choices — the strongest adversary
+/// class the paper considers. Weaker classes (oblivious, memoryless) are
+/// obtained by implementations that ignore parts of the fragment.
+///
+/// Implementations must be deterministic: the paper's adversaries do not
+/// flip coins (its footnote 1), and the execution-automaton construction in
+/// [`ExecTree`](crate::ExecTree) relies on a single choice per fragment.
+pub trait Adversary<M: Automaton + ?Sized> {
+    /// Chooses the next step after observing `fragment`, or `None` to stop.
+    ///
+    /// The returned step must be enabled in `fragment.lstate()`; the
+    /// execution-automaton builder validates this and fails with
+    /// [`CoreError::DisabledStep`] otherwise.
+    fn choose(
+        &self,
+        automaton: &M,
+        fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>>;
+}
+
+impl<M: Automaton, A: Adversary<M> + ?Sized> Adversary<M> for &A {
+    fn choose(
+        &self,
+        automaton: &M,
+        fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>> {
+        (**self).choose(automaton, fragment)
+    }
+}
+
+/// The adversary that always schedules the first enabled step.
+///
+/// On a fully probabilistic automaton this is the only adversary; on
+/// nondeterministic automata it is a convenient default scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstEnabled;
+
+impl<M: Automaton> Adversary<M> for FirstEnabled {
+    fn choose(
+        &self,
+        automaton: &M,
+        fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>> {
+        automaton.steps(fragment.lstate()).into_iter().next()
+    }
+}
+
+/// The adversary that schedules nothing: every execution under it is the
+/// starting fragment itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Halt;
+
+impl<M: Automaton> Adversary<M> for Halt {
+    fn choose(
+        &self,
+        _automaton: &M,
+        _fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>> {
+        None
+    }
+}
+
+/// Adapter turning a closure `Fn(&M, &Fragment) -> Option<Step>` into an
+/// [`Adversary`].
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::{Adversary, Automaton, FnAdversary, Fragment, TableAutomaton};
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// let m = TableAutomaton::builder()
+///     .start(0u8)
+///     .det_step(0, 'a', 1)
+///     .build()?;
+/// // Stop after two steps, whatever they are.
+/// let adv = FnAdversary::new(|m: &TableAutomaton<u8, char>, frag: &Fragment<u8, char>| {
+///     if frag.len() >= 2 {
+///         None
+///     } else {
+///         m.steps(frag.lstate()).into_iter().next()
+///     }
+/// });
+/// let frag = Fragment::initial(0u8);
+/// assert!(adv.choose(&m, &frag).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub struct FnAdversary<F>(F);
+
+impl<F> FnAdversary<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> FnAdversary<F> {
+        FnAdversary(f)
+    }
+}
+
+impl<F> std::fmt::Debug for FnAdversary<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnAdversary(..)")
+    }
+}
+
+impl<M, F> Adversary<M> for FnAdversary<F>
+where
+    M: Automaton,
+    F: Fn(&M, &Fragment<M::State, M::Action>) -> Option<Step<M::State, M::Action>>,
+{
+    fn choose(
+        &self,
+        automaton: &M,
+        fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>> {
+        (self.0)(automaton, fragment)
+    }
+}
+
+/// An adversary that selects among the enabled steps by index, with the
+/// index computed from the fragment. Unlike [`FnAdversary`] the returned
+/// step is enabled by construction.
+pub struct IndexAdversary<F>(F);
+
+impl<F> IndexAdversary<F> {
+    /// Wraps an index-selection function. The function receives the fragment
+    /// and the number of enabled steps (always ≥ 1 when called), and returns
+    /// the index of the step to schedule, or `None` to stop.
+    pub fn new(f: F) -> IndexAdversary<F> {
+        IndexAdversary(f)
+    }
+}
+
+impl<F> std::fmt::Debug for IndexAdversary<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("IndexAdversary(..)")
+    }
+}
+
+impl<M, F> Adversary<M> for IndexAdversary<F>
+where
+    M: Automaton,
+    F: Fn(&Fragment<M::State, M::Action>, usize) -> Option<usize>,
+{
+    fn choose(
+        &self,
+        automaton: &M,
+        fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>> {
+        let mut steps = automaton.steps(fragment.lstate());
+        if steps.is_empty() {
+            return None;
+        }
+        let n = steps.len();
+        let i = (self.0)(fragment, n)?;
+        if i < n {
+            Some(steps.swap_remove(i))
+        } else {
+            None
+        }
+    }
+}
+
+/// Validates an adversary's choice against the automaton: the chosen step
+/// must be one of the enabled steps of the fragment's last state.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DisabledStep`] if the choice is not enabled.
+#[allow(clippy::type_complexity)]
+pub fn validated_choice<M: Automaton>(
+    automaton: &M,
+    adversary: &impl Adversary<M>,
+    fragment: &Fragment<M::State, M::Action>,
+) -> Result<Option<Step<M::State, M::Action>>, CoreError>
+where
+    Step<M::State, M::Action>: PartialEq,
+{
+    match adversary.choose(automaton, fragment) {
+        None => Ok(None),
+        Some(step) => {
+            if automaton.steps(fragment.lstate()).contains(&step) {
+                Ok(Some(step))
+            } else {
+                Err(CoreError::DisabledStep {
+                    action: format!("{:?}", step.action),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TableAutomaton;
+
+    fn branching() -> TableAutomaton<u8, char> {
+        TableAutomaton::builder()
+            .start(0)
+            .det_step(0, 'a', 1)
+            .det_step(0, 'b', 2)
+            .det_step(1, 'c', 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_enabled_picks_first() {
+        let m = branching();
+        let frag = Fragment::initial(0);
+        let step = FirstEnabled.choose(&m, &frag).unwrap();
+        assert_eq!(step.action, 'a');
+    }
+
+    #[test]
+    fn first_enabled_halts_on_terminal() {
+        let m = branching();
+        let frag = Fragment::initial(3);
+        assert!(FirstEnabled.choose(&m, &frag).is_none());
+    }
+
+    #[test]
+    fn halt_never_schedules() {
+        let m = branching();
+        assert!(Halt.choose(&m, &Fragment::initial(0)).is_none());
+    }
+
+    #[test]
+    fn index_adversary_selects_by_index() {
+        let m = branching();
+        let adv = IndexAdversary::new(|_: &Fragment<u8, char>, n: usize| Some(n - 1));
+        let step = adv.choose(&m, &Fragment::initial(0)).unwrap();
+        assert_eq!(step.action, 'b');
+    }
+
+    #[test]
+    fn index_adversary_out_of_range_halts() {
+        let m = branching();
+        let adv = IndexAdversary::new(|_: &Fragment<u8, char>, _| Some(99));
+        assert!(adv.choose(&m, &Fragment::initial(0)).is_none());
+    }
+
+    #[test]
+    fn validated_choice_accepts_enabled_steps() {
+        let m = branching();
+        let r = validated_choice(&m, &FirstEnabled, &Fragment::initial(0)).unwrap();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn validated_choice_rejects_foreign_steps() {
+        let m = branching();
+        let adv = FnAdversary::new(|_: &TableAutomaton<u8, char>, _: &Fragment<u8, char>| {
+            Some(Step::deterministic('z', 9))
+        });
+        let r = validated_choice(&m, &adv, &Fragment::initial(0));
+        assert!(matches!(r, Err(CoreError::DisabledStep { .. })));
+    }
+
+    #[test]
+    fn fragment_aware_adversary_sees_history() {
+        let m = branching();
+        // Schedules only when the fragment is still short.
+        let adv = FnAdversary::new(|m: &TableAutomaton<u8, char>, f: &Fragment<u8, char>| {
+            if f.is_empty() {
+                m.steps(f.lstate()).into_iter().next()
+            } else {
+                None
+            }
+        });
+        let mut frag = Fragment::initial(0);
+        assert!(adv.choose(&m, &frag).is_some());
+        frag.push('a', 1);
+        assert!(adv.choose(&m, &frag).is_none());
+    }
+}

@@ -1,0 +1,353 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pa_prob::Prob;
+
+use crate::CoreError;
+
+/// A symbolic set of states: a finite union of *named* atomic sets.
+///
+/// The paper's proof for the Lehmann–Rabin algorithm manipulates unions of
+/// named sets (`RT ∪ C`, `F ∪ G ∪ P`, …); `SetExpr` captures exactly that
+/// fragment, in a canonical form (a sorted set of atom names) so that
+/// composition side conditions reduce to equality.
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::SetExpr;
+///
+/// let rt = SetExpr::named("RT");
+/// let c = SetExpr::named("C");
+/// let u = rt.union(&c);
+/// assert_eq!(u.to_string(), "C ∪ RT");
+/// assert!(rt.is_subset_of(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetExpr {
+    atoms: BTreeSet<String>,
+}
+
+impl SetExpr {
+    /// The atomic set with the given name.
+    pub fn named(name: impl Into<String>) -> SetExpr {
+        let mut atoms = BTreeSet::new();
+        atoms.insert(name.into());
+        SetExpr { atoms }
+    }
+
+    /// The union of several named atomic sets.
+    pub fn union_of(names: impl IntoIterator<Item = impl Into<String>>) -> SetExpr {
+        SetExpr {
+            atoms: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The union `self ∪ other`.
+    pub fn union(&self, other: &SetExpr) -> SetExpr {
+        SetExpr {
+            atoms: self.atoms.union(&other.atoms).cloned().collect(),
+        }
+    }
+
+    /// Whether every atom of `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &SetExpr) -> bool {
+        self.atoms.is_subset(&other.atoms)
+    }
+
+    /// Iterates over the atom names in canonical (sorted) order.
+    pub fn atoms(&self) -> impl Iterator<Item = &str> {
+        self.atoms.iter().map(String::as_str)
+    }
+
+    /// Number of atoms in the union.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// `SetExpr` is never empty: both constructors require at least one
+    /// atom. Provided for API symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A probabilistic time-bounded progress statement `U —t→_p U'`
+/// (Definition 3.1): whenever the algorithm is in a state of `U`, then
+/// under every adversary of the ambient schema, with probability at least
+/// `p` it reaches a state of `U'` within time `t`.
+///
+/// Arrows support the paper's three sound manipulations:
+///
+/// * [`Arrow::weaken`] — Proposition 3.2: `U —t→_p U'` entails
+///   `U ∪ W —t→_p U' ∪ W`.
+/// * [`Arrow::then`] — Theorem 3.4: `U —t1→_{p1} U'` and `U' —t2→_{p2} U''`
+///   compose to `U —t1+t2→_{p1·p2} U''` (for execution-closed schemas).
+/// * [`Arrow::relax`] — monotonicity: any larger time bound or smaller
+///   probability is also valid.
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::{Arrow, SetExpr};
+/// use pa_prob::Prob;
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// let g_to_p = Arrow::new(SetExpr::named("G"), SetExpr::named("P"), 5.0,
+///                         Prob::ratio(1, 4)?)?;
+/// let p_to_c = Arrow::new(SetExpr::named("P"), SetExpr::named("C"), 1.0,
+///                         Prob::ONE)?;
+/// let g_to_c = g_to_p.then(&p_to_c)?;
+/// assert_eq!(g_to_c.time(), 6.0);
+/// assert_eq!(g_to_c.prob(), Prob::ratio(1, 4)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrow {
+    from: SetExpr,
+    to: SetExpr,
+    time: f64,
+    prob: Prob,
+}
+
+impl Arrow {
+    /// Creates the statement `from —time→_prob to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTime`] if `time` is negative or not
+    /// finite.
+    pub fn new(from: SetExpr, to: SetExpr, time: f64, prob: Prob) -> Result<Arrow, CoreError> {
+        if !time.is_finite() || time < 0.0 {
+            return Err(CoreError::InvalidTime { time });
+        }
+        Ok(Arrow {
+            from,
+            to,
+            time,
+            prob,
+        })
+    }
+
+    /// The source set `U`.
+    pub fn from(&self) -> &SetExpr {
+        &self.from
+    }
+
+    /// The target set `U'`.
+    pub fn to(&self) -> &SetExpr {
+        &self.to
+    }
+
+    /// The time bound `t`.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The probability bound `p`.
+    pub fn prob(&self) -> Prob {
+        self.prob
+    }
+
+    /// Proposition 3.2: from `U —t→_p U'` derive `U ∪ W —t→_p U' ∪ W`.
+    ///
+    /// (Sound because a run starting in `W` is already in the target.)
+    pub fn weaken(&self, extra: &SetExpr) -> Arrow {
+        Arrow {
+            from: self.from.union(extra),
+            to: self.to.union(extra),
+            time: self.time,
+            prob: self.prob,
+        }
+    }
+
+    /// Theorem 3.4: compose `U —t1→_{p1} U'` with `U' —t2→_{p2} U''` into
+    /// `U —t1+t2→_{p1·p2} U''`.
+    ///
+    /// The theorem's hypothesis is that the ambient adversary schema is
+    /// *execution-closed* (Definition 3.3); tracking that hypothesis is the
+    /// responsibility of [`Derivation`](crate::Derivation), which records
+    /// the rule applications for audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SetMismatch`] unless `self.to()` equals
+    /// `other.from()` exactly (apply [`Arrow::weaken`] first to align them,
+    /// as the paper does in Section 6.2).
+    pub fn then(&self, other: &Arrow) -> Result<Arrow, CoreError> {
+        if self.to != other.from {
+            return Err(CoreError::SetMismatch {
+                left_to: self.to.to_string(),
+                right_from: other.from.to_string(),
+            });
+        }
+        Arrow::new(
+            self.from.clone(),
+            other.to.clone(),
+            self.time + other.time,
+            self.prob * other.prob,
+        )
+    }
+
+    /// Monotone relaxation: a statement with a larger time bound and/or a
+    /// smaller probability bound is entailed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTime`] if `time < self.time()` and
+    /// [`CoreError::InvalidProbRelaxation`] if `prob > self.prob()`.
+    pub fn relax(&self, time: f64, prob: Prob) -> Result<Arrow, CoreError> {
+        if !time.is_finite() || time + 1e-12 < self.time {
+            return Err(CoreError::InvalidTime { time });
+        }
+        if !self.prob.at_least(prob) {
+            return Err(CoreError::InvalidProbRelaxation {
+                premise: self.prob.value(),
+                requested: prob.value(),
+            });
+        }
+        Arrow::new(self.from.clone(), self.to.clone(), time, prob)
+    }
+}
+
+impl fmt::Display for Arrow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} —{}→_{} {}", self.from, self.time, self.prob, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrow(from: &str, to: &str, t: f64, p: f64) -> Arrow {
+        Arrow::new(
+            SetExpr::named(from),
+            SetExpr::named(to),
+            t,
+            Prob::new(p).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_expr_canonicalizes_unions() {
+        let a = SetExpr::named("B").union(&SetExpr::named("A"));
+        let b = SetExpr::union_of(["A", "B"]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "A ∪ B");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let a = SetExpr::named("A");
+        assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = SetExpr::named("A");
+        let ab = SetExpr::union_of(["A", "B"]);
+        assert!(a.is_subset_of(&ab));
+        assert!(!ab.is_subset_of(&a));
+    }
+
+    #[test]
+    fn arrow_rejects_bad_time() {
+        let r = Arrow::new(SetExpr::named("U"), SetExpr::named("V"), -1.0, Prob::ONE);
+        assert!(matches!(r, Err(CoreError::InvalidTime { .. })));
+        let r = Arrow::new(
+            SetExpr::named("U"),
+            SetExpr::named("V"),
+            f64::INFINITY,
+            Prob::ONE,
+        );
+        assert!(matches!(r, Err(CoreError::InvalidTime { .. })));
+    }
+
+    #[test]
+    fn weaken_adds_to_both_sides() {
+        let a = arrow("RT", "F", 3.0, 1.0);
+        let w = a.weaken(&SetExpr::named("C"));
+        assert_eq!(*w.from(), SetExpr::union_of(["RT", "C"]));
+        assert_eq!(*w.to(), SetExpr::union_of(["F", "C"]));
+        assert_eq!(w.time(), 3.0);
+        assert_eq!(w.prob(), Prob::ONE);
+    }
+
+    #[test]
+    fn then_adds_times_and_multiplies_probs() {
+        let a = arrow("U", "V", 2.0, 0.5);
+        let b = arrow("V", "W", 3.0, 0.25);
+        let c = a.then(&b).unwrap();
+        assert_eq!(c.time(), 5.0);
+        assert_eq!(c.prob(), Prob::new(0.125).unwrap());
+        assert_eq!(*c.from(), SetExpr::named("U"));
+        assert_eq!(*c.to(), SetExpr::named("W"));
+    }
+
+    #[test]
+    fn then_requires_matching_sets() {
+        let a = arrow("U", "V", 2.0, 0.5);
+        let b = arrow("X", "W", 3.0, 0.25);
+        assert!(matches!(a.then(&b), Err(CoreError::SetMismatch { .. })));
+    }
+
+    #[test]
+    fn weaken_enables_paper_style_composition() {
+        // T —2→ RT ∪ C composed with RT —3→ F∪G∪P via weakening by C.
+        let t_rt = Arrow::new(
+            SetExpr::named("T"),
+            SetExpr::union_of(["RT", "C"]),
+            2.0,
+            Prob::ONE,
+        )
+        .unwrap();
+        let rt_f = Arrow::new(
+            SetExpr::named("RT"),
+            SetExpr::union_of(["F", "G", "P"]),
+            3.0,
+            Prob::ONE,
+        )
+        .unwrap();
+        let aligned = rt_f.weaken(&SetExpr::named("C"));
+        let composed = t_rt.then(&aligned).unwrap();
+        assert_eq!(composed.time(), 5.0);
+        assert_eq!(*composed.to(), SetExpr::union_of(["F", "G", "P", "C"]));
+    }
+
+    #[test]
+    fn relax_moves_in_sound_direction_only() {
+        let a = arrow("U", "V", 2.0, 0.5);
+        let ok = a.relax(4.0, Prob::new(0.25).unwrap()).unwrap();
+        assert_eq!(ok.time(), 4.0);
+        assert!(matches!(
+            a.relax(1.0, Prob::new(0.25).unwrap()),
+            Err(CoreError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            a.relax(4.0, Prob::new(0.75).unwrap()),
+            Err(CoreError::InvalidProbRelaxation { .. })
+        ));
+    }
+
+    #[test]
+    fn display_renders_arrow() {
+        let a = arrow("T", "C", 13.0, 0.125);
+        assert_eq!(a.to_string(), "T —13→_0.125 C");
+    }
+}

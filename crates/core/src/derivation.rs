@@ -1,0 +1,287 @@
+use std::fmt;
+
+use pa_prob::Prob;
+
+use crate::{Arrow, CoreError, SetExpr};
+
+/// A proof tree over arrow statements: the auditable record of which axioms
+/// and rules produced a composed time bound.
+///
+/// The leaves are *axioms* — arrows established by direct analysis (in this
+/// workspace: by exact model checking; in the paper: by the appendix lemmas)
+/// — and the internal nodes are applications of Proposition 3.2
+/// ([`Derivation::weaken`]), Theorem 3.4 ([`Derivation::compose`]), and
+/// monotone relaxation ([`Derivation::relax`]).
+///
+/// [`Derivation::conclusion`] replays the rules, validating every side
+/// condition; [`Derivation::render`] pretty-prints the proof as the paper's
+/// Section 6.2 presents it.
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::{Arrow, Derivation, SetExpr};
+/// use pa_prob::Prob;
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// let g_to_p = Derivation::axiom(
+///     Arrow::new(SetExpr::named("G"), SetExpr::named("P"), 5.0, Prob::ratio(1, 4)?)?,
+///     "Proposition A.11",
+/// );
+/// let p_to_c = Derivation::axiom(
+///     Arrow::new(SetExpr::named("P"), SetExpr::named("C"), 1.0, Prob::ONE)?,
+///     "Proposition A.1",
+/// );
+/// let both = g_to_p.compose(p_to_c);
+/// assert_eq!(both.conclusion()?.time(), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum Derivation {
+    /// An arrow established directly, with a human-readable justification.
+    Axiom {
+        /// The established statement.
+        arrow: Arrow,
+        /// Where it comes from (for example "Proposition A.11" or
+        /// "exact check, n=3, B=1").
+        justification: String,
+    },
+    /// Proposition 3.2 applied to a premise.
+    Weaken {
+        /// The sub-derivation being weakened.
+        premise: Box<Derivation>,
+        /// The set added to both sides.
+        extra: SetExpr,
+    },
+    /// Theorem 3.4 applied to two premises.
+    Compose {
+        /// Derivation of `U —t1→_{p1} U'`.
+        left: Box<Derivation>,
+        /// Derivation of `U' —t2→_{p2} U''`.
+        right: Box<Derivation>,
+    },
+    /// Monotone relaxation of a premise.
+    Relax {
+        /// The sub-derivation being relaxed.
+        premise: Box<Derivation>,
+        /// The (larger) time bound.
+        time: f64,
+        /// The (smaller) probability bound.
+        prob: Prob,
+    },
+}
+
+impl Derivation {
+    /// Creates an axiom leaf.
+    pub fn axiom(arrow: Arrow, justification: impl Into<String>) -> Derivation {
+        Derivation::Axiom {
+            arrow,
+            justification: justification.into(),
+        }
+    }
+
+    /// Applies Proposition 3.2.
+    pub fn weaken(self, extra: SetExpr) -> Derivation {
+        Derivation::Weaken {
+            premise: Box::new(self),
+            extra,
+        }
+    }
+
+    /// Applies Theorem 3.4 with `self` as the left premise.
+    pub fn compose(self, right: Derivation) -> Derivation {
+        Derivation::Compose {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Applies monotone relaxation.
+    pub fn relax(self, time: f64, prob: Prob) -> Derivation {
+        Derivation::Relax {
+            premise: Box::new(self),
+            time,
+            prob,
+        }
+    }
+
+    /// Replays the proof, checking every side condition, and returns the
+    /// derived arrow.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule violation encountered:
+    /// [`CoreError::SetMismatch`] for a composition whose intermediate sets
+    /// do not align, [`CoreError::InvalidTime`] /
+    /// [`CoreError::InvalidProbRelaxation`] for an unsound relaxation.
+    pub fn conclusion(&self) -> Result<Arrow, CoreError> {
+        match self {
+            Derivation::Axiom { arrow, .. } => Ok(arrow.clone()),
+            Derivation::Weaken { premise, extra } => Ok(premise.conclusion()?.weaken(extra)),
+            Derivation::Compose { left, right } => left.conclusion()?.then(&right.conclusion()?),
+            Derivation::Relax {
+                premise,
+                time,
+                prob,
+            } => premise.conclusion()?.relax(*time, *prob),
+        }
+    }
+
+    /// Collects the axiom arrows in left-to-right order, each with its
+    /// justification. These are exactly the statements a checker must
+    /// establish for the composed conclusion to be sound.
+    pub fn axioms(&self) -> Vec<(&Arrow, &str)> {
+        let mut out = Vec::new();
+        self.collect_axioms(&mut out);
+        out
+    }
+
+    fn collect_axioms<'a>(&'a self, out: &mut Vec<(&'a Arrow, &'a str)>) {
+        match self {
+            Derivation::Axiom {
+                arrow,
+                justification,
+            } => out.push((arrow, justification)),
+            Derivation::Weaken { premise, .. } | Derivation::Relax { premise, .. } => {
+                premise.collect_axioms(out)
+            }
+            Derivation::Compose { left, right } => {
+                left.collect_axioms(out);
+                right.collect_axioms(out);
+            }
+        }
+    }
+
+    /// Pretty-prints the proof tree, one rule per line, indented by depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Derivation::conclusion`]: rendering
+    /// shows the derived arrow at every node, which requires the proof to
+    /// be valid.
+    pub fn render(&self) -> Result<String, CoreError> {
+        let mut out = String::new();
+        self.render_into(&mut out, 0)?;
+        Ok(out)
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) -> Result<(), CoreError> {
+        let pad = "  ".repeat(depth);
+        let arrow = self.conclusion()?;
+        match self {
+            Derivation::Axiom { justification, .. } => {
+                out.push_str(&format!("{pad}{arrow}   [{justification}]\n"));
+            }
+            Derivation::Weaken { premise, extra } => {
+                out.push_str(&format!("{pad}{arrow}   [Prop 3.2, + {extra}]\n"));
+                premise.render_into(out, depth + 1)?;
+            }
+            Derivation::Compose { left, right } => {
+                out.push_str(&format!("{pad}{arrow}   [Thm 3.4]\n"));
+                left.render_into(out, depth + 1)?;
+                right.render_into(out, depth + 1)?;
+            }
+            Derivation::Relax { premise, .. } => {
+                out.push_str(&format!("{pad}{arrow}   [monotone relaxation]\n"));
+                premise.render_into(out, depth + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.render() {
+            Ok(s) => f.write_str(&s),
+            Err(e) => write!(f, "<invalid derivation: {e}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ax(from: &str, to_atoms: &[&str], t: f64, p: f64, just: &str) -> Derivation {
+        Derivation::axiom(
+            Arrow::new(
+                SetExpr::named(from),
+                SetExpr::union_of(to_atoms.iter().copied()),
+                t,
+                Prob::new(p).unwrap(),
+            )
+            .unwrap(),
+            just,
+        )
+    }
+
+    /// Builds the paper's Section 6.2 chain and checks T —13→_{1/8} C.
+    #[test]
+    fn paper_chain_derives_t_13_eighth_c() {
+        let c = SetExpr::named("C");
+        let t_rt = Derivation::axiom(
+            Arrow::new(
+                SetExpr::named("T"),
+                SetExpr::union_of(["RT", "C"]),
+                2.0,
+                Prob::ONE,
+            )
+            .unwrap(),
+            "Prop A.3",
+        );
+        let rt_fgp = ax("RT", &["F", "G", "P"], 3.0, 1.0, "Prop A.15").weaken(c.clone());
+        let f_gp =
+            ax("F", &["G", "P"], 2.0, 0.5, "Prop A.14").weaken(SetExpr::union_of(["G", "P", "C"]));
+        let g_p = ax("G", &["P"], 5.0, 0.25, "Prop A.11").weaken(SetExpr::union_of(["P", "C"]));
+        let p_c = ax("P", &["C"], 1.0, 1.0, "Prop A.1").weaken(c.clone());
+
+        let chain = t_rt.compose(rt_fgp).compose(f_gp).compose(g_p).compose(p_c);
+        let conclusion = chain.conclusion().unwrap();
+        assert_eq!(*conclusion.from(), SetExpr::named("T"));
+        assert_eq!(*conclusion.to(), SetExpr::named("C"));
+        assert_eq!(conclusion.time(), 13.0);
+        assert_eq!(conclusion.prob(), Prob::new(0.125).unwrap());
+        assert_eq!(chain.axioms().len(), 5);
+    }
+
+    #[test]
+    fn invalid_composition_is_reported() {
+        let a = ax("U", &["V"], 1.0, 1.0, "ax1");
+        let b = ax("X", &["W"], 1.0, 1.0, "ax2");
+        let bad = a.compose(b);
+        assert!(matches!(
+            bad.conclusion(),
+            Err(CoreError::SetMismatch { .. })
+        ));
+        assert!(bad.to_string().contains("invalid derivation"));
+    }
+
+    #[test]
+    fn relax_rule_checks_soundness() {
+        let a = ax("U", &["V"], 1.0, 0.5, "ax");
+        let good = a.clone().relax(2.0, Prob::new(0.25).unwrap());
+        assert_eq!(good.conclusion().unwrap().time(), 2.0);
+        let bad = a.relax(0.5, Prob::new(0.25).unwrap());
+        assert!(bad.conclusion().is_err());
+    }
+
+    #[test]
+    fn render_shows_rules_and_axioms() {
+        let d = ax("G", &["P"], 5.0, 0.25, "Prop A.11").weaken(SetExpr::named("C"));
+        let text = d.render().unwrap();
+        assert!(text.contains("Prop 3.2"));
+        assert!(text.contains("Prop A.11"));
+        assert!(text.contains("G —5→_0.25 P"));
+    }
+
+    #[test]
+    fn axioms_are_collected_in_order() {
+        let d = ax("A", &["B"], 1.0, 1.0, "one")
+            .compose(ax("B", &["C"], 1.0, 1.0, "two"))
+            .compose(ax("C", &["D"], 1.0, 1.0, "three"));
+        let names: Vec<&str> = d.axioms().iter().map(|(_, j)| *j).collect();
+        assert_eq!(names, ["one", "two", "three"]);
+    }
+}

@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+use pa_prob::ProbError;
+
+/// Error type for the probabilistic-automaton framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Two execution fragments could not be concatenated because the last
+    /// state of the first differs from the first state of the second.
+    FragmentMismatch,
+    /// An adversary returned a step that is not enabled in the fragment's
+    /// last state.
+    DisabledStep {
+        /// Rendered description of the offending step's action.
+        action: String,
+    },
+    /// Composition (Theorem 3.4) was attempted on arrows whose intermediate
+    /// sets do not match.
+    SetMismatch {
+        /// The target set of the first arrow.
+        left_to: String,
+        /// The source set of the second arrow.
+        right_from: String,
+    },
+    /// A rule was applied with a time bound that is negative or not finite,
+    /// or a relaxation tried to *decrease* a time bound.
+    InvalidTime {
+        /// The offending time value.
+        time: f64,
+    },
+    /// A probability relaxation tried to *increase* the guaranteed
+    /// probability.
+    InvalidProbRelaxation {
+        /// The premise's probability.
+        premise: f64,
+        /// The requested (larger) probability.
+        requested: f64,
+    },
+    /// The branch list of an expected-time recurrence was malformed.
+    InvalidRecurrence(String),
+    /// A probability-level validation failed.
+    Prob(ProbError),
+    /// The automaton violates a structural assumption (for example, a
+    /// fully-probabilistic automaton exposing two steps from one state).
+    Structure(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::FragmentMismatch => {
+                write!(f, "fragment concatenation endpoints do not match")
+            }
+            CoreError::DisabledStep { action } => {
+                write!(f, "adversary chose disabled step with action {action}")
+            }
+            CoreError::SetMismatch { left_to, right_from } => write!(
+                f,
+                "cannot compose arrows: left target {left_to} differs from right source {right_from}"
+            ),
+            CoreError::InvalidTime { time } => write!(f, "invalid time bound {time}"),
+            CoreError::InvalidProbRelaxation { premise, requested } => write!(
+                f,
+                "cannot relax probability {premise} up to {requested}"
+            ),
+            CoreError::InvalidRecurrence(msg) => write!(f, "invalid recurrence: {msg}"),
+            CoreError::Prob(e) => write!(f, "{e}"),
+            CoreError::Structure(msg) => write!(f, "structural violation: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbError> for CoreError {
+    fn from(e: ProbError) -> CoreError {
+        CoreError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants: Vec<CoreError> = vec![
+            CoreError::FragmentMismatch,
+            CoreError::DisabledStep {
+                action: "flip".into(),
+            },
+            CoreError::SetMismatch {
+                left_to: "RT".into(),
+                right_from: "T".into(),
+            },
+            CoreError::InvalidTime { time: -1.0 },
+            CoreError::InvalidProbRelaxation {
+                premise: 0.5,
+                requested: 0.9,
+            },
+            CoreError::InvalidRecurrence("empty".into()),
+            CoreError::Prob(ProbError::EmptySupport),
+            CoreError::Structure("two steps".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn prob_error_converts_and_chains() {
+        let err: CoreError = ProbError::EmptySupport.into();
+        assert!(err.source().is_some());
+    }
+}

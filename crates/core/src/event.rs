@@ -1,0 +1,298 @@
+use pa_prob::{Prob, ProbInterval};
+
+use crate::{ExecTree, NodeId, NodeKind};
+
+/// Classification of one maximal execution (tree leaf) by an event schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The execution belongs to the event.
+    In,
+    /// The execution does not belong to the event.
+    Out,
+    /// The execution was cut off at the depth bound before the event could
+    /// be decided; its cone contributes to the upper endpoint only.
+    Undecided,
+}
+
+/// An *event schema* (Definition 2.5 of the paper): a function associating
+/// an event with each execution automaton of `M`.
+///
+/// Here the execution automaton is a depth-bounded [`ExecTree`] and the
+/// event is given by classifying each leaf cone as in/out/undecided. The
+/// induced probability is interval-valued: undecided mass is excluded from
+/// the lower endpoint and included in the upper endpoint, so the bracket is
+/// sound for the true (unbounded) probability whenever the classification
+/// of a decided leaf would not change with deeper exploration — which holds
+/// for all schemas in this crate by construction.
+pub trait EventSchema<S, A> {
+    /// Classifies the maximal execution represented by `leaf`.
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome;
+
+    /// Computes the probability bracket `P_H[e(H)]` over the tree.
+    fn probability(&self, tree: &ExecTree<S, A>) -> ProbInterval
+    where
+        Self: Sized,
+        S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+        A: Clone + PartialEq + std::fmt::Debug,
+    {
+        let mut lo = 0.0;
+        let mut undecided = 0.0;
+        for leaf in tree.leaves() {
+            let p = tree.cone_prob(leaf).value();
+            match self.classify(tree, leaf) {
+                Outcome::In => lo += p,
+                Outcome::Out => {}
+                Outcome::Undecided => undecided += p,
+            }
+        }
+        ProbInterval::new(Prob::clamped(lo), Prob::clamped(lo + undecided))
+            .expect("lo <= lo + undecided")
+    }
+}
+
+/// The event "a state satisfying the predicate occurs somewhere along the
+/// execution" — the step-bounded form of the paper's reachability events.
+///
+/// For the time-bounded event schema `e_{U',t}` of Definition 3.1, see
+/// [`ReachWithin`](crate::ReachWithin), which additionally consults the
+/// time component of states.
+pub struct Eventually<S> {
+    pred: Box<dyn Fn(&S) -> bool + Send + Sync>,
+}
+
+impl<S> Eventually<S> {
+    /// Creates the schema from a state predicate.
+    pub fn new(pred: impl Fn(&S) -> bool + Send + Sync + 'static) -> Eventually<S> {
+        Eventually {
+            pred: Box::new(pred),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for Eventually<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Eventually(..)")
+    }
+}
+
+impl<S, A> EventSchema<S, A> for Eventually<S>
+where
+    S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + PartialEq + std::fmt::Debug,
+{
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        // Walk the path from the leaf to the root looking for a hit.
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            if (self.pred)(tree.state(id)) {
+                return Outcome::In;
+            }
+            cur = tree.parent(id);
+        }
+        match tree.kind(leaf) {
+            NodeKind::Terminal => Outcome::Out,
+            _ => Outcome::Undecided,
+        }
+    }
+}
+
+/// Intersection of event schemas: an execution is in the event iff it is in
+/// all component events. Used for the compound events
+/// `first(a1,U1) ∩ … ∩ first(an,Un)` of Proposition 4.2(1).
+pub struct AllOf<S, A> {
+    parts: Vec<Box<dyn EventSchema<S, A>>>,
+}
+
+impl<S, A> AllOf<S, A> {
+    /// Creates the intersection of the given schemas.
+    pub fn new(parts: Vec<Box<dyn EventSchema<S, A>>>) -> AllOf<S, A> {
+        AllOf { parts }
+    }
+}
+
+impl<S, A> std::fmt::Debug for AllOf<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AllOf({} parts)", self.parts.len())
+    }
+}
+
+impl<S, A> EventSchema<S, A> for AllOf<S, A> {
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        let mut any_undecided = false;
+        for part in &self.parts {
+            match part.classify(tree, leaf) {
+                Outcome::Out => return Outcome::Out,
+                Outcome::Undecided => any_undecided = true,
+                Outcome::In => {}
+            }
+        }
+        if any_undecided {
+            Outcome::Undecided
+        } else {
+            Outcome::In
+        }
+    }
+}
+
+/// Union of event schemas: an execution is in the event iff it is in at
+/// least one component event.
+pub struct AnyOf<S, A> {
+    parts: Vec<Box<dyn EventSchema<S, A>>>,
+}
+
+impl<S, A> AnyOf<S, A> {
+    /// Creates the union of the given schemas.
+    pub fn new(parts: Vec<Box<dyn EventSchema<S, A>>>) -> AnyOf<S, A> {
+        AnyOf { parts }
+    }
+}
+
+impl<S, A> std::fmt::Debug for AnyOf<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AnyOf({} parts)", self.parts.len())
+    }
+}
+
+impl<S, A> EventSchema<S, A> for AnyOf<S, A> {
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        let mut any_undecided = false;
+        for part in &self.parts {
+            match part.classify(tree, leaf) {
+                Outcome::In => return Outcome::In,
+                Outcome::Undecided => any_undecided = true,
+                Outcome::Out => {}
+            }
+        }
+        if any_undecided {
+            Outcome::Undecided
+        } else {
+            Outcome::Out
+        }
+    }
+}
+
+/// Complement of an event schema. Undecided executions stay undecided.
+pub struct Complement<S, A> {
+    inner: Box<dyn EventSchema<S, A>>,
+}
+
+impl<S, A> Complement<S, A> {
+    /// Creates the complement of `inner`.
+    pub fn new(inner: Box<dyn EventSchema<S, A>>) -> Complement<S, A> {
+        Complement { inner }
+    }
+}
+
+impl<S, A> std::fmt::Debug for Complement<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Complement(..)")
+    }
+}
+
+impl<S, A> EventSchema<S, A> for Complement<S, A> {
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        match self.inner.classify(tree, leaf) {
+            Outcome::In => Outcome::Out,
+            Outcome::Out => Outcome::In,
+            Outcome::Undecided => Outcome::Undecided,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecTree, FirstEnabled, Fragment, TableAutomaton};
+
+    fn double_coin() -> TableAutomaton<(&'static str, u8), &'static str> {
+        // Two sequential fair flips; state carries (label, flips so far).
+        TableAutomaton::builder()
+            .start(("start", 0))
+            .step(("start", 0), "flip1", [(("H", 1), 0.5), (("T", 1), 0.5)])
+            .unwrap()
+            .step(("H", 1), "flip2", [(("HH", 2), 0.5), (("HT", 2), 0.5)])
+            .unwrap()
+            .step(("T", 1), "flip2", [(("TH", 2), 0.5), (("TT", 2), 0.5)])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn tree(depth: usize) -> ExecTree<(&'static str, u8), &'static str> {
+        let m = double_coin();
+        ExecTree::build(&m, &FirstEnabled, Fragment::initial(("start", 0)), depth).unwrap()
+    }
+
+    #[test]
+    fn eventually_exact_on_full_tree() {
+        let t = tree(5);
+        let e = Eventually::new(|s: &(&str, u8)| s.0 == "HH");
+        let p = e.probability(&t);
+        assert!(p.is_exact());
+        assert!((p.lo().value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eventually_bracket_on_truncated_tree() {
+        let t = tree(1); // only the first flip is explored
+        let e = Eventually::new(|s: &(&str, u8)| s.0 == "HH");
+        let p = e.probability(&t);
+        // Nothing decided In yet; everything below H or T is undecided.
+        assert_eq!(p.lo(), Prob::ZERO);
+        assert_eq!(p.hi(), Prob::ONE);
+    }
+
+    #[test]
+    fn eventually_detects_hit_at_intermediate_state() {
+        let t = tree(5);
+        let e = Eventually::new(|s: &(&str, u8)| s.0 == "H");
+        let p = e.probability(&t);
+        assert!(p.is_exact());
+        assert!((p.lo().value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_of_intersects() {
+        let t = tree(5);
+        let h_first = Eventually::new(|s: &(&str, u8)| s.0 == "H");
+        let ht = Eventually::new(|s: &(&str, u8)| s.0 == "HT");
+        let both = AllOf::new(vec![Box::new(h_first), Box::new(ht)]);
+        let p = both.probability(&t);
+        assert!((p.lo().value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_of_unions() {
+        let t = tree(5);
+        let hh = Eventually::new(|s: &(&str, u8)| s.0 == "HH");
+        let tt = Eventually::new(|s: &(&str, u8)| s.0 == "TT");
+        let either = AnyOf::new(vec![Box::new(hh), Box::new(tt)]);
+        let p = either.probability(&t);
+        assert!((p.lo().value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_flips_exact_probability() {
+        let t = tree(5);
+        let hh = Eventually::new(|s: &(&str, u8)| s.0 == "HH");
+        let not_hh = Complement::new(Box::new(hh));
+        let p = not_hh.probability(&t);
+        assert!((p.lo().value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_endpoints_are_consistent() {
+        // On any tree, lo <= hi and the brackets of e and its complement sum
+        // to 1 at matching endpoints.
+        for depth in [0, 1, 2, 5] {
+            let t = tree(depth);
+            let e = Eventually::new(|s: &(&str, u8)| s.0 == "HH");
+            let c = Complement::new(Box::new(Eventually::new(|s: &(&str, u8)| s.0 == "HH")));
+            let pe = e.probability(&t);
+            let pc = c.probability(&t);
+            assert!(pe.lo().value() <= pe.hi().value() + 1e-12);
+            assert!((pe.lo().value() + pc.hi().value() - 1.0).abs() < 1e-9);
+            assert!((pe.hi().value() + pc.lo().value() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+use pa_prob::Prob;
+
+use crate::{Adversary, Automaton, CoreError, Fragment, Step};
+
+/// Identifier of a node in an [`ExecTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// How a tree node terminates (or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The adversary scheduled a step here; the node has children.
+    Internal,
+    /// The adversary returned nothing (or no step was enabled): the path to
+    /// this node is a *maximal finite execution* of the execution automaton.
+    Terminal,
+    /// The depth bound was reached while a step was still scheduled: the
+    /// cone below this node is *undecided*.
+    Cut,
+}
+
+#[derive(Debug, Clone)]
+struct Node<S, A> {
+    state: S,
+    depth: usize,
+    parent: Option<usize>,
+    in_action: Option<A>,
+    /// Probability of the edge from the parent (1 for the root).
+    in_prob: f64,
+    children: Vec<usize>,
+    kind: NodeKind,
+}
+
+/// A depth-bounded *execution automaton* `H(M, A, α)` (Definitions 2.3/2.4
+/// of the paper): the fully probabilistic tree obtained by running automaton
+/// `M` under adversary `A` starting from fragment `α`.
+///
+/// States of the paper's execution automaton are finite execution fragments;
+/// here each tree node *represents* the fragment `α ⌢ (path to the node)`,
+/// recoverable via [`ExecTree::fragment_of`]. Maximal executions of `H`
+/// correspond to [`NodeKind::Terminal`] leaves; executions cut off at the
+/// depth bound ([`NodeKind::Cut`]) represent cones of executions whose
+/// classification by an event schema is *undecided*, which is why event
+/// probabilities are interval-valued ([`crate::EventSchema::probability`]).
+///
+/// The probability measure `P_H` is the cone measure of Section 2: the
+/// measure of the rectangle `R_β` below a node is the product of the edge
+/// probabilities on the path, available as [`ExecTree::cone_prob`].
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::{ExecTree, FirstEnabled, Fragment, TableAutomaton};
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// let m = TableAutomaton::builder()
+///     .start("s0")
+///     .step("s0", "flip", [("heads", 0.5), ("tails", 0.5)])?
+///     .build()?;
+/// let tree = ExecTree::build(&m, &FirstEnabled, Fragment::initial("s0"), 4)?;
+/// // Total probability mass over the leaves is 1.
+/// let mass: f64 = tree.leaves().map(|n| tree.cone_prob(n).value()).sum();
+/// assert!((mass - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecTree<S, A> {
+    nodes: Vec<Node<S, A>>,
+    root_fragment: Fragment<S, A>,
+}
+
+impl<S, A> ExecTree<S, A>
+where
+    S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + PartialEq + std::fmt::Debug,
+{
+    /// Builds the execution automaton of `automaton` under `adversary`,
+    /// starting from `start` and exploring `max_depth` steps past it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DisabledStep`] if the adversary ever returns a
+    /// step that is not enabled (Definition 2.2 requires enabled steps).
+    pub fn build<M>(
+        automaton: &M,
+        adversary: &impl Adversary<M>,
+        start: Fragment<S, A>,
+        max_depth: usize,
+    ) -> Result<ExecTree<S, A>, CoreError>
+    where
+        M: Automaton<State = S, Action = A>,
+    {
+        let mut tree = ExecTree {
+            nodes: vec![Node {
+                state: start.lstate().clone(),
+                depth: 0,
+                parent: None,
+                in_action: None,
+                in_prob: 1.0,
+                children: Vec::new(),
+                kind: NodeKind::Terminal, // refined below
+            }],
+            root_fragment: start,
+        };
+        let mut frontier = vec![0usize];
+        while let Some(id) = frontier.pop() {
+            let fragment = tree.fragment_of(NodeId(id));
+            let choice = crate::validated_choice(automaton, adversary, &fragment)?;
+            match choice {
+                None => tree.nodes[id].kind = NodeKind::Terminal,
+                Some(Step { action, target }) => {
+                    if tree.nodes[id].depth >= max_depth {
+                        tree.nodes[id].kind = NodeKind::Cut;
+                        continue;
+                    }
+                    tree.nodes[id].kind = NodeKind::Internal;
+                    for (next_state, p) in target.iter() {
+                        let child = tree.nodes.len();
+                        tree.nodes.push(Node {
+                            state: next_state.clone(),
+                            depth: tree.nodes[id].depth + 1,
+                            parent: Some(id),
+                            in_action: Some(action.clone()),
+                            in_prob: p.value(),
+                            children: Vec::new(),
+                            kind: NodeKind::Terminal,
+                        });
+                        tree.nodes[id].children.push(child);
+                        frontier.push(child);
+                    }
+                }
+            }
+        }
+        Ok(tree)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `false`: a tree always contains at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all leaves (terminal and cut nodes).
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind != NodeKind::Internal)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// The state labelling a node (the last state of its fragment).
+    pub fn state(&self, id: NodeId) -> &S {
+        &self.nodes[id.0].state
+    }
+
+    /// A node's depth below the root.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.nodes[id.0].depth
+    }
+
+    /// A node's kind.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// A node's parent, if it is not the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0].parent.map(NodeId)
+    }
+
+    /// A node's children.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.0].children.iter().copied().map(NodeId)
+    }
+
+    /// The action on the edge into `id` (none for the root).
+    pub fn in_action(&self, id: NodeId) -> Option<&A> {
+        self.nodes[id.0].in_action.as_ref()
+    }
+
+    /// The cone probability `P_H[R_β]` of the rectangle below node `id`:
+    /// the product of edge probabilities from the root.
+    pub fn cone_prob(&self, id: NodeId) -> Prob {
+        let mut p = 1.0;
+        let mut cur = Some(id.0);
+        while let Some(i) = cur {
+            p *= self.nodes[i].in_prob;
+            cur = self.nodes[i].parent;
+        }
+        Prob::clamped(p)
+    }
+
+    /// Reconstructs the execution fragment represented by node `id`:
+    /// the starting fragment extended with the path from the root.
+    pub fn fragment_of(&self, id: NodeId) -> Fragment<S, A> {
+        let mut rev: Vec<(A, S)> = Vec::new();
+        let mut cur = id.0;
+        while let Some(parent) = self.nodes[cur].parent {
+            let action = self.nodes[cur]
+                .in_action
+                .clone()
+                .expect("non-root node has an incoming action");
+            rev.push((action, self.nodes[cur].state.clone()));
+            cur = parent;
+        }
+        let mut fragment = self.root_fragment.clone();
+        for (a, s) in rev.into_iter().rev() {
+            fragment.push(a, s);
+        }
+        fragment
+    }
+
+    /// Iterates over the path from the root to `id` as
+    /// `(action, state)` pairs, excluding the root state.
+    pub fn path_transitions(&self, id: NodeId) -> Vec<(A, S)> {
+        let mut rev = Vec::new();
+        let mut cur = id.0;
+        while let Some(parent) = self.nodes[cur].parent {
+            rev.push((
+                self.nodes[cur]
+                    .in_action
+                    .clone()
+                    .expect("non-root node has an incoming action"),
+                self.nodes[cur].state.clone(),
+            ));
+            cur = parent;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FirstEnabled, FnAdversary, Halt, TableAutomaton};
+
+    fn coin_machine() -> TableAutomaton<&'static str, &'static str> {
+        TableAutomaton::builder()
+            .start("s0")
+            .step("s0", "flip", [("H", 0.5), ("T", 0.5)])
+            .unwrap()
+            .det_step("H", "hop", "done")
+            .det_step("T", "hop", "done")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn halt_adversary_yields_single_terminal_root() {
+        let m = coin_machine();
+        let t = ExecTree::build(&m, &Halt, Fragment::initial("s0"), 10).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.kind(t.root()), NodeKind::Terminal);
+        assert_eq!(t.cone_prob(t.root()), Prob::ONE);
+    }
+
+    #[test]
+    fn full_run_reaches_terminals_with_unit_mass() {
+        let m = coin_machine();
+        let t = ExecTree::build(&m, &FirstEnabled, Fragment::initial("s0"), 10).unwrap();
+        let mass: f64 = t.leaves().map(|n| t.cone_prob(n).value()).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+        assert!(t.leaves().all(|n| t.kind(n) == NodeKind::Terminal));
+        assert!(t.leaves().all(|n| *t.state(n) == "done"));
+    }
+
+    #[test]
+    fn depth_bound_produces_cut_nodes() {
+        let m = coin_machine();
+        let t = ExecTree::build(&m, &FirstEnabled, Fragment::initial("s0"), 1).unwrap();
+        // After one step we are at H/T, both of which still enable a step.
+        assert!(t.leaves().all(|n| t.kind(n) == NodeKind::Cut));
+        let mass: f64 = t.leaves().map(|n| t.cone_prob(n).value()).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragment_of_reconstructs_paths() {
+        let m = coin_machine();
+        let t = ExecTree::build(&m, &FirstEnabled, Fragment::initial("s0"), 10).unwrap();
+        let leaf = t.leaves().next().unwrap();
+        let frag = t.fragment_of(leaf);
+        assert_eq!(*frag.fstate(), "s0");
+        assert_eq!(*frag.lstate(), "done");
+        assert_eq!(frag.len(), 2);
+    }
+
+    #[test]
+    fn starting_fragment_is_preserved_in_reconstruction() {
+        let m = coin_machine();
+        let mut start = Fragment::initial("s0");
+        start.push("warmup", "s0"); // pretend history before the tree
+        let t = ExecTree::build(&m, &FirstEnabled, start.clone(), 10).unwrap();
+        let leaf = t.leaves().next().unwrap();
+        let frag = t.fragment_of(leaf);
+        assert!(start.is_prefix_of(&frag));
+    }
+
+    #[test]
+    fn adversary_sees_full_history_through_tree() {
+        let m = coin_machine();
+        // Schedule only the first step: afterwards fragment length is >= 1.
+        let adv = FnAdversary::new(
+            |m: &TableAutomaton<&'static str, &'static str>,
+             f: &Fragment<&'static str, &'static str>| {
+                if f.is_empty() {
+                    m.steps(f.lstate()).into_iter().next()
+                } else {
+                    None
+                }
+            },
+        );
+        let t = ExecTree::build(&m, &adv, Fragment::initial("s0"), 10).unwrap();
+        assert!(t.leaves().all(|n| t.depth(n) == 1));
+        assert!(t.leaves().all(|n| t.kind(n) == NodeKind::Terminal));
+    }
+
+    #[test]
+    fn cone_probs_multiply_along_path() {
+        let m = coin_machine();
+        let t = ExecTree::build(&m, &FirstEnabled, Fragment::initial("s0"), 10).unwrap();
+        for leaf in t.leaves() {
+            assert!((t.cone_prob(leaf).value() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn children_and_parent_are_inverse() {
+        let m = coin_machine();
+        let t = ExecTree::build(&m, &FirstEnabled, Fragment::initial("s0"), 10).unwrap();
+        for child in t.children(t.root()) {
+            assert_eq!(t.parent(child), Some(t.root()));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+use std::fmt;
+
+use crate::CoreError;
+
+/// A finite execution fragment of a probabilistic automaton:
+/// an alternating sequence `s0 a1 s1 a2 s2 … an sn`.
+///
+/// This is the object adversaries observe (Definition 2.2 of the paper) and
+/// the states of an execution automaton (Definition 2.3). Fragments support
+/// the two operations the paper defines: concatenation (`⌢`) and the prefix
+/// order (`≤`).
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::Fragment;
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// let mut alpha = Fragment::initial("s0");
+/// alpha.push("a", "s1");
+/// let mut beta = Fragment::initial("s1");
+/// beta.push("b", "s2");
+/// let joined = alpha.concat(&beta)?;
+/// assert_eq!(joined.len(), 2);
+/// assert_eq!(*joined.lstate(), "s2");
+/// assert!(alpha.is_prefix_of(&joined));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fragment<S, A> {
+    first: S,
+    steps: Vec<(A, S)>,
+}
+
+impl<S, A> Fragment<S, A> {
+    /// Creates the length-zero fragment consisting of a single state.
+    pub fn initial(state: S) -> Fragment<S, A> {
+        Fragment {
+            first: state,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The first state `fstate(α)`.
+    pub fn fstate(&self) -> &S {
+        &self.first
+    }
+
+    /// The last state `lstate(α)`.
+    pub fn lstate(&self) -> &S {
+        self.steps.last().map(|(_, s)| s).unwrap_or(&self.first)
+    }
+
+    /// Number of steps (actions) in the fragment.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the fragment is a single state with no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends one step `-a→ s` to the fragment.
+    pub fn push(&mut self, action: A, state: S) {
+        self.steps.push((action, state));
+    }
+
+    /// Iterates over the states `s0, s1, …, sn` in order.
+    pub fn states(&self) -> impl Iterator<Item = &S> {
+        std::iter::once(&self.first).chain(self.steps.iter().map(|(_, s)| s))
+    }
+
+    /// Iterates over the actions `a1, …, an` in order.
+    pub fn actions(&self) -> impl Iterator<Item = &A> {
+        self.steps.iter().map(|(a, _)| a)
+    }
+
+    /// Iterates over `(action, target state)` pairs in order.
+    pub fn transitions(&self) -> impl Iterator<Item = (&A, &S)> {
+        self.steps.iter().map(|(a, s)| (a, s))
+    }
+}
+
+impl<S: Clone + PartialEq, A: Clone + PartialEq> Fragment<S, A> {
+    /// Concatenation `α1 ⌢ α2`, defined when `lstate(α1) = fstate(α2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FragmentMismatch`] when the endpoints differ.
+    pub fn concat(&self, other: &Fragment<S, A>) -> Result<Fragment<S, A>, CoreError> {
+        if self.lstate() != other.fstate() {
+            return Err(CoreError::FragmentMismatch);
+        }
+        let mut joined = self.clone();
+        joined.steps.extend(other.steps.iter().cloned());
+        Ok(joined)
+    }
+
+    /// The prefix order `α1 ≤ α2`: either equal, or `α2 = α1 ⌢ α'` for some
+    /// fragment `α'`.
+    pub fn is_prefix_of(&self, other: &Fragment<S, A>) -> bool {
+        if self.first != other.first || self.steps.len() > other.steps.len() {
+            return false;
+        }
+        self.steps
+            .iter()
+            .zip(other.steps.iter())
+            .all(|(a, b)| a == b)
+    }
+
+    /// Splits off the suffix after the first `n` steps, returning a fragment
+    /// starting at the state reached after step `n` (used when re-rooting an
+    /// execution automaton in the proof of Theorem 3.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn suffix_from(&self, n: usize) -> Fragment<S, A> {
+        assert!(n <= self.len(), "suffix index out of range");
+        let first = if n == 0 {
+            self.first.clone()
+        } else {
+            self.steps[n - 1].1.clone()
+        };
+        Fragment {
+            first,
+            steps: self.steps[n..].to_vec(),
+        }
+    }
+
+    /// The prefix consisting of the first `n` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn prefix(&self, n: usize) -> Fragment<S, A> {
+        assert!(n <= self.len(), "prefix index out of range");
+        Fragment {
+            first: self.first.clone(),
+            steps: self.steps[..n].to_vec(),
+        }
+    }
+}
+
+impl<S: fmt::Display, A: fmt::Display> fmt::Display for Fragment<S, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.first)?;
+        for (a, s) in &self.steps {
+            write!(f, " -{a}-> {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Fragment<&'static str, char> {
+        let mut f = Fragment::initial("s0");
+        f.push('a', "s1");
+        f.push('b', "s2");
+        f
+    }
+
+    #[test]
+    fn initial_fragment_endpoints_coincide() {
+        let f: Fragment<_, char> = Fragment::initial("s0");
+        assert_eq!(f.fstate(), f.lstate());
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn push_extends_and_updates_lstate() {
+        let f = abc();
+        assert_eq!(*f.lstate(), "s2");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.states().count(), 3);
+        assert_eq!(f.actions().collect::<Vec<_>>(), [&'a', &'b']);
+    }
+
+    #[test]
+    fn concat_requires_matching_endpoints() {
+        let f = abc();
+        let mut ok = Fragment::initial("s2");
+        ok.push('c', "s3");
+        let joined = f.concat(&ok).unwrap();
+        assert_eq!(joined.len(), 3);
+        assert_eq!(*joined.lstate(), "s3");
+
+        let bad = Fragment::<&str, char>::initial("elsewhere");
+        assert_eq!(f.concat(&bad), Err(CoreError::FragmentMismatch));
+    }
+
+    #[test]
+    fn prefix_order_properties() {
+        let f = abc();
+        let p = f.prefix(1);
+        assert!(p.is_prefix_of(&f));
+        assert!(f.is_prefix_of(&f), "prefix order is reflexive");
+        assert!(!f.is_prefix_of(&p));
+        let other = Fragment::<&str, char>::initial("elsewhere");
+        assert!(!other.is_prefix_of(&f));
+    }
+
+    #[test]
+    fn prefix_mismatch_on_differing_steps() {
+        let f = abc();
+        let mut g = Fragment::initial("s0");
+        g.push('a', "s1");
+        g.push('x', "s2");
+        assert!(!g.is_prefix_of(&f));
+    }
+
+    #[test]
+    fn suffix_from_rebases_start() {
+        let f = abc();
+        let suffix = f.suffix_from(1);
+        assert_eq!(*suffix.fstate(), "s1");
+        assert_eq!(suffix.len(), 1);
+        // concat(prefix, suffix) reconstructs the original.
+        let rebuilt = f.prefix(1).concat(&suffix).unwrap();
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn suffix_from_zero_is_identity() {
+        let f = abc();
+        assert_eq!(f.suffix_from(0), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn suffix_from_past_end_panics() {
+        let _ = abc().suffix_from(3);
+    }
+
+    #[test]
+    fn display_renders_alternating_sequence() {
+        assert_eq!(abc().to_string(), "s0 -a-> s1 -b-> s2");
+    }
+}

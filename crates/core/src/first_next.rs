@@ -1,0 +1,482 @@
+//! The `first` and `next` event schemas of Section 4 and the partial
+//! independence bounds of Proposition 4.2.
+//!
+//! Example 4.1 of the paper shows why these schemas exist: a non-oblivious
+//! adversary can make "process P flips heads and process Q flips tails"
+//! happen with probability 1/2 instead of 1/4, by scheduling Q's flip only
+//! after observing P's outcome. The schema `first(a, U)` counts executions
+//! where `a` never occurs as *inside* the event, which restores the product
+//! lower bound `∏ pᵢ` against every adversary.
+
+use std::sync::Arc;
+
+use pa_prob::{Prob, ProbInterval};
+
+use crate::{
+    Adversary, Automaton, CoreError, EventSchema, ExecTree, Fragment, NodeId, NodeKind, Outcome,
+};
+
+type Pred<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// The event schema `first(a, U)`: the set of maximal executions where
+/// either action `a` does not occur, or it occurs and the state reached
+/// after its *first* occurrence is in `U`.
+pub struct First<S, A> {
+    action: A,
+    pred: Pred<S>,
+}
+
+impl<S, A: Clone> First<S, A> {
+    /// Creates `first(action, {s | pred(s)})`.
+    pub fn new(action: A, pred: impl Fn(&S) -> bool + Send + Sync + 'static) -> First<S, A> {
+        First {
+            action,
+            pred: Arc::new(pred),
+        }
+    }
+}
+
+impl<S, A: std::fmt::Debug> std::fmt::Debug for First<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "first({:?}, U)", self.action)
+    }
+}
+
+impl<S, A> EventSchema<S, A> for First<S, A>
+where
+    S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + PartialEq + std::fmt::Debug,
+{
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        for (action, state) in tree.path_transitions(leaf) {
+            if action == self.action {
+                return if (self.pred)(&state) {
+                    Outcome::In
+                } else {
+                    Outcome::Out
+                };
+            }
+        }
+        match tree.kind(leaf) {
+            NodeKind::Terminal => Outcome::In, // action never occurs
+            _ => Outcome::Undecided,
+        }
+    }
+}
+
+/// The event schema `next((a1,U1),…,(an,Un))`: the set of maximal
+/// executions where either no action from `{a1,…,an}` occurs, or some does
+/// and — with `ai` the first to occur — the state reached after that first
+/// occurrence is in `Ui`.
+///
+/// The actions must be pairwise distinct (the paper's side condition); the
+/// constructor validates this.
+pub struct Next<S, A> {
+    pairs: Vec<(A, Pred<S>)>,
+}
+
+impl<S, A: Clone + PartialEq> Next<S, A> {
+    /// Creates the schema from `(action, predicate)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Structure`] if two pairs share an action.
+    pub fn new(pairs: impl IntoIterator<Item = (A, Pred<S>)>) -> Result<Next<S, A>, CoreError> {
+        let pairs: Vec<(A, Pred<S>)> = pairs.into_iter().collect();
+        for i in 0..pairs.len() {
+            for j in (i + 1)..pairs.len() {
+                if pairs[i].0 == pairs[j].0 {
+                    return Err(CoreError::Structure(
+                        "next(...) requires pairwise distinct actions".into(),
+                    ));
+                }
+            }
+        }
+        Ok(Next { pairs })
+    }
+
+    /// Convenience constructor from plain closures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Structure`] if two pairs share an action.
+    pub fn from_closures<F>(
+        pairs: impl IntoIterator<Item = (A, F)>,
+    ) -> Result<Next<S, A>, CoreError>
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        Next::new(
+            pairs
+                .into_iter()
+                .map(|(a, f)| (a, Arc::new(f) as Pred<S>))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl<S, A: std::fmt::Debug> std::fmt::Debug for Next<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "next({:?})",
+            self.pairs.iter().map(|(a, _)| a).collect::<Vec<_>>()
+        )
+    }
+}
+
+impl<S, A> EventSchema<S, A> for Next<S, A>
+where
+    S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + PartialEq + std::fmt::Debug,
+{
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        for (action, state) in tree.path_transitions(leaf) {
+            if let Some((_, pred)) = self.pairs.iter().find(|(a, _)| *a == action) {
+                return if pred(&state) {
+                    Outcome::In
+                } else {
+                    Outcome::Out
+                };
+            }
+        }
+        match tree.kind(leaf) {
+            NodeKind::Terminal => Outcome::In, // none of the actions occurs
+            _ => Outcome::Undecided,
+        }
+    }
+}
+
+/// A pair `(aᵢ, Uᵢ)` plus the per-step lower bound `pᵢ` of Proposition 4.2:
+/// every step of the automaton labelled `aᵢ` must reach `Uᵢ` with
+/// probability at least `pᵢ`.
+pub struct ActionBound<S, A> {
+    /// The action.
+    pub action: A,
+    /// The target-state predicate defining `Uᵢ`.
+    pub pred: Pred<S>,
+    /// The claimed per-step lower bound `pᵢ`.
+    pub bound: Prob,
+}
+
+impl<S, A: Clone> ActionBound<S, A> {
+    /// Creates an action bound from a closure predicate.
+    pub fn new(
+        action: A,
+        pred: impl Fn(&S) -> bool + Send + Sync + 'static,
+        bound: Prob,
+    ) -> ActionBound<S, A> {
+        ActionBound {
+            action,
+            pred: Arc::new(pred),
+            bound,
+        }
+    }
+}
+
+impl<S, A: std::fmt::Debug> std::fmt::Debug for ActionBound<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActionBound({:?} ≥ {})", self.action, self.bound)
+    }
+}
+
+/// The verdict of checking one of the Proposition 4.2 inequalities on a
+/// concrete execution automaton.
+#[derive(Debug, Clone)]
+pub struct IndependenceCheck {
+    /// The measured probability bracket of the compound event.
+    pub measured: ProbInterval,
+    /// The claimed lower bound (`∏ pᵢ` for part 1, `min pᵢ` for part 2).
+    pub claimed: Prob,
+}
+
+impl IndependenceCheck {
+    /// `true` when the whole bracket sits at or above the claimed bound —
+    /// the sound reading of "the inequality holds on this tree".
+    pub fn holds(&self) -> bool {
+        self.measured.certainly_at_least(self.claimed)
+    }
+}
+
+impl std::fmt::Display for IndependenceCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "measured {} vs claimed ≥ {} → {}",
+            self.measured,
+            self.claimed,
+            if self.holds() { "holds" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// Checks Proposition 4.2(1): `P_H[first(a1,U1) ∩ … ∩ first(an,Un)] ≥ ∏ pᵢ`
+/// on the execution automaton of `automaton` under `adversary`.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the tree construction (for example, an
+/// adversary returning a disabled step).
+pub fn check_first_intersection<M>(
+    automaton: &M,
+    adversary: &impl Adversary<M>,
+    start: Fragment<M::State, M::Action>,
+    depth: usize,
+    bounds: &[ActionBound<M::State, M::Action>],
+) -> Result<IndependenceCheck, CoreError>
+where
+    M: Automaton,
+    M::State: 'static,
+    M::Action: 'static,
+{
+    let tree = ExecTree::build(automaton, adversary, start, depth)?;
+    let schema = crate::AllOf::new(
+        bounds
+            .iter()
+            .map(|b| {
+                let pred = Arc::clone(&b.pred);
+                Box::new(First {
+                    action: b.action.clone(),
+                    pred,
+                }) as Box<dyn EventSchema<M::State, M::Action>>
+            })
+            .collect(),
+    );
+    let claimed = bounds.iter().fold(Prob::ONE, |acc, b| acc * b.bound);
+    Ok(IndependenceCheck {
+        measured: schema.probability(&tree),
+        claimed,
+    })
+}
+
+/// Checks Proposition 4.2(2): `P_H[next((a1,U1),…,(an,Un))] ≥ min pᵢ`.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the tree construction, and
+/// [`CoreError::Structure`] if the bounds share an action.
+pub fn check_next_bound<M>(
+    automaton: &M,
+    adversary: &impl Adversary<M>,
+    start: Fragment<M::State, M::Action>,
+    depth: usize,
+    bounds: &[ActionBound<M::State, M::Action>],
+) -> Result<IndependenceCheck, CoreError>
+where
+    M: Automaton,
+{
+    let tree = ExecTree::build(automaton, adversary, start, depth)?;
+    let schema = Next::new(
+        bounds
+            .iter()
+            .map(|b| (b.action.clone(), Arc::clone(&b.pred)))
+            .collect::<Vec<_>>(),
+    )?;
+    let claimed = bounds.iter().map(|b| b.bound).fold(Prob::ONE, Prob::min);
+    Ok(IndependenceCheck {
+        measured: schema.probability(&tree),
+        claimed,
+    })
+}
+
+/// Validates the side condition of Proposition 4.2 on an explicit automaton:
+/// every step labelled `bound.action` reaches `Uᵢ` with probability at least
+/// `bound.bound`. Returns the worst (smallest) per-step probability found,
+/// or `None` if the action never labels a step of a reachable state.
+pub fn min_step_prob<S, A>(
+    automaton: &crate::TableAutomaton<S, A>,
+    bound: &ActionBound<S, A>,
+) -> Option<Prob>
+where
+    S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + PartialEq + std::fmt::Debug,
+{
+    let mut worst: Option<Prob> = None;
+    for state in automaton.reachable_states() {
+        for step in automaton.steps(&state) {
+            if step.action == bound.action {
+                let p = step.target.prob_where(|s| (bound.pred)(s));
+                worst = Some(match worst {
+                    None => p,
+                    Some(w) => w.min(p),
+                });
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FirstEnabled, FnAdversary, TableAutomaton};
+
+    /// Two processes P and Q, each flipping one fair coin. The state records
+    /// each process's outcome: `N` (not yet flipped), `H`, or `T`.
+    fn two_flippers() -> TableAutomaton<(char, char), &'static str> {
+        let mut b = TableAutomaton::builder().start(('N', 'N'));
+        // flipP enabled whenever P has not flipped; same for Q.
+        for q in ['N', 'H', 'T'] {
+            b = b
+                .step(('N', q), "flipP", [(('H', q), 0.5), (('T', q), 0.5)])
+                .unwrap();
+        }
+        for p in ['N', 'H', 'T'] {
+            b = b
+                .step((p, 'N'), "flipQ", [((p, 'H'), 0.5), ((p, 'T'), 0.5)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn bounds() -> Vec<ActionBound<(char, char), &'static str>> {
+        vec![
+            ActionBound::new("flipP", |s: &(char, char)| s.0 == 'H', Prob::HALF),
+            ActionBound::new("flipQ", |s: &(char, char)| s.1 == 'T', Prob::HALF),
+        ]
+    }
+
+    /// The colluding adversary of Example 4.1: schedule P's flip first, then
+    /// schedule Q's flip only if P yielded heads.
+    fn colluding_adversary() -> impl Adversary<TableAutomaton<(char, char), &'static str>> {
+        FnAdversary::new(
+            |m: &TableAutomaton<(char, char), &'static str>,
+             f: &Fragment<(char, char), &'static str>| {
+                let (p, q) = *f.lstate();
+                if p == 'N' {
+                    return m
+                        .steps(f.lstate())
+                        .into_iter()
+                        .find(|s| s.action == "flipP");
+                }
+                if p == 'H' && q == 'N' {
+                    return m
+                        .steps(f.lstate())
+                        .into_iter()
+                        .find(|s| s.action == "flipQ");
+                }
+                None
+            },
+        )
+    }
+
+    #[test]
+    fn side_condition_holds_on_two_flippers() {
+        let m = two_flippers();
+        for b in bounds() {
+            let worst = min_step_prob(&m, &b).unwrap();
+            assert!(worst.at_least(b.bound));
+        }
+    }
+
+    #[test]
+    fn first_intersection_exact_quarter_under_full_schedule() {
+        let m = two_flippers();
+        let check = check_first_intersection(
+            &m,
+            &FirstEnabled,
+            Fragment::initial(('N', 'N')),
+            6,
+            &bounds(),
+        )
+        .unwrap();
+        assert!(check.measured.is_exact());
+        assert!((check.measured.lo().value() - 0.25).abs() < 1e-12);
+        assert!(check.holds());
+    }
+
+    #[test]
+    fn colluding_adversary_cannot_break_first_bound() {
+        // Example 4.1: the informal event "P heads and Q tails" would have
+        // probability 1/2·1/2 = 1/4 under independence, and the colluding
+        // adversary pushes the *conditional* structure around — but the
+        // first(·) formulation still satisfies the product bound.
+        let m = two_flippers();
+        let check = check_first_intersection(
+            &m,
+            &colluding_adversary(),
+            Fragment::initial(('N', 'N')),
+            6,
+            &bounds(),
+        )
+        .unwrap();
+        assert!(check.holds(), "{check}");
+        // Exactly 1/4 here: P heads (1/2) then Q flips and yields tails (1/2).
+        assert!((check.measured.lo().value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colluding_adversary_shows_naive_dependence() {
+        // The naive event "if both flip, P heads and Q tails" — i.e. the
+        // *conditional* probability given that Q flips — is 1/2 under the
+        // colluding adversary, not 1/4. This reproduces the dependence
+        // phenomenon of Example 4.1.
+        let m = two_flippers();
+        let tree =
+            ExecTree::build(&m, &colluding_adversary(), Fragment::initial(('N', 'N')), 6).unwrap();
+        let q_flips = crate::Eventually::new(|s: &(char, char)| s.1 != 'N');
+        let target = crate::Eventually::new(|s: &(char, char)| s.0 == 'H' && s.1 == 'T');
+        let p_q_flips = q_flips.probability(&tree).lo().value();
+        let p_target = target.probability(&tree).lo().value();
+        assert!((p_q_flips - 0.5).abs() < 1e-12);
+        assert!((p_target / p_q_flips - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_bound_holds_under_both_adversaries() {
+        let m = two_flippers();
+        for tag in ["full", "colluding"] {
+            let check = match tag {
+                "full" => check_next_bound(
+                    &m,
+                    &FirstEnabled,
+                    Fragment::initial(('N', 'N')),
+                    6,
+                    &bounds(),
+                )
+                .unwrap(),
+                _ => check_next_bound(
+                    &m,
+                    &colluding_adversary(),
+                    Fragment::initial(('N', 'N')),
+                    6,
+                    &bounds(),
+                )
+                .unwrap(),
+            };
+            assert!(check.holds(), "{tag}: {check}");
+            assert_eq!(check.claimed, Prob::HALF);
+        }
+    }
+
+    #[test]
+    fn next_rejects_duplicate_actions() {
+        let always: Pred<(char, char)> = Arc::new(|_| true);
+        let never: Pred<(char, char)> = Arc::new(|_| false);
+        let r = Next::<(char, char), &str>::new([("flip", always), ("flip", never)]);
+        assert!(matches!(r, Err(CoreError::Structure(_))));
+    }
+
+    #[test]
+    fn first_counts_non_occurrence_as_in() {
+        // Under Halt nothing ever happens, so first(a, U) holds trivially.
+        let m = two_flippers();
+        let check = check_first_intersection(
+            &m,
+            &crate::Halt,
+            Fragment::initial(('N', 'N')),
+            6,
+            &bounds(),
+        )
+        .unwrap();
+        assert!(check.measured.is_exact());
+        assert_eq!(check.measured.lo(), Prob::ONE);
+    }
+
+    #[test]
+    fn min_step_prob_returns_none_for_unknown_action() {
+        let m = two_flippers();
+        let b = ActionBound::new("nosuch", |_: &(char, char)| true, Prob::HALF);
+        assert!(min_step_prob(&m, &b).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! The expected-time recurrence of Section 6.2.
+//!
+//! After proving the arrow chain, the paper derives a bound on the expected
+//! time to progress by setting up a random variable satisfying
+//!
+//! ```text
+//! V = 1/8 · 10 + 1/2 · (5 + V₁) + 3/8 · (10 + V₂)
+//! ```
+//!
+//! where `V₁, V₂` are distributed as `V`, and solving `E[V] = 60` by
+//! linearity. [`solve_expected_time`] solves the general form of such
+//! recurrences: a complete set of branches, each taken with probability
+//! `pᵢ`, costing time `tᵢ`, and either terminating or re-entering the same
+//! recurrence.
+
+use pa_prob::Prob;
+
+use crate::CoreError;
+
+/// One branch of an expected-time recurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// Probability of taking this branch.
+    pub prob: Prob,
+    /// Time spent on this branch.
+    pub time: f64,
+    /// Whether the branch re-enters the recurrence (failure/retry) rather
+    /// than terminating (success).
+    pub recurses: bool,
+}
+
+impl Branch {
+    /// A terminating branch: success after `time`, with probability `prob`.
+    pub fn done(prob: Prob, time: f64) -> Branch {
+        Branch {
+            prob,
+            time,
+            recurses: false,
+        }
+    }
+
+    /// A retry branch: after `time`, the process restarts.
+    pub fn retry(prob: Prob, time: f64) -> Branch {
+        Branch {
+            prob,
+            time,
+            recurses: true,
+        }
+    }
+}
+
+/// Solves `E[V] = Σᵢ pᵢ·tᵢ + (Σ_{recursing i} pᵢ) · E[V]`, i.e.
+/// `E[V] = (Σᵢ pᵢ·tᵢ) / (1 − q)` with `q` the total retry probability.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidRecurrence`] if the branch list is empty,
+/// the probabilities do not sum to one, any time is negative or non-finite,
+/// or every branch recurses (`q = 1`, so the expectation diverges).
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::{solve_expected_time, Branch};
+/// use pa_prob::Prob;
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// // The paper's Section 6.2 recurrence: E[V] = 60.
+/// let branches = [
+///     Branch::done(Prob::ratio(1, 8)?, 10.0),
+///     Branch::retry(Prob::ratio(1, 2)?, 5.0),
+///     Branch::retry(Prob::ratio(3, 8)?, 10.0),
+/// ];
+/// let expected = solve_expected_time(&branches)?;
+/// assert!((expected - 60.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_expected_time(branches: &[Branch]) -> Result<f64, CoreError> {
+    if branches.is_empty() {
+        return Err(CoreError::InvalidRecurrence("no branches".into()));
+    }
+    let mut total_p = 0.0;
+    let mut retry_p = 0.0;
+    let mut mean_time = 0.0;
+    for b in branches {
+        if !b.time.is_finite() || b.time < 0.0 {
+            return Err(CoreError::InvalidRecurrence(format!(
+                "branch time {} is invalid",
+                b.time
+            )));
+        }
+        total_p += b.prob.value();
+        mean_time += b.prob.value() * b.time;
+        if b.recurses {
+            retry_p += b.prob.value();
+        }
+    }
+    if (total_p - 1.0).abs() > 1e-9 {
+        return Err(CoreError::InvalidRecurrence(format!(
+            "branch probabilities sum to {total_p}, expected 1"
+        )));
+    }
+    if retry_p >= 1.0 - 1e-12 {
+        return Err(CoreError::InvalidRecurrence(
+            "every branch recurses: expectation diverges".into(),
+        ));
+    }
+    Ok(mean_time / (1.0 - retry_p))
+}
+
+/// Converts a single arrow-style progress guarantee into a worst-case
+/// expected-time bound by the standard geometric-trials argument: if from
+/// every relevant state, within time `t`, the target is reached with
+/// probability at least `p`, then the expected time to reach the target is
+/// at most `t / p`.
+///
+/// This is the coarse bound one would get *without* the branch-by-branch
+/// bookkeeping of Section 6.2 — the paper's recurrence (60, hence 63 total)
+/// beats the coarse bound `13 / (1/8) = 104`, which experiment E7 records.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidRecurrence`] if `p` is zero (no progress
+/// guarantee) or `t` is invalid.
+pub fn geometric_bound(time: f64, prob: Prob) -> Result<f64, CoreError> {
+    if !time.is_finite() || time < 0.0 {
+        return Err(CoreError::InvalidRecurrence(format!(
+            "time {time} is invalid"
+        )));
+    }
+    if prob.is_zero() {
+        return Err(CoreError::InvalidRecurrence(
+            "zero progress probability gives no expected-time bound".into(),
+        ));
+    }
+    Ok(time / prob.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_recurrence_solves_to_sixty() {
+        let branches = [
+            Branch::done(Prob::ratio(1, 8).unwrap(), 10.0),
+            Branch::retry(Prob::ratio(1, 2).unwrap(), 5.0),
+            Branch::retry(Prob::ratio(3, 8).unwrap(), 10.0),
+        ];
+        let e = solve_expected_time(&branches).unwrap();
+        assert!((e - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_total_bound_is_sixty_three() {
+        // T →(2) RT, expected RT→P at most 60, P →(1) C.
+        let e_rt_p = solve_expected_time(&[
+            Branch::done(Prob::ratio(1, 8).unwrap(), 10.0),
+            Branch::retry(Prob::ratio(1, 2).unwrap(), 5.0),
+            Branch::retry(Prob::ratio(3, 8).unwrap(), 10.0),
+        ])
+        .unwrap();
+        let total = 2.0 + e_rt_p + 1.0;
+        assert!((total - 63.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_terminating_branches_give_plain_expectation() {
+        let branches = [Branch::done(Prob::HALF, 4.0), Branch::done(Prob::HALF, 8.0)];
+        assert!((solve_expected_time(&branches).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_branches_rejected() {
+        assert!(matches!(
+            solve_expected_time(&[]),
+            Err(CoreError::InvalidRecurrence(_))
+        ));
+    }
+
+    #[test]
+    fn unnormalized_branches_rejected() {
+        let branches = [Branch::done(Prob::HALF, 1.0)];
+        assert!(solve_expected_time(&branches).is_err());
+    }
+
+    #[test]
+    fn diverging_recurrence_rejected() {
+        let branches = [Branch::retry(Prob::ONE, 1.0)];
+        assert!(solve_expected_time(&branches).is_err());
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let branches = [Branch::done(Prob::ONE, -1.0)];
+        assert!(solve_expected_time(&branches).is_err());
+    }
+
+    #[test]
+    fn geometric_bound_is_t_over_p() {
+        let b = geometric_bound(13.0, Prob::ratio(1, 8).unwrap()).unwrap();
+        assert!((b - 104.0).abs() < 1e-9);
+        assert!(geometric_bound(13.0, Prob::ZERO).is_err());
+        assert!(geometric_bound(f64::NAN, Prob::HALF).is_err());
+    }
+
+    #[test]
+    fn recurrence_beats_geometric_bound_for_the_paper() {
+        let recurrence = solve_expected_time(&[
+            Branch::done(Prob::ratio(1, 8).unwrap(), 10.0),
+            Branch::retry(Prob::ratio(1, 2).unwrap(), 5.0),
+            Branch::retry(Prob::ratio(3, 8).unwrap(), 10.0),
+        ])
+        .unwrap();
+        let coarse = geometric_bound(13.0, Prob::ratio(1, 8).unwrap()).unwrap();
+        assert!(recurrence < coarse);
+    }
+}

@@ -1,0 +1,298 @@
+//! Time in probabilistic automata: the *patient construction* of Section 2.
+//!
+//! The paper handles time by adding a time component to states, a
+//! non-visible time-passage action, and arbitrary time-passage steps from
+//! each state. [`Patient`] implements exactly that wrapper over any
+//! automaton, with time advancing in whole ticks (the Lehmann–Rabin
+//! analysis measures time in units of the "every ready process steps within
+//! time 1" assumption, so integer ticks lose no generality for the bounds
+//! proved here). [`ReachWithin`] is the event schema `e_{U',t}` of
+//! Definition 3.1.
+
+use pa_prob::FiniteDist;
+
+use crate::{Automaton, EventSchema, ExecTree, NodeId, NodeKind, Outcome, Step};
+
+/// States that carry a notion of elapsed time.
+pub trait Timed {
+    /// The time component of the state.
+    fn time(&self) -> f64;
+}
+
+/// A state of the patient construction: a base state plus elapsed ticks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimedState<S> {
+    /// The wrapped state of the base automaton.
+    pub base: S,
+    /// Whole time units elapsed since the start state (time 0).
+    pub ticks: u32,
+}
+
+impl<S> Timed for TimedState<S> {
+    fn time(&self) -> f64 {
+        f64::from(self.ticks)
+    }
+}
+
+/// An action of the patient construction: a base action or the non-visible
+/// time-passage action `ν`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimedAction<A> {
+    /// An action of the base automaton (time unchanged).
+    Base(A),
+    /// One unit of time passes (state otherwise unchanged).
+    Tick,
+}
+
+/// The patient construction: wraps a base automaton, adding a time
+/// component (starting at 0) and a unit time-passage step from every state.
+///
+/// # Examples
+///
+/// ```
+/// use pa_core::{Automaton, Patient, TableAutomaton, TimedState};
+///
+/// # fn main() -> Result<(), pa_core::CoreError> {
+/// let base = TableAutomaton::builder()
+///     .start("idle")
+///     .det_step("idle", "go", "done")
+///     .build()?;
+/// let timed = Patient::new(base);
+/// let start = &timed.start_states()[0];
+/// assert_eq!(start.ticks, 0);
+/// // Every state enables the base steps plus a tick step.
+/// assert_eq!(timed.steps(start).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Patient<M> {
+    base: M,
+}
+
+impl<M> Patient<M> {
+    /// Wraps the base automaton.
+    pub fn new(base: M) -> Patient<M> {
+        Patient { base }
+    }
+
+    /// Returns the wrapped automaton.
+    pub fn into_inner(self) -> M {
+        self.base
+    }
+
+    /// Gives access to the wrapped automaton.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+}
+
+impl<M: Automaton> Automaton for Patient<M> {
+    type State = TimedState<M::State>;
+    type Action = TimedAction<M::Action>;
+
+    fn start_states(&self) -> Vec<TimedState<M::State>> {
+        self.base
+            .start_states()
+            .into_iter()
+            .map(|base| TimedState { base, ticks: 0 })
+            .collect()
+    }
+
+    fn steps(&self, state: &TimedState<M::State>) -> Vec<Step<Self::State, Self::Action>> {
+        let mut out: Vec<Step<Self::State, Self::Action>> = self
+            .base
+            .steps(&state.base)
+            .into_iter()
+            .map(|step| Step {
+                action: TimedAction::Base(step.action),
+                target: step.target.map(|s| TimedState {
+                    base: s.clone(),
+                    ticks: state.ticks,
+                }),
+            })
+            .collect();
+        out.push(Step {
+            action: TimedAction::Tick,
+            target: FiniteDist::point(TimedState {
+                base: state.base.clone(),
+                ticks: state.ticks.saturating_add(1),
+            }),
+        });
+        out
+    }
+
+    fn is_external(&self, action: &Self::Action) -> bool {
+        match action {
+            TimedAction::Base(a) => self.base.is_external(a),
+            TimedAction::Tick => false,
+        }
+    }
+}
+
+/// The event schema `e_{U',t}` of Definition 3.1: the set of maximal
+/// executions where a state of `U'` is reached at a time at most
+/// `deadline` past the time of the execution automaton's start state.
+pub struct ReachWithin<S> {
+    pred: Box<dyn Fn(&S) -> bool + Send + Sync>,
+    deadline: f64,
+}
+
+impl<S> ReachWithin<S> {
+    /// Creates `e_{U', deadline}` where `U' = {s | pred(s)}`. The deadline
+    /// is relative to the time of the tree's root state.
+    pub fn new(pred: impl Fn(&S) -> bool + Send + Sync + 'static, deadline: f64) -> ReachWithin<S> {
+        ReachWithin {
+            pred: Box::new(pred),
+            deadline,
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for ReachWithin<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReachWithin(t ≤ {})", self.deadline)
+    }
+}
+
+impl<S, A> EventSchema<S, A> for ReachWithin<S>
+where
+    S: Timed + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + PartialEq + std::fmt::Debug,
+{
+    fn classify(&self, tree: &ExecTree<S, A>, leaf: NodeId) -> Outcome {
+        let t0 = tree.state(tree.root()).time();
+        // Walk root→leaf checking states in order.
+        let mut path = vec![leaf];
+        let mut cur = leaf;
+        while let Some(p) = tree.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        for &id in path.iter().rev() {
+            let s = tree.state(id);
+            if s.time() - t0 > self.deadline + 1e-9 {
+                return Outcome::Out; // deadline expired before a hit
+            }
+            if (self.pred)(s) {
+                return Outcome::In;
+            }
+        }
+        match tree.kind(leaf) {
+            // The execution ends without a hit; it can never reach U'.
+            NodeKind::Terminal => Outcome::Out,
+            _ => Outcome::Undecided,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnAdversary, Fragment, TableAutomaton};
+
+    type M = Patient<TableAutomaton<&'static str, &'static str>>;
+
+    fn timed_machine() -> M {
+        Patient::new(
+            TableAutomaton::builder()
+                .start("idle")
+                .step("idle", "try", [("won", 0.5), ("idle", 0.5)])
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// Adversary alternating base step and tick: one try per time unit.
+    fn one_try_per_tick() -> impl crate::Adversary<M> {
+        FnAdversary::new(
+            |m: &M, f: &Fragment<TimedState<&'static str>, TimedAction<&'static str>>| {
+                let want_tick = f
+                    .actions()
+                    .last()
+                    .map(|a| matches!(a, TimedAction::Base(_)))
+                    .unwrap_or(false);
+                m.steps(f.lstate()).into_iter().find(|s| {
+                    if want_tick {
+                        s.action == TimedAction::Tick
+                    } else {
+                        matches!(s.action, TimedAction::Base(_))
+                    }
+                })
+            },
+        )
+    }
+
+    #[test]
+    fn patient_adds_tick_steps_everywhere() {
+        let m = timed_machine();
+        for s in m.start_states() {
+            let steps = m.steps(&s);
+            assert!(steps.iter().any(|st| st.action == TimedAction::Tick));
+        }
+    }
+
+    #[test]
+    fn ticks_accumulate_time() {
+        let m = timed_machine();
+        let s0 = m.start_states().remove(0);
+        let tick = m
+            .steps(&s0)
+            .into_iter()
+            .find(|s| s.action == TimedAction::Tick)
+            .unwrap();
+        let s1 = tick.target.support().next().unwrap().clone();
+        assert_eq!(s1.ticks, 1);
+        assert_eq!(s1.time(), 1.0);
+        assert_eq!(s1.base, "idle");
+    }
+
+    #[test]
+    fn reach_within_brackets_by_deadline() {
+        let m = timed_machine();
+        let adv = one_try_per_tick();
+        let start = Fragment::initial(TimedState {
+            base: "idle",
+            ticks: 0,
+        });
+        let tree = ExecTree::build(&m, &adv, start, 20).unwrap();
+        // P[win within time t] = 1 - (1/2)^(t+1): the first try happens at
+        // time 0, then one more per tick.
+        let within = |t: f64| {
+            ReachWithin::new(|s: &TimedState<&'static str>| s.base == "won", t).probability(&tree)
+        };
+        let p0 = within(0.0);
+        assert!((p0.lo().value() - 0.5).abs() < 1e-12);
+        let p2 = within(2.0);
+        assert!((p2.lo().value() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reach_within_counts_root_state() {
+        let m = timed_machine();
+        let adv = one_try_per_tick();
+        let start = Fragment::initial(TimedState {
+            base: "idle",
+            ticks: 0,
+        });
+        let tree = ExecTree::build(&m, &adv, start, 4).unwrap();
+        let always = ReachWithin::new(|_: &TimedState<&'static str>| true, 0.0);
+        assert_eq!(always.probability(&tree).lo().value(), 1.0);
+    }
+
+    #[test]
+    fn deadline_is_relative_to_root_time() {
+        let m = timed_machine();
+        let adv = one_try_per_tick();
+        // Start the tree at time 5: the deadline window shifts with it.
+        let start = Fragment::initial(TimedState {
+            base: "idle",
+            ticks: 5,
+        });
+        let tree = ExecTree::build(&m, &adv, start, 20).unwrap();
+        let p = ReachWithin::new(|s: &TimedState<&'static str>| s.base == "won", 2.0)
+            .probability(&tree);
+        assert!((p.lo().value() - 0.875).abs() < 1e-12);
+    }
+}

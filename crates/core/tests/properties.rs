@@ -1,0 +1,178 @@
+//! Property-based tests for the probabilistic-automaton framework.
+
+use pa_core::{
+    Arrow, Automaton, Complement, Derivation, EventSchema, Eventually, ExecTree, FirstEnabled,
+    Fragment, SetExpr, TableAutomaton,
+};
+use pa_prob::Prob;
+use proptest::prelude::*;
+
+/// Strategy: a random fragment over small integers.
+fn fragment() -> impl Strategy<Value = Fragment<u8, char>> {
+    (
+        any::<u8>(),
+        prop::collection::vec((any::<char>(), any::<u8>()), 0..12),
+    )
+        .prop_map(|(first, steps)| {
+            let mut f = Fragment::initial(first);
+            for (a, s) in steps {
+                f.push(a, s);
+            }
+            f
+        })
+}
+
+/// Strategy: a random chain-with-coins automaton over states `0..=k`.
+/// From each state `< k`, one fair-coin step to two successors.
+fn coin_automaton() -> impl Strategy<Value = TableAutomaton<u8, u8>> {
+    (2u8..7, any::<u64>()).prop_map(|(k, seed)| {
+        let mut builder = TableAutomaton::builder().start(0u8);
+        let mut x = seed;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        };
+        for s in 0..k {
+            let a = s + 1 + next() % (k - s).max(1);
+            let b = s + 1 + next() % (k - s).max(1);
+            let (a, b) = (a.min(k), b.min(k));
+            builder = builder.step(s, s, [(a, 0.5), (b, 0.5)]).expect("fair coin");
+        }
+        builder.build().expect("has start")
+    })
+}
+
+proptest! {
+    #[test]
+    fn prefix_concat_roundtrip(f in fragment(), cut in 0usize..13) {
+        let cut = cut.min(f.len());
+        let prefix = f.prefix(cut);
+        let suffix = f.suffix_from(cut);
+        prop_assert_eq!(prefix.concat(&suffix).unwrap(), f);
+    }
+
+    #[test]
+    fn prefix_order_is_transitive(f in fragment(), a in 0usize..13, b in 0usize..13) {
+        let (a, b) = (a.min(f.len()), b.min(f.len()));
+        let (a, b) = (a.min(b), a.max(b));
+        let fa = f.prefix(a);
+        let fb = f.prefix(b);
+        prop_assert!(fa.is_prefix_of(&fb));
+        prop_assert!(fb.is_prefix_of(&f));
+        prop_assert!(fa.is_prefix_of(&f));
+    }
+
+    #[test]
+    fn concat_lengths_add(f in fragment(), g in fragment()) {
+        let mut g2 = Fragment::initial(*f.lstate());
+        for (a, s) in g.transitions() {
+            g2.push(*a, *s);
+        }
+        let joined = f.concat(&g2).unwrap();
+        prop_assert_eq!(joined.len(), f.len() + g2.len());
+        prop_assert_eq!(joined.lstate(), g2.lstate());
+    }
+
+    #[test]
+    fn set_union_is_commutative_associative_idempotent(
+        a in "[A-E]", b in "[A-E]", c in "[A-E]",
+    ) {
+        let sa = SetExpr::named(a.clone());
+        let sb = SetExpr::named(b);
+        let sc = SetExpr::named(c);
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.union(&sb).union(&sc), sa.union(&sb.union(&sc)));
+        prop_assert_eq!(sa.union(&sa), sa.clone());
+    }
+
+    #[test]
+    fn arrow_composition_accumulates(
+        t1 in 0.0f64..50.0, t2 in 0.0f64..50.0,
+        p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0,
+    ) {
+        let a = Arrow::new(SetExpr::named("U"), SetExpr::named("V"), t1, Prob::new(p1).unwrap()).unwrap();
+        let b = Arrow::new(SetExpr::named("V"), SetExpr::named("W"), t2, Prob::new(p2).unwrap()).unwrap();
+        let c = a.then(&b).unwrap();
+        prop_assert!((c.time() - (t1 + t2)).abs() < 1e-9);
+        prop_assert!((c.prob().value() - p1 * p2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weaken_preserves_time_and_prob(
+        t in 0.0f64..50.0, p in 0.0f64..=1.0, extra in "[A-E]",
+    ) {
+        let a = Arrow::new(SetExpr::named("U"), SetExpr::named("V"), t, Prob::new(p).unwrap()).unwrap();
+        let w = a.weaken(&SetExpr::named(extra.clone()));
+        prop_assert_eq!(w.time(), a.time());
+        prop_assert_eq!(w.prob(), a.prob());
+        prop_assert!(a.from().is_subset_of(w.from()));
+        prop_assert!(SetExpr::named(extra).is_subset_of(w.to()));
+    }
+
+    #[test]
+    fn derivation_chain_matches_manual_fold(
+        times in prop::collection::vec(0.0f64..10.0, 1..6),
+        probs in prop::collection::vec(0.25f64..=1.0, 1..6),
+    ) {
+        let k = times.len().min(probs.len());
+        let name = |i: usize| format!("S{i}");
+        let mut derivation: Option<Derivation> = None;
+        let mut total_t = 0.0;
+        let mut total_p = 1.0;
+        for i in 0..k {
+            let arrow = Arrow::new(
+                SetExpr::named(name(i)),
+                SetExpr::named(name(i + 1)),
+                times[i],
+                Prob::new(probs[i]).unwrap(),
+            ).unwrap();
+            total_t += times[i];
+            total_p *= probs[i];
+            let ax = Derivation::axiom(arrow, format!("step {i}"));
+            derivation = Some(match derivation {
+                None => ax,
+                Some(d) => d.compose(ax),
+            });
+        }
+        let conclusion = derivation.unwrap().conclusion().unwrap();
+        prop_assert!((conclusion.time() - total_t).abs() < 1e-9);
+        prop_assert!((conclusion.prob().value() - total_p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_tree_mass_is_one_at_any_depth(m in coin_automaton(), depth in 0usize..8) {
+        let start = Fragment::initial(m.start_states()[0]);
+        let tree = ExecTree::build(&m, &FirstEnabled, start, depth).unwrap();
+        let mass: f64 = tree.leaves().map(|l| tree.cone_prob(l).value()).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eventually_brackets_tighten_with_depth(m in coin_automaton(), target in 0u8..7) {
+        let start = Fragment::initial(m.start_states()[0]);
+        let mut last_lo = 0.0f64;
+        let mut last_hi = 1.0f64;
+        for depth in 0..8 {
+            let tree = ExecTree::build(&m, &FirstEnabled, start.clone(), depth).unwrap();
+            let p = Eventually::new(move |s: &u8| *s == target).probability(&tree);
+            prop_assert!(p.lo().value() + 1e-12 >= last_lo, "lower bound must not regress");
+            prop_assert!(p.hi().value() <= last_hi + 1e-12, "upper bound must not regress");
+            last_lo = p.lo().value();
+            last_hi = p.hi().value();
+        }
+    }
+
+    #[test]
+    fn complement_brackets_mirror(m in coin_automaton(), target in 0u8..7, depth in 0usize..7) {
+        let start = Fragment::initial(m.start_states()[0]);
+        let tree = ExecTree::build(&m, &FirstEnabled, start, depth).unwrap();
+        let e = Eventually::new(move |s: &u8| *s == target);
+        let pe = e.probability(&tree);
+        let c = Complement::new(Box::new(Eventually::new(move |s: &u8| *s == target)));
+        let pc = c.probability(&tree);
+        prop_assert!((pe.lo().value() + pc.hi().value() - 1.0).abs() < 1e-9);
+        prop_assert!((pe.hi().value() + pc.lo().value() - 1.0).abs() < 1e-9);
+    }
+}

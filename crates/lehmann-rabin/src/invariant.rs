@@ -1,0 +1,95 @@
+//! Lemma 6.1: on every reachable configuration, the shared resource
+//! variables are determined by the local process states, and no resource is
+//! held by two processes at once.
+
+use pa_mdp::{check_invariant, InvariantResult, MdpError};
+
+use crate::{Config, LrProtocol, UserModel};
+
+/// The per-configuration statement of Lemma 6.1: for every resource `i`,
+/// the stored value of `Res_i` equals the value derived from the local
+/// states, and at most one process holds `Res_i`.
+pub fn lemma_6_1_invariant(c: &Config) -> bool {
+    (0..c.n()).all(|i| c.res_taken(i) == c.derived_res_taken(i) && c.resource_exclusive(i))
+}
+
+/// Mutual exclusion of the critical section: no two *adjacent* processes
+/// are simultaneously in `{P, C, E_F}` (each would hold the resource
+/// between them). A corollary of Lemma 6.1 checked separately because it is
+/// the property users of the algorithm care about.
+pub fn adjacent_exclusion(c: &Config) -> bool {
+    let n = c.n();
+    (0..n).all(|i| !(c.proc(i).pc.holds_both() && c.proc((i + 1) % n).pc.holds_both()))
+}
+
+/// Exhaustively verifies Lemma 6.1 (and the adjacent-exclusion corollary)
+/// over the full reachable space of the `n`-ring under the complete user
+/// model (try and exit both enabled — the largest reachable space).
+///
+/// # Errors
+///
+/// Returns [`MdpError::StateLimitExceeded`] if the space exceeds `limit`,
+/// or [`crate::LrError::BadRingSize`] wrapped in the result for invalid
+/// `n` (propagated as a panic-free construction error).
+pub fn verify_lemma_6_1(n: usize, limit: usize) -> Result<InvariantResult<Config>, crate::LrError> {
+    let protocol = LrProtocol::new(n, UserModel::full())?;
+    let result = check_invariant(
+        &protocol,
+        |c| lemma_6_1_invariant(c) && adjacent_exclusion(c),
+        limit,
+    )
+    .map_err(|e: MdpError| crate::LrError::Mdp(e))?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pc, ProcState, Side};
+
+    #[test]
+    fn initial_configuration_satisfies_invariant() {
+        let c = Config::initial(3).unwrap();
+        assert!(lemma_6_1_invariant(&c));
+        assert!(adjacent_exclusion(&c));
+    }
+
+    #[test]
+    fn inconsistent_resource_bit_violates_invariant() {
+        // Resource marked taken with no holder.
+        let c = Config::initial(3).unwrap().with_res(0, true);
+        assert!(!lemma_6_1_invariant(&c));
+    }
+
+    #[test]
+    fn consistent_holder_satisfies_invariant() {
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(0, ProcState::new(Pc::S, Side::Right))
+            .with_res(0, true);
+        assert!(lemma_6_1_invariant(&c));
+    }
+
+    #[test]
+    fn adjacent_exclusion_flags_neighbouring_criticals() {
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(0, ProcState::new(Pc::C, Side::Left))
+            .with_proc(1, ProcState::new(Pc::C, Side::Left));
+        assert!(!adjacent_exclusion(&c));
+        // Non-adjacent criticals are fine on a ring of 4.
+        let c4 = Config::initial(4)
+            .unwrap()
+            .with_proc(0, ProcState::new(Pc::C, Side::Left))
+            .with_proc(2, ProcState::new(Pc::C, Side::Left));
+        assert!(adjacent_exclusion(&c4));
+    }
+
+    #[test]
+    fn lemma_6_1_holds_exhaustively_for_small_rings() {
+        for n in [2, 3] {
+            let r = verify_lemma_6_1(n, 2_000_000).unwrap();
+            assert!(r.holds(), "Lemma 6.1 failed for n = {n}: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The Lehmann–Rabin randomized Dining Philosophers algorithm — the case
+//! study of Sections 5–6 and the appendix of Lynch–Saias–Segala
+//! (PODC 1994).
+//!
+//! The crate provides, layer by layer:
+//!
+//! * [`Pc`], [`Side`], [`ProcState`], [`Config`] — the state space of
+//!   Section 6.1 (with dead `uᵢ` values canonicalized).
+//! * [`LrProtocol`] — Figure 1's transition semantics as a probabilistic
+//!   automaton under free interleaving.
+//! * [`regions`] — the classifiers `T`, `C`, `RT`, `F`, `G`, `P` and the
+//!   *good process* notion.
+//! * [`lemma_6_1_invariant`] / [`verify_lemma_6_1`] — the resource
+//!   invariant, checked exhaustively.
+//! * [`RoundMdp`] — the round-based realization of the `Unit-Time`
+//!   adversary schema, analysable with `pa-mdp`.
+//! * [`paper`] — the five arrow axioms, the composed `T —13→_{1/8} C`
+//!   derivation, and the 60/63 expected-time bounds.
+//! * [`check_arrow`] / [`max_expected_time`] — exact verification of those
+//!   claims against *all* round adversaries.
+//! * [`sims`] — concrete schedulers (round-robin, random, adaptive
+//!   anti-progress) plugged into the `pa-sim` Monte-Carlo runner.
+//! * [`lemmas`] — the appendix lemmas A.4–A.10 verified on conditioned
+//!   (forced-first-flip) models, plus the Section 7 future-work lower
+//!   bound on progress time.
+//! * [`worst_case_witness`] — replay of the extracted optimal adversary
+//!   as a concrete, inspectable schedule.
+//! * [`concurrent`] — a real multi-threaded implementation with
+//!   `parking_lot` try-locks and timestamped [`events`] logs, matching
+//!   Figure 1's atomic semantics.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pa_lehmann_rabin::{check_arrow, paper, RoundConfig, RoundMdp};
+//!
+//! # fn main() -> Result<(), pa_lehmann_rabin::LrError> {
+//! let mdp = RoundMdp::new(RoundConfig::new(3)?);
+//! let report = check_arrow(&mdp, &paper::arrow_g_to_p())?;
+//! assert!(report.holds());
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrows;
+pub mod concurrent;
+mod error;
+pub mod events;
+mod invariant;
+pub mod lemmas;
+mod pc;
+mod protocol;
+pub mod regions;
+mod round;
+pub mod sims;
+mod state;
+mod witness;
+
+pub use arrows::{
+    check_arrow, check_arrow_with_limit, max_expected_time, min_expected_time, paper,
+    reachable_configs, region_pred, set_pred, DEFAULT_STATE_LIMIT,
+};
+pub use error::LrError;
+pub use invariant::{adjacent_exclusion, lemma_6_1_invariant, verify_lemma_6_1};
+pub use pc::{Pc, ProcState, Side};
+pub use protocol::{LrAction, LrProtocol, UserModel};
+pub use round::{round_cost, time_to_budget, RoundAction, RoundConfig, RoundMdp, RoundState};
+pub use state::Config;
+pub use witness::{worst_case_witness, Witness, WitnessStep};

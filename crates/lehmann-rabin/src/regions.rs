@@ -1,0 +1,206 @@
+//! The state-set classifiers of Section 6.2: `T`, `C`, `RT`, `F`, `G`, `P`
+//! and the *good process* notion behind `G`.
+
+use crate::{Config, Pc, Side};
+
+/// `T`: some process is in its trying region
+/// (`∃i Xᵢ ∈ {F, W, S, D, P}`).
+pub fn in_t(c: &Config) -> bool {
+    c.procs().iter().any(|p| p.pc.in_trying())
+}
+
+/// `C`: some process is in its critical region.
+pub fn in_c(c: &Config) -> bool {
+    c.procs().iter().any(|p| p.pc == Pc::C)
+}
+
+/// `P`: some process is in its pre-critical region.
+pub fn in_p(c: &Config) -> bool {
+    c.procs().iter().any(|p| p.pc == Pc::P)
+}
+
+/// `RT`: some process is trying and *every* process is in
+/// `{E_R, R} ∪ T` — no process is critical or holds resources while
+/// exiting.
+pub fn in_rt(c: &Config) -> bool {
+    in_t(c)
+        && c.procs()
+            .iter()
+            .all(|p| matches!(p.pc, Pc::Er | Pc::R) || p.pc.in_trying())
+}
+
+/// `F`: a state of `RT` where some process is ready to flip.
+pub fn in_f(c: &Config) -> bool {
+    in_rt(c) && c.procs().iter().any(|p| p.pc == Pc::F)
+}
+
+/// Whether process `i` is *committed*: `Xᵢ ∈ {W, S}`.
+pub fn is_committed(c: &Config, i: usize) -> bool {
+    matches!(c.proc(i).pc, Pc::W | Pc::S)
+}
+
+/// Whether process `i` *potentially controls* its resource on `side`:
+/// it is pursuing or holding its first resource there
+/// (`Xᵢ ∈ {W, S, D}` pointing that way).
+pub fn potentially_controls(c: &Config, i: usize, side: Side) -> bool {
+    let p = c.proc(i);
+    matches!(p.pc, Pc::W | Pc::S | Pc::D) && p.side == side
+}
+
+/// Whether process `i` is a *good process*: committed, with its second
+/// resource not potentially controlled by the neighbour on that side.
+///
+/// Formally (the paper's `G` definition): `Xᵢ ∈ {W←, S←}` and
+/// `Xᵢ₊₁ ∈ {E_R, R, F, W→, S→, D→}`, or the symmetric right-pointing case
+/// with neighbour `i−1`.
+pub fn is_good(c: &Config, i: usize) -> bool {
+    let n = c.n();
+    let p = c.proc(i);
+    if !matches!(p.pc, Pc::W | Pc::S) {
+        return false;
+    }
+    match p.side {
+        Side::Left => {
+            let r = c.proc((i + 1) % n);
+            matches!(r.pc, Pc::Er | Pc::R | Pc::F)
+                || (matches!(r.pc, Pc::W | Pc::S | Pc::D) && r.side == Side::Right)
+        }
+        Side::Right => {
+            let l = c.proc((i + n - 1) % n);
+            matches!(l.pc, Pc::Er | Pc::R | Pc::F)
+                || (matches!(l.pc, Pc::W | Pc::S | Pc::D) && l.side == Side::Left)
+        }
+    }
+}
+
+/// `G`: a state of `RT` containing a good process.
+pub fn in_g(c: &Config) -> bool {
+    in_rt(c) && (0..c.n()).any(|i| is_good(c, i))
+}
+
+/// The good processes of a configuration.
+pub fn good_processes(c: &Config) -> Vec<usize> {
+    (0..c.n()).filter(|&i| is_good(c, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcState;
+
+    fn cfg(pcs: &[(Pc, Side)]) -> Config {
+        Config::from_parts(
+            pcs.iter().map(|&(pc, s)| ProcState::new(pc, s)).collect(),
+            [],
+        )
+        .unwrap()
+    }
+
+    const L: Side = Side::Left;
+    const R: Side = Side::Right;
+
+    #[test]
+    fn initial_state_is_in_no_region() {
+        let c = Config::initial(3).unwrap();
+        assert!(!in_t(&c));
+        assert!(!in_c(&c));
+        assert!(!in_rt(&c));
+        assert!(!in_f(&c));
+        assert!(!in_g(&c));
+        assert!(!in_p(&c));
+    }
+
+    #[test]
+    fn t_requires_a_trying_process() {
+        let c = cfg(&[(Pc::F, L), (Pc::R, L), (Pc::R, L)]);
+        assert!(in_t(&c));
+        assert!(in_rt(&c));
+        assert!(in_f(&c));
+    }
+
+    #[test]
+    fn rt_excludes_critical_and_resource_holding_exits() {
+        let critical = cfg(&[(Pc::W, L), (Pc::C, L), (Pc::R, L)]);
+        assert!(in_t(&critical));
+        assert!(!in_rt(&critical));
+        let exiting = cfg(&[(Pc::W, L), (Pc::Ef, L), (Pc::R, L)]);
+        assert!(!in_rt(&exiting));
+        let exit_done = cfg(&[(Pc::W, L), (Pc::Er, L), (Pc::R, L)]);
+        assert!(in_rt(&exit_done));
+    }
+
+    #[test]
+    fn p_region_ignores_other_processes() {
+        let c = cfg(&[(Pc::P, L), (Pc::C, L), (Pc::R, L)]);
+        assert!(in_p(&c));
+        assert!(in_c(&c));
+    }
+
+    #[test]
+    fn committed_and_potential_control() {
+        let c = cfg(&[(Pc::W, R), (Pc::S, L), (Pc::D, R)]);
+        assert!(is_committed(&c, 0));
+        assert!(is_committed(&c, 1));
+        assert!(!is_committed(&c, 2), "D is not committed");
+        assert!(potentially_controls(&c, 0, R));
+        assert!(!potentially_controls(&c, 0, L));
+        assert!(potentially_controls(&c, 2, R));
+    }
+
+    #[test]
+    fn good_process_left_pointing_with_benign_right_neighbour() {
+        // X₀ = W←, X₁ = F: process 0 is good (its second resource Res_0 is
+        // not potentially controlled by process 1).
+        let c = cfg(&[(Pc::W, L), (Pc::F, L), (Pc::R, L)]);
+        assert!(is_good(&c, 0));
+        assert!(in_g(&c));
+        assert_eq!(good_processes(&c), vec![0]);
+    }
+
+    #[test]
+    fn good_process_fails_when_neighbour_contends() {
+        // X₀ = W←, X₁ = W←: process 1 potentially controls Res_0 (its own
+        // left resource = process 0's right... careful: process 0 points
+        // left, so its second resource is its *right* one, Res_0, which
+        // process 1 potentially controls when pointing left).
+        let c = cfg(&[(Pc::W, L), (Pc::W, L), (Pc::R, L)]);
+        assert!(!is_good(&c, 0));
+        // Process 1 points left; its second resource is Res_1; process 2 is
+        // in R, so process 1 IS good.
+        assert!(is_good(&c, 1));
+        assert!(in_g(&c));
+    }
+
+    #[test]
+    fn good_process_right_pointing_symmetric_case() {
+        // X₁ = S→, X₀ = D←: neighbour to the left points away — good.
+        let c = cfg(&[(Pc::D, L), (Pc::S, R), (Pc::R, L)]);
+        assert!(is_good(&c, 1));
+        // Flip neighbour to point right: now it contends for Res_0 which is
+        // process 1's second resource — not good.
+        let c2 = cfg(&[(Pc::D, R), (Pc::S, R), (Pc::R, L)]);
+        assert!(!is_good(&c2, 1));
+        assert!(!in_g(&c2));
+    }
+
+    #[test]
+    fn g_requires_rt() {
+        // A good-shaped pair next to a critical process is not in G.
+        let c = cfg(&[(Pc::W, L), (Pc::F, L), (Pc::C, L)]);
+        assert!(is_good(&c, 0));
+        assert!(!in_g(&c));
+    }
+
+    #[test]
+    fn all_waiting_same_direction_has_no_good_process() {
+        // The fully symmetric contention pattern: everyone W←. Every
+        // process's second resource is potentially controlled by its right
+        // neighbour (also pointing left)? No: pointing left means
+        // controlling one's LEFT resource. Process i's second resource is
+        // its right one, Res_i, potentially controlled by process i+1 iff
+        // i+1 points left — which it does. So nobody is good.
+        let c = cfg(&[(Pc::W, L), (Pc::W, L), (Pc::W, L)]);
+        assert!(!in_g(&c));
+        assert!(good_processes(&c).is_empty());
+    }
+}

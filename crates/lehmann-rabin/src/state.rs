@@ -1,0 +1,280 @@
+use std::fmt;
+
+#[cfg(test)]
+use crate::Pc;
+use crate::{LrError, ProcState, Side};
+
+/// A global configuration of the `n`-philosopher system: the local state of
+/// every process plus the value of every shared resource variable.
+///
+/// Indexing follows Section 6.1 of the paper: process `i+1` sits to the
+/// right of process `i`, resource `Res_i` sits between processes `i` and
+/// `i+1`, and indices are taken modulo `n`. Consequently process `i`'s
+/// *left* resource is `Res_{i-1}` and its *right* resource is `Res_i`.
+///
+/// Resources are stored explicitly (as the paper's shared variables) in a
+/// bitmask; Lemma 6.1 says the resource values are determined by the local
+/// states on every *reachable* configuration, and
+/// [`crate::lemma_6_1_invariant`] verifies exactly that.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config {
+    procs: Vec<ProcState>,
+    /// Bit `i` set ⇔ `Res_i = taken`.
+    res: u32,
+}
+
+impl Config {
+    /// The start configuration: every process idle in `R`, every resource
+    /// free. (The paper allows arbitrary initial `uᵢ`; `uᵢ` is dead in `R`
+    /// and canonicalized, so this single configuration represents them
+    /// all.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LrError::BadRingSize`] unless `2 ≤ n ≤ 16`.
+    pub fn initial(n: usize) -> Result<Config, LrError> {
+        if !(2..=16).contains(&n) {
+            return Err(LrError::BadRingSize { n });
+        }
+        Ok(Config {
+            procs: vec![ProcState::idle(); n],
+            res: 0,
+        })
+    }
+
+    /// Builds a configuration from explicit local states and resource bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LrError::BadRingSize`] for an unsupported ring size.
+    pub fn from_parts(
+        procs: Vec<ProcState>,
+        taken: impl IntoIterator<Item = usize>,
+    ) -> Result<Config, LrError> {
+        let n = procs.len();
+        if !(2..=16).contains(&n) {
+            return Err(LrError::BadRingSize { n });
+        }
+        let procs = procs
+            .into_iter()
+            .map(|p| ProcState::new(p.pc, p.side))
+            .collect();
+        let mut res = 0u32;
+        for i in taken {
+            res |= 1 << (i % n);
+        }
+        Ok(Config { procs, res })
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The local state of process `i` (mod `n`).
+    pub fn proc(&self, i: usize) -> ProcState {
+        self.procs[i % self.n()]
+    }
+
+    /// All local states in ring order.
+    pub fn procs(&self) -> &[ProcState] {
+        &self.procs
+    }
+
+    /// Whether `Res_j` is taken.
+    pub fn res_taken(&self, j: usize) -> bool {
+        self.res & (1 << (j % self.n())) != 0
+    }
+
+    /// The index of process `i`'s resource on `side`:
+    /// `Res(i, left) = Res_{i-1}`, `Res(i, right) = Res_i`.
+    pub fn res_index(&self, i: usize, side: Side) -> usize {
+        let n = self.n();
+        match side {
+            Side::Left => (i + n - 1) % n,
+            Side::Right => i % n,
+        }
+    }
+
+    /// Returns a copy with process `i` replaced (side auto-canonicalized).
+    pub fn with_proc(&self, i: usize, p: ProcState) -> Config {
+        let mut c = self.clone();
+        c.procs[i % self.n()] = ProcState::new(p.pc, p.side);
+        c
+    }
+
+    /// Returns a copy with `Res_j` set to taken/free.
+    pub fn with_res(&self, j: usize, taken: bool) -> Config {
+        let mut c = self.clone();
+        let bit = 1 << (j % self.n());
+        if taken {
+            c.res |= bit;
+        } else {
+            c.res &= !bit;
+        }
+        c
+    }
+
+    /// Bitmask of processes that are *ready* (must step within one time
+    /// unit under the `Unit-Time` schema).
+    pub fn ready_mask(&self) -> u32 {
+        let mut m = 0u32;
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.pc.is_ready() {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// The resource value `Res_i` *derived* from local states by
+    /// Lemma 6.1: taken iff `Xᵢ ∈ {S→, D→, P, C, E_F, E_S→}` or
+    /// `Xᵢ₊₁ ∈ {S←, D←, P, C, E_F, E_S←}`.
+    pub fn derived_res_taken(&self, i: usize) -> bool {
+        let n = self.n();
+        let xi = self.procs[i % n];
+        let xi1 = self.procs[(i + 1) % n];
+        let right_holder = xi.pc.holds_both() || (xi.pc.holds_first() && xi.side == Side::Right);
+        let left_holder = xi1.pc.holds_both() || (xi1.pc.holds_first() && xi1.side == Side::Left);
+        right_holder || left_holder
+    }
+
+    /// The second half of Lemma 6.1: it is never the case that both
+    /// process `i` holds `Res_i` (from the left) and process `i+1` holds it
+    /// (from the right) — at most one process holds each resource.
+    pub fn resource_exclusive(&self, i: usize) -> bool {
+        let n = self.n();
+        let xi = self.procs[i % n];
+        let xi1 = self.procs[(i + 1) % n];
+        let right_holder = xi.pc.holds_both() || (xi.pc.holds_first() && xi.side == Side::Right);
+        let left_holder = xi1.pc.holds_both() || (xi1.pc.holds_first() && xi1.side == Side::Left);
+        !(right_holder && left_holder)
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(pc: Pc, side: Side) -> ProcState {
+        ProcState::new(pc, side)
+    }
+
+    #[test]
+    fn initial_is_all_idle_and_free() {
+        let c = Config::initial(3).unwrap();
+        assert_eq!(c.n(), 3);
+        for i in 0..3 {
+            assert_eq!(c.proc(i).pc, Pc::R);
+            assert!(!c.res_taken(i));
+        }
+        assert_eq!(c.ready_mask(), 0);
+    }
+
+    #[test]
+    fn ring_size_is_validated() {
+        assert!(matches!(
+            Config::initial(1),
+            Err(LrError::BadRingSize { n: 1 })
+        ));
+        assert!(matches!(
+            Config::initial(17),
+            Err(LrError::BadRingSize { .. })
+        ));
+        assert!(Config::initial(2).is_ok());
+        assert!(Config::initial(16).is_ok());
+    }
+
+    #[test]
+    fn resource_indexing_follows_the_ring() {
+        let c = Config::initial(4).unwrap();
+        assert_eq!(c.res_index(0, Side::Right), 0);
+        assert_eq!(c.res_index(0, Side::Left), 3);
+        assert_eq!(c.res_index(2, Side::Left), 1);
+        assert_eq!(c.res_index(3, Side::Right), 3);
+    }
+
+    #[test]
+    fn with_res_sets_and_clears_bits() {
+        let c = Config::initial(3).unwrap();
+        let c2 = c.with_res(1, true);
+        assert!(c2.res_taken(1));
+        assert!(!c2.res_taken(0));
+        let c3 = c2.with_res(1, false);
+        assert_eq!(c3, c);
+    }
+
+    #[test]
+    fn ready_mask_tracks_pcs() {
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(0, ps(Pc::W, Side::Left))
+            .with_proc(2, ps(Pc::C, Side::Left));
+        assert_eq!(c.ready_mask(), 0b001);
+    }
+
+    #[test]
+    fn derived_resource_matches_holders() {
+        // Process 0 in S→ holds Res_0; process 1 in W← holds nothing.
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(0, ps(Pc::S, Side::Right))
+            .with_proc(1, ps(Pc::W, Side::Left));
+        assert!(c.derived_res_taken(0));
+        assert!(!c.derived_res_taken(1));
+        assert!(!c.derived_res_taken(2));
+        assert!(c.resource_exclusive(0));
+    }
+
+    #[test]
+    fn exclusivity_detects_double_holding() {
+        // Both process 0 (S→, holds Res_0) and process 1 (S←, holds Res_0):
+        // impossible in reachable states, flagged by the exclusivity check.
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(0, ps(Pc::S, Side::Right))
+            .with_proc(1, ps(Pc::S, Side::Left));
+        assert!(!c.resource_exclusive(0));
+    }
+
+    #[test]
+    fn holds_both_states_take_both_adjacent_resources() {
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(1, ps(Pc::C, Side::Left));
+        // Process 1 holds Res_0 (left) and Res_1 (right).
+        assert!(c.derived_res_taken(0));
+        assert!(c.derived_res_taken(1));
+        assert!(!c.derived_res_taken(2));
+    }
+
+    #[test]
+    fn from_parts_canonicalizes_sides() {
+        let a =
+            Config::from_parts(vec![ps(Pc::F, Side::Right), ps(Pc::R, Side::Right)], []).unwrap();
+        let b = Config::from_parts(vec![ps(Pc::F, Side::Left), ps(Pc::R, Side::Left)], []).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = Config::initial(3)
+            .unwrap()
+            .with_proc(0, ps(Pc::W, Side::Left))
+            .with_proc(1, ps(Pc::S, Side::Right));
+        assert_eq!(c.to_string(), "⟨W← S→ R⟩");
+    }
+}

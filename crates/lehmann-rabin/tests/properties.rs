@@ -1,0 +1,147 @@
+//! Property-based tests for the Lehmann–Rabin protocol semantics.
+
+use pa_core::Automaton;
+use pa_lehmann_rabin::{
+    lemma_6_1_invariant, regions, Config, LrProtocol, Pc, ProcState, RoundConfig, RoundMdp, Side,
+    UserModel,
+};
+use pa_prob::rng::SplitMix64;
+use proptest::prelude::*;
+use rand::RngExt;
+
+fn side() -> impl Strategy<Value = Side> {
+    prop_oneof![Just(Side::Left), Just(Side::Right)]
+}
+
+fn pc() -> impl Strategy<Value = Pc> {
+    prop::sample::select(Pc::ALL.to_vec())
+}
+
+fn proc_state() -> impl Strategy<Value = ProcState> {
+    (pc(), side()).prop_map(|(pc, s)| ProcState::new(pc, s))
+}
+
+/// A random *reachable-looking* configuration: local states are arbitrary
+/// but resources are set to the Lemma 6.1-derived values, and exclusivity
+/// is enforced by assumption filtering.
+fn consistent_config() -> impl Strategy<Value = Config> {
+    (2usize..6, prop::collection::vec(proc_state(), 6))
+        .prop_map(|(n, procs)| {
+            let procs: Vec<ProcState> = procs.into_iter().take(n).collect();
+            let probe = Config::from_parts(procs.clone(), []).expect("valid size");
+            let taken: Vec<usize> = (0..n).filter(|&i| probe.derived_res_taken(i)).collect();
+            Config::from_parts(procs, taken).expect("valid size")
+        })
+        .prop_filter("exclusive resources", |c| {
+            (0..c.n()).all(|i| c.resource_exclusive(i))
+        })
+}
+
+proptest! {
+    #[test]
+    fn consistent_configs_satisfy_lemma_6_1(c in consistent_config()) {
+        prop_assert!(lemma_6_1_invariant(&c));
+    }
+
+    #[test]
+    fn transitions_preserve_lemma_6_1(c in consistent_config(), picks in prop::collection::vec((0usize..6, 0usize..2, any::<u64>()), 1..30)) {
+        let protocol = LrProtocol::new(c.n(), UserModel::full()).unwrap();
+        let mut config = c;
+        for (i, variant, seed) in picks {
+            let i = i % config.n();
+            let steps = protocol.steps_of_process(&config, i);
+            if steps.is_empty() {
+                continue;
+            }
+            let step = &steps[variant % steps.len()];
+            let mut rng = SplitMix64::new(seed);
+            config = step.target.sample(&mut rng).clone();
+            prop_assert!(lemma_6_1_invariant(&config), "after {:?} at {config}", step.action);
+        }
+    }
+
+    #[test]
+    fn region_containments_hold(c in consistent_config()) {
+        // G ⊆ RT ⊆ T and F ⊆ RT.
+        if regions::in_g(&c) {
+            prop_assert!(regions::in_rt(&c));
+        }
+        if regions::in_f(&c) {
+            prop_assert!(regions::in_rt(&c));
+        }
+        if regions::in_rt(&c) {
+            prop_assert!(regions::in_t(&c));
+            prop_assert!(!regions::in_c(&c), "RT excludes critical states");
+        }
+    }
+
+    #[test]
+    fn good_processes_are_committed(c in consistent_config()) {
+        for i in regions::good_processes(&c) {
+            prop_assert!(regions::is_committed(&c, i));
+        }
+    }
+
+    #[test]
+    fn ready_mask_matches_pc_readiness(c in consistent_config()) {
+        let mask = c.ready_mask();
+        for i in 0..c.n() {
+            prop_assert_eq!(mask & (1 << i) != 0, c.proc(i).pc.is_ready());
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent(c in consistent_config()) {
+        let again = Config::from_parts(
+            c.procs().to_vec(),
+            (0..c.n()).filter(|&i| c.res_taken(i)),
+        ).unwrap();
+        prop_assert_eq!(again, c);
+    }
+
+    #[test]
+    fn round_steps_discharge_obligations_monotonically(
+        c in consistent_config(),
+        picks in prop::collection::vec((0usize..16, any::<u64>()), 1..20),
+    ) {
+        let mdp = RoundMdp::new(RoundConfig::new(c.n()).unwrap());
+        let mut state = mdp.fresh(c);
+        for (pick, seed) in picks {
+            let steps = mdp.steps(&state);
+            prop_assert!(!steps.is_empty(), "round model never deadlocks");
+            let step = &steps[pick % steps.len()];
+            let before_obliged = state.obliged.count_ones();
+            let mut rng = SplitMix64::new(seed);
+            let next = step.target.sample(&mut rng).clone();
+            match step.action {
+                pa_lehmann_rabin::RoundAction::Schedule(a) => {
+                    let i = a.process();
+                    prop_assert!(next.budget_of(i) < state.budget_of(i));
+                    prop_assert!(next.obliged.count_ones() <= before_obliged);
+                }
+                pa_lehmann_rabin::RoundAction::EndRound => {
+                    prop_assert_eq!(state.obliged, 0, "EndRound only when discharged");
+                    prop_assert_eq!(next.obliged, next.config.ready_mask());
+                }
+            }
+            state = next;
+        }
+    }
+
+    #[test]
+    fn simulation_rounds_preserve_regions_invariants(n in 2usize..6, seed in any::<u64>()) {
+        use pa_lehmann_rabin::sims::{all_trying, LrSim, UniformRandom};
+        use pa_sim::Simulable;
+        let sim = LrSim::new(n, UniformRandom).unwrap().with_start(all_trying(n).unwrap());
+        let mut rng = SplitMix64::new(seed);
+        let mut state = sim.initial(&mut rng);
+        for _ in 0..40 {
+            state = sim.step_round(state, &mut rng);
+            prop_assert!(lemma_6_1_invariant(&state.config));
+            // At most floor(n/2) philosophers hold both resources.
+            let both = state.config.procs().iter().filter(|p| p.pc.holds_both()).count();
+            prop_assert!(both <= n / 2);
+        }
+        let _ = rng.random_bool(0.5);
+    }
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for MDP construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdpError {
+    /// State-space exploration exceeded the configured limit.
+    StateLimitExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A state index was out of range for the model.
+    BadStateIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of states in the model.
+        num_states: usize,
+    },
+    /// A transition distribution was invalid (weights not summing to one,
+    /// negative weight, or empty support).
+    BadDistribution {
+        /// The state whose choice is malformed.
+        state: usize,
+        /// Description of the defect.
+        reason: String,
+    },
+    /// An analysis requires the target vector to have one entry per state.
+    TargetLengthMismatch {
+        /// Length of the supplied target vector.
+        got: usize,
+        /// Number of states in the model.
+        expected: usize,
+    },
+    /// Expected-cost analysis was asked for a state from which the target
+    /// is not reached almost surely under every adversary, so the worst-case
+    /// expectation diverges.
+    DivergentExpectation {
+        /// The offending state index.
+        state: usize,
+    },
+    /// The model has no initial states.
+    NoInitialStates,
+}
+
+impl fmt::Display for MdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdpError::StateLimitExceeded { limit } => {
+                write!(f, "state-space exploration exceeded limit of {limit} states")
+            }
+            MdpError::BadStateIndex { index, num_states } => {
+                write!(f, "state index {index} out of range (model has {num_states})")
+            }
+            MdpError::BadDistribution { state, reason } => {
+                write!(f, "invalid distribution at state {state}: {reason}")
+            }
+            MdpError::TargetLengthMismatch { got, expected } => {
+                write!(f, "target vector has length {got}, expected {expected}")
+            }
+            MdpError::DivergentExpectation { state } => write!(
+                f,
+                "worst-case expected cost diverges from state {state} (target not reached almost surely)"
+            ),
+            MdpError::NoInitialStates => write!(f, "model has no initial states"),
+        }
+    }
+}
+
+impl Error for MdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants = [
+            MdpError::StateLimitExceeded { limit: 10 },
+            MdpError::BadStateIndex {
+                index: 5,
+                num_states: 3,
+            },
+            MdpError::BadDistribution {
+                state: 0,
+                reason: "sums to 0.5".into(),
+            },
+            MdpError::TargetLengthMismatch {
+                got: 2,
+                expected: 3,
+            },
+            MdpError::DivergentExpectation { state: 7 },
+            MdpError::NoInitialStates,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

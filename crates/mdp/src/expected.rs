@@ -1,0 +1,403 @@
+//! Expected accumulated cost until the target is reached — worst case
+//! ([`max_expected_cost`]) and best case ([`min_expected_cost`]).
+//!
+//! The worst case is the quantity the paper bounds in Section 6.2: the
+//! maximal (over adversaries) expected time to reach the critical region.
+//! With round boundaries costing 1 and scheduling steps costing 0, the
+//! expected accumulated cost is exactly the expected number of time
+//! units. The best case is its dual: the expected time under the most
+//! cooperative scheduler.
+
+use crate::{reach_prob, ExplicitMdp, IterOptions, MdpError, Objective};
+
+/// Result of an expected-cost analysis: per-state expectations, with
+/// `f64::INFINITY` marking states from which the target is not reached
+/// almost surely under every adversary (so the worst-case expectation
+/// diverges).
+#[derive(Debug, Clone)]
+pub struct ExpectedCost {
+    /// Expected cost per state (∞ where divergent).
+    pub values: Vec<f64>,
+}
+
+impl ExpectedCost {
+    /// Maximal finite expectation over the given states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::DivergentExpectation`] if any of the states has
+    /// an infinite expectation.
+    pub fn max_over(&self, states: impl IntoIterator<Item = usize>) -> Result<f64, MdpError> {
+        let mut best = 0.0f64;
+        for s in states {
+            let v = self.values[s];
+            if v.is_infinite() {
+                return Err(MdpError::DivergentExpectation { state: s });
+            }
+            if v > best {
+                best = v;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Computes the worst-case (adversary-maximal) expected accumulated cost to
+/// reach `target`.
+///
+/// Soundness precondition, checked per state: the *minimal* probability of
+/// reaching the target must be 1 (then every adversary reaches it almost
+/// surely, every policy is proper, and value iteration converges to the
+/// optimum). States failing the precondition get `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`MdpError::TargetLengthMismatch`] for a malformed target.
+pub fn max_expected_cost(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    options: IterOptions,
+) -> Result<ExpectedCost, MdpError> {
+    mdp.check_target(target)?;
+    let n = mdp.num_states();
+    let min_reach = reach_prob(mdp, target, Objective::MinProb, options)?;
+    let proper: Vec<bool> = min_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+
+    let mut v = vec![0.0f64; n];
+    for _ in 0..options.max_sweeps {
+        let mut delta = 0.0f64;
+        for s in 0..n {
+            if target[s] || !proper[s] || mdp.choices(s).is_empty() {
+                continue;
+            }
+            let mut best = f64::NEG_INFINITY;
+            for c in mdp.choices(s) {
+                // Transitions into improper states cannot happen under a
+                // proper policy... but the *adversary* is maximizing, and a
+                // choice leading to an improper state would have been caught
+                // by min_reach < 1 at s itself. Defensive: treat improper
+                // successors as infinite.
+                let mut val = c.cost as f64;
+                let mut ok = true;
+                for &(t, p) in &c.transitions {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    if !target[t] && !proper[t] {
+                        ok = false;
+                        break;
+                    }
+                    val += p * v[t];
+                }
+                if ok && val > best {
+                    best = val;
+                }
+            }
+            if best.is_finite() {
+                let d = (best - v[s]).abs();
+                if d > delta {
+                    delta = d;
+                }
+                v[s] = best;
+            }
+        }
+        if delta <= options.epsilon {
+            break;
+        }
+    }
+    for s in 0..n {
+        if !target[s] && !proper[s] {
+            v[s] = f64::INFINITY;
+        }
+    }
+    Ok(ExpectedCost { values: v })
+}
+
+/// Detects a cycle in the zero-cost transition subgraph (states connected
+/// by choices with `cost == 0`, excluding `target` states).
+///
+/// Zero-cost cycles make *minimizing* expected-cost analyses degenerate: a
+/// policy may loop forever at zero cost without reaching the target, and
+/// value iteration from below would report 0 instead of rejecting the
+/// improper policy. [`min_expected_cost`] therefore refuses such models.
+/// (The round models of the case study are zero-cost-acyclic by
+/// construction: every scheduling step consumes per-round budget.)
+pub fn has_zero_cost_cycle(mdp: &ExplicitMdp, target: &[bool]) -> Result<bool, MdpError> {
+    mdp.check_target(target)?;
+    let n = mdp.num_states();
+    // Iterative three-colour DFS over zero-cost edges.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; n];
+    for root in 0..n {
+        if colour[root] != Colour::White || target[root] {
+            continue;
+        }
+        // Stack of (state, next-edge cursor).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        colour[root] = Colour::Grey;
+        while let Some(&mut (s, ref mut cursor)) = stack.last_mut() {
+            let succs: Vec<usize> = mdp
+                .choices(s)
+                .iter()
+                .filter(|c| c.cost == 0)
+                .flat_map(|c| c.transitions.iter())
+                .filter(|&&(t, p)| p > 0.0 && !target[t])
+                .map(|&(t, _)| t)
+                .collect();
+            if *cursor < succs.len() {
+                let t = succs[*cursor];
+                *cursor += 1;
+                match colour[t] {
+                    Colour::Grey => return Ok(true),
+                    Colour::White => {
+                        colour[t] = Colour::Grey;
+                        stack.push((t, 0));
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[s] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Computes the best-case (scheduler-minimal) expected accumulated cost to
+/// reach `target`.
+///
+/// Soundness preconditions, both checked:
+/// * the zero-cost subgraph (off-target) is acyclic — otherwise a
+///   zero-cost-looping improper policy would corrupt the least fixpoint
+///   (the function returns [`MdpError::BadDistribution`]-style structural
+///   rejection via [`MdpError::DivergentExpectation`] on the offending
+///   model);
+/// * per state, the *maximal* reachability probability is 1 — otherwise
+///   no policy reaches the target almost surely from that state and the
+///   value is `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`MdpError::TargetLengthMismatch`] for a malformed target, and
+/// [`MdpError::DivergentExpectation`] (state 0 by convention) when the
+/// zero-cost subgraph has a cycle.
+pub fn min_expected_cost(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    options: IterOptions,
+) -> Result<ExpectedCost, MdpError> {
+    mdp.check_target(target)?;
+    if has_zero_cost_cycle(mdp, target)? {
+        return Err(MdpError::DivergentExpectation { state: 0 });
+    }
+    let n = mdp.num_states();
+    let max_reach = reach_prob(mdp, target, Objective::MaxProb, options)?;
+    let feasible: Vec<bool> = max_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+
+    let mut v = vec![0.0f64; n];
+    for _ in 0..options.max_sweeps {
+        let mut delta = 0.0f64;
+        for s in 0..n {
+            if target[s] || !feasible[s] || mdp.choices(s).is_empty() {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            for c in mdp.choices(s) {
+                // Only choices whose successors can all still reach the
+                // target (or are targets) participate: a proper policy
+                // never moves into an infeasible state.
+                let mut val = c.cost as f64;
+                let mut ok = true;
+                for &(t, p) in &c.transitions {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    if !target[t] && !feasible[t] {
+                        ok = false;
+                        break;
+                    }
+                    val += p * v[t];
+                }
+                if ok && val < best {
+                    best = val;
+                }
+            }
+            if best.is_finite() {
+                let d = (best - v[s]).abs();
+                if d > delta {
+                    delta = d;
+                }
+                v[s] = best;
+            }
+        }
+        if delta <= options.epsilon {
+            break;
+        }
+    }
+    for s in 0..n {
+        if !target[s] && !feasible[s] {
+            v[s] = f64::INFINITY;
+        }
+    }
+    Ok(ExpectedCost { values: v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Choice;
+
+    /// Geometric trial with success probability 1/2 per unit of time:
+    /// expected time 2.
+    fn geometric() -> ExplicitMdp {
+        ExplicitMdp::new(
+            vec![vec![Choice::dist(1, vec![(1, 0.5), (0, 0.5)])], vec![]],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn geometric_expected_time_is_two() {
+        let e = max_expected_cost(&geometric(), &[false, true], IterOptions::default()).unwrap();
+        assert!((e.values[0] - 2.0).abs() < 1e-6, "{}", e.values[0]);
+        assert_eq!(e.values[1], 0.0);
+        assert!((e.max_over([0, 1]).unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adversary_maximizes_among_choices() {
+        // Choice A: reach target in 1 step; choice B: geometric with
+        // expectation 4 (p = 1/4). Worst case picks B.
+        let m = ExplicitMdp::new(
+            vec![
+                vec![
+                    Choice::to(1, 1),
+                    Choice::dist(1, vec![(1, 0.25), (0, 0.75)]),
+                ],
+                vec![],
+            ],
+            vec![0],
+        )
+        .unwrap();
+        let e = max_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!((e.values[0] - 4.0).abs() < 1e-6, "{}", e.values[0]);
+    }
+
+    #[test]
+    fn avoidable_target_diverges() {
+        // The adversary can loop forever away from the target.
+        let m = ExplicitMdp::new(
+            vec![vec![Choice::to(1, 0), Choice::to(1, 1)], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        let e = max_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!(e.values[0].is_infinite());
+        assert!(matches!(
+            e.max_over([0]),
+            Err(MdpError::DivergentExpectation { state: 0 })
+        ));
+    }
+
+    #[test]
+    fn zero_cost_steps_add_no_time() {
+        // 0 -0-> 1 -1-> 2 (target): expected cost 1.
+        let m = ExplicitMdp::new(
+            vec![vec![Choice::to(0, 1)], vec![Choice::to(1, 2)], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        let e = max_expected_cost(&m, &[false, false, true], IterOptions::default()).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cost_cycle_detection() {
+        // 0 -0-> 1 -0-> 0 with target {2}: cycle.
+        let cyclic = ExplicitMdp::new(
+            vec![
+                vec![Choice::to(0, 1)],
+                vec![Choice::to(0, 0), Choice::to(1, 2)],
+                vec![],
+            ],
+            vec![0],
+        )
+        .unwrap();
+        assert!(has_zero_cost_cycle(&cyclic, &[false, false, true]).unwrap());
+        // Making 0 the target breaks the off-target cycle.
+        assert!(!has_zero_cost_cycle(&cyclic, &[true, false, false]).unwrap());
+        // A chain has no cycle.
+        let chain = ExplicitMdp::new(
+            vec![vec![Choice::to(0, 1)], vec![Choice::to(1, 2)], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        assert!(!has_zero_cost_cycle(&chain, &[false, false, true]).unwrap());
+    }
+
+    #[test]
+    fn min_expected_cost_picks_the_fast_branch() {
+        // Choice A: 1 step to target; choice B: geometric expectation 4.
+        let m = ExplicitMdp::new(
+            vec![
+                vec![
+                    Choice::to(1, 1),
+                    Choice::dist(1, vec![(1, 0.25), (0, 0.75)]),
+                ],
+                vec![],
+            ],
+            vec![0],
+        )
+        .unwrap();
+        let e = min_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-9, "{}", e.values[0]);
+    }
+
+    #[test]
+    fn min_expected_cost_rejects_zero_cost_cycles() {
+        let m = ExplicitMdp::new(
+            vec![vec![Choice::to(0, 0), Choice::to(1, 1)], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        assert!(matches!(
+            min_expected_cost(&m, &[false, true], IterOptions::default()),
+            Err(MdpError::DivergentExpectation { .. })
+        ));
+    }
+
+    #[test]
+    fn min_expected_cost_marks_unreachable_states_infinite() {
+        let m = ExplicitMdp::new(vec![vec![], vec![]], vec![0]).unwrap();
+        let e = min_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!(e.values[0].is_infinite());
+    }
+
+    #[test]
+    fn min_is_below_max() {
+        let m = ExplicitMdp::new(
+            vec![
+                vec![Choice::to(1, 1), Choice::dist(1, vec![(1, 0.5), (0, 0.5)])],
+                vec![],
+            ],
+            vec![0],
+        )
+        .unwrap();
+        let lo = min_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        let hi = max_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!(lo.values[0] <= hi.values[0]);
+    }
+
+    #[test]
+    fn target_states_cost_zero() {
+        let e = max_expected_cost(&geometric(), &[true, true], IterOptions::default()).unwrap();
+        assert_eq!(e.values, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,315 @@
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use pa_core::Automaton;
+
+use crate::{Choice, ExplicitMdp, MdpError};
+
+/// The result of exploring an implicit model: the explicit MDP plus the
+/// bidirectional mapping between dense indices and concrete states.
+///
+/// Choice order is preserved: `mdp.choices(i)[k]` corresponds to
+/// `automaton.steps(&states[i])[k]`, so an optimal policy over the explicit
+/// model can be replayed on the implicit one.
+#[derive(Debug, Clone)]
+pub struct Explored<S> {
+    /// Concrete state of each index.
+    pub states: Vec<S>,
+    /// Index of each concrete state.
+    pub index: HashMap<S, usize>,
+    /// The explicit model.
+    pub mdp: ExplicitMdp,
+}
+
+impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
+    /// Builds a dense boolean target vector from a state predicate.
+    pub fn target_where(&self, pred: impl FnMut(&S) -> bool) -> Vec<bool> {
+        self.states.iter().map(pred).collect()
+    }
+
+    /// Indices of states satisfying a predicate.
+    pub fn states_where(&self, mut pred: impl FnMut(&S) -> bool) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(s))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Explores the reachable state space of an implicit automaton into an
+/// [`ExplicitMdp`], assigning each transition the cost given by `cost_of`.
+///
+/// # Errors
+///
+/// Returns [`MdpError::StateLimitExceeded`] if more than `limit` states are
+/// discovered, and propagates model-validation errors (which indicate a bug
+/// in the implicit model, e.g. an unnormalized step distribution).
+pub fn explore<M: Automaton>(
+    automaton: &M,
+    mut cost_of: impl FnMut(&M::State, &M::Action) -> u32,
+    limit: usize,
+) -> Result<Explored<M::State>, MdpError> {
+    let mut states: Vec<M::State> = Vec::new();
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut choices: Vec<Vec<Choice>> = Vec::new();
+
+    let intern = |s: M::State,
+                  states: &mut Vec<M::State>,
+                  index: &mut HashMap<M::State, usize>,
+                  queue: &mut VecDeque<usize>|
+     -> Result<usize, MdpError> {
+        match index.entry(s) {
+            Entry::Occupied(e) => Ok(*e.get()),
+            Entry::Vacant(e) => {
+                let id = states.len();
+                if id >= limit {
+                    return Err(MdpError::StateLimitExceeded { limit });
+                }
+                states.push(e.key().clone());
+                e.insert(id);
+                queue.push_back(id);
+                Ok(id)
+            }
+        }
+    };
+
+    let mut initial = Vec::new();
+    for s in automaton.start_states() {
+        initial.push(intern(s, &mut states, &mut index, &mut queue)?);
+    }
+    if initial.is_empty() {
+        return Err(MdpError::NoInitialStates);
+    }
+
+    while let Some(id) = queue.pop_front() {
+        let state = states[id].clone();
+        let mut cs = Vec::new();
+        for step in automaton.steps(&state) {
+            let cost = cost_of(&state, &step.action);
+            let mut transitions = Vec::with_capacity(step.target.len());
+            for (t, p) in step.target.iter() {
+                let ti = intern(t.clone(), &mut states, &mut index, &mut queue)?;
+                transitions.push((ti, p.value()));
+            }
+            cs.push(Choice { cost, transitions });
+        }
+        debug_assert_eq!(choices.len(), id);
+        choices.push(cs);
+    }
+
+    let mdp = ExplicitMdp::new(choices, initial)?;
+    Ok(Explored { states, index, mdp })
+}
+
+/// The outcome of an exhaustive invariant check over the reachable states.
+#[derive(Debug, Clone)]
+pub enum InvariantResult<S> {
+    /// Every reachable state satisfies the invariant.
+    Holds {
+        /// Number of states examined.
+        states_checked: usize,
+    },
+    /// A reachable state violates the invariant; a shortest witness path of
+    /// states from a start state is included.
+    Violated {
+        /// The violating state.
+        state: S,
+        /// States along a shortest path from a start state to the violation
+        /// (inclusive of both endpoints).
+        path: Vec<S>,
+    },
+}
+
+impl<S> InvariantResult<S> {
+    /// `true` when the invariant holds everywhere.
+    pub fn holds(&self) -> bool {
+        matches!(self, InvariantResult::Holds { .. })
+    }
+}
+
+/// Exhaustively checks a state invariant over the reachable state space of
+/// `automaton` (breadth-first, so a violation comes with a shortest witness
+/// path). Used for Lemma 6.1 of the paper.
+///
+/// # Errors
+///
+/// Returns [`MdpError::StateLimitExceeded`] if the reachable space exceeds
+/// `limit`.
+pub fn check_invariant<M: Automaton>(
+    automaton: &M,
+    mut invariant: impl FnMut(&M::State) -> bool,
+    limit: usize,
+) -> Result<InvariantResult<M::State>, MdpError> {
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut parent: Vec<Option<usize>> = Vec::new();
+    let mut states: Vec<M::State> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let push = |s: M::State,
+                from: Option<usize>,
+                index: &mut HashMap<M::State, usize>,
+                states: &mut Vec<M::State>,
+                parent: &mut Vec<Option<usize>>,
+                queue: &mut VecDeque<usize>|
+     -> Result<Option<usize>, MdpError> {
+        if index.contains_key(&s) {
+            return Ok(None);
+        }
+        let id = states.len();
+        if id >= limit {
+            return Err(MdpError::StateLimitExceeded { limit });
+        }
+        index.insert(s.clone(), id);
+        states.push(s);
+        parent.push(from);
+        queue.push_back(id);
+        Ok(Some(id))
+    };
+
+    let mut witness: Option<usize> = None;
+    'outer: {
+        for s in automaton.start_states() {
+            if let Some(id) = push(s, None, &mut index, &mut states, &mut parent, &mut queue)? {
+                if !invariant(&states[id]) {
+                    witness = Some(id);
+                    break 'outer;
+                }
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            let state = states[id].clone();
+            for step in automaton.steps(&state) {
+                for (t, _) in step.target.iter() {
+                    if let Some(nid) = push(
+                        t.clone(),
+                        Some(id),
+                        &mut index,
+                        &mut states,
+                        &mut parent,
+                        &mut queue,
+                    )? {
+                        if !invariant(&states[nid]) {
+                            witness = Some(nid);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match witness {
+        None => Ok(InvariantResult::Holds {
+            states_checked: states.len(),
+        }),
+        Some(id) => {
+            let mut path = Vec::new();
+            let mut cur = Some(id);
+            while let Some(i) = cur {
+                path.push(states[i].clone());
+                cur = parent[i];
+            }
+            path.reverse();
+            Ok(InvariantResult::Violated {
+                state: states[id].clone(),
+                path,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_core::TableAutomaton;
+
+    fn coin_walk() -> TableAutomaton<u8, &'static str> {
+        // 0 --flip--> {1, 2}; 1 --back--> 0; 2 terminal.
+        TableAutomaton::builder()
+            .start(0)
+            .step(0, "flip", [(1, 0.5), (2, 0.5)])
+            .unwrap()
+            .det_step(1, "back", 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn explore_builds_consistent_mapping() {
+        let m = coin_walk();
+        let e = explore(&m, |_, _| 1, 1000).unwrap();
+        assert_eq!(e.states.len(), 3);
+        assert_eq!(e.mdp.num_states(), 3);
+        for (i, s) in e.states.iter().enumerate() {
+            assert_eq!(e.index[s], i);
+        }
+        // Initial state is state 0 of the automaton.
+        let init = e.mdp.initial_states()[0];
+        assert_eq!(e.states[init], 0);
+    }
+
+    #[test]
+    fn explore_respects_costs() {
+        let m = coin_walk();
+        let e = explore(&m, |_, a| if *a == "flip" { 1 } else { 0 }, 1000).unwrap();
+        let s0 = e.index[&0];
+        let s1 = e.index[&1];
+        assert_eq!(e.mdp.choices(s0)[0].cost, 1);
+        assert_eq!(e.mdp.choices(s1)[0].cost, 0);
+    }
+
+    #[test]
+    fn explore_enforces_limit() {
+        let m = coin_walk();
+        assert!(matches!(
+            explore(&m, |_, _| 1, 2),
+            Err(MdpError::StateLimitExceeded { limit: 2 })
+        ));
+    }
+
+    #[test]
+    fn target_where_matches_predicate() {
+        let m = coin_walk();
+        let e = explore(&m, |_, _| 1, 1000).unwrap();
+        let t = e.target_where(|s| *s == 2);
+        assert_eq!(t.iter().filter(|b| **b).count(), 1);
+        assert_eq!(e.states_where(|s| *s == 2).len(), 1);
+    }
+
+    #[test]
+    fn invariant_holds_on_safe_model() {
+        let m = coin_walk();
+        let r = check_invariant(&m, |s| *s <= 2, 1000).unwrap();
+        assert!(r.holds());
+        match r {
+            InvariantResult::Holds { states_checked } => assert_eq!(states_checked, 3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn invariant_violation_gives_shortest_path() {
+        let m = coin_walk();
+        let r = check_invariant(&m, |s| *s != 2, 1000).unwrap();
+        match r {
+            InvariantResult::Violated { state, path } => {
+                assert_eq!(state, 2);
+                assert_eq!(path, vec![0, 2]);
+            }
+            _ => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn invariant_checks_start_states_too() {
+        let m = TableAutomaton::<u8, char>::builder()
+            .start(9)
+            .build()
+            .unwrap();
+        let r = check_invariant(&m, |s| *s != 9, 10).unwrap();
+        assert!(!r.holds());
+    }
+}

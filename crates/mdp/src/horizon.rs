@@ -1,0 +1,353 @@
+//! Cost-bounded reachability by backward induction.
+//!
+//! This is the engine behind exact verification of arrow statements
+//! `U —t→_p U'`: with intra-round scheduling steps costing 0 and round
+//! boundaries costing 1, the minimal probability (over all adversaries) of
+//! reaching `U'` with total cost at most `t` is exactly the quantity
+//! Definition 3.1 bounds.
+//!
+//! For finite-horizon reachability objectives on a finite MDP, deterministic
+//! cost-indexed Markov policies attain the optimum over *all* history-
+//! dependent deterministic adversaries, so backward induction quantifies
+//! over the paper's full adversary class (substitution 2 in DESIGN.md).
+
+use crate::{ExplicitMdp, MdpError};
+
+/// Whether the adversary minimizes or maximizes the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Worst case for the algorithm: the adversary minimizes the
+    /// probability of reaching the target (the quantifier in `U —t→_p U'`).
+    MinProb,
+    /// Best case: the adversary maximizes the probability.
+    MaxProb,
+}
+
+impl Objective {
+    fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::MinProb => a < b,
+            Objective::MaxProb => a > b,
+        }
+    }
+
+    fn start(self) -> f64 {
+        match self {
+            Objective::MinProb => f64::INFINITY,
+            Objective::MaxProb => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A deterministic cost-indexed policy extracted from backward induction:
+/// `decision[k][s]` is the optimal choice index in state `s` with `k` cost
+/// units of budget remaining (`None` for states without choices).
+#[derive(Debug, Clone)]
+pub struct BoundedPolicy {
+    /// `decision[k][s]`, `k = 0..=budget`.
+    pub decision: Vec<Vec<Option<u32>>>,
+}
+
+impl BoundedPolicy {
+    /// The optimal choice in `state` with `remaining` budget (clamped to
+    /// the largest computed level).
+    pub fn choice(&self, state: usize, remaining: u32) -> Option<u32> {
+        let k = (remaining as usize).min(self.decision.len() - 1);
+        self.decision[k][state]
+    }
+}
+
+fn validate_costs(mdp: &ExplicitMdp) -> Result<(), MdpError> {
+    for s in 0..mdp.num_states() {
+        for c in mdp.choices(s) {
+            if c.cost > 1 {
+                return Err(MdpError::BadDistribution {
+                    state: s,
+                    reason: format!(
+                        "cost-bounded reachability supports costs 0 and 1, found {}",
+                        c.cost
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes one level of the induction: the fixpoint of
+/// `v(s) = opt_c [ Σ p · (cost(c)=1 ? prev : v)(t) ]` over the zero-cost
+/// subgraph, starting from 0 (the least fixpoint, reached exactly when the
+/// zero-cost subgraph is acyclic, and approached monotonically from below —
+/// hence conservatively for `MinProb` claims — otherwise).
+fn solve_level(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    prev: &[f64],
+    objective: Objective,
+    decisions: Option<&mut Vec<Option<u32>>>,
+) -> Vec<f64> {
+    let n = mdp.num_states();
+    let mut cur = vec![0.0f64; n];
+    for s in 0..n {
+        if target[s] {
+            cur[s] = 1.0;
+        }
+    }
+    // Gauss–Seidel sweeps to the (least) fixpoint.
+    let max_sweeps = 4 * n + 8;
+    for _ in 0..max_sweeps {
+        let mut delta = 0.0f64;
+        for s in 0..n {
+            if target[s] || mdp.choices(s).is_empty() {
+                continue;
+            }
+            let mut best = objective.start();
+            for c in mdp.choices(s) {
+                let source: &[f64] = if c.cost == 1 { prev } else { &cur };
+                let v: f64 = c.transitions.iter().map(|&(t, p)| p * source[t]).sum();
+                if objective.better(v, best) {
+                    best = v;
+                }
+            }
+            let d = (best - cur[s]).abs();
+            if d > delta {
+                delta = d;
+            }
+            cur[s] = best;
+        }
+        if delta <= 1e-14 {
+            break;
+        }
+    }
+    if let Some(dec) = decisions {
+        dec.clear();
+        dec.resize(n, None);
+        for s in 0..n {
+            if target[s] || mdp.choices(s).is_empty() {
+                continue;
+            }
+            let mut best = objective.start();
+            let mut best_i = 0u32;
+            for (i, c) in mdp.choices(s).iter().enumerate() {
+                let source: &[f64] = if c.cost == 1 { prev } else { &cur };
+                let v: f64 = c.transitions.iter().map(|&(t, p)| p * source[t]).sum();
+                if objective.better(v, best) {
+                    best = v;
+                    best_i = i as u32;
+                }
+            }
+            dec[s] = Some(best_i);
+        }
+    }
+    cur
+}
+
+/// Computes `P^opt[reach target with total cost ≤ budget]` for every state,
+/// invoking `on_level(k, values)` after each budget level `k = 0..=budget`
+/// (useful for probability-vs-time CDF series). Returns the final level.
+///
+/// # Errors
+///
+/// Returns [`MdpError::TargetLengthMismatch`] for a malformed target vector
+/// and [`MdpError::BadDistribution`] if any transition cost exceeds 1.
+pub fn cost_bounded_reach_levels(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    budget: u32,
+    objective: Objective,
+    mut on_level: impl FnMut(u32, &[f64]),
+) -> Result<Vec<f64>, MdpError> {
+    mdp.check_target(target)?;
+    validate_costs(mdp)?;
+    // Level 0: only zero-cost steps allowed.
+    let zeros = vec![0.0; mdp.num_states()];
+    let mut cur = solve_level(mdp, target, &zeros, objective, None);
+    on_level(0, &cur);
+    for k in 1..=budget {
+        cur = solve_level(mdp, target, &cur, objective, None);
+        on_level(k, &cur);
+    }
+    Ok(cur)
+}
+
+/// Computes `P^opt[reach target with total cost ≤ budget]` for every state.
+///
+/// # Errors
+///
+/// Same as [`cost_bounded_reach_levels`].
+pub fn cost_bounded_reach(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    budget: u32,
+    objective: Objective,
+) -> Result<Vec<f64>, MdpError> {
+    cost_bounded_reach_levels(mdp, target, budget, objective, |_, _| {})
+}
+
+/// Like [`cost_bounded_reach`] but also extracts the optimal cost-indexed
+/// policy — the concrete worst-case (or best-case) adversary.
+///
+/// # Errors
+///
+/// Same as [`cost_bounded_reach_levels`].
+pub fn cost_bounded_reach_with_policy(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    budget: u32,
+    objective: Objective,
+) -> Result<(Vec<f64>, BoundedPolicy), MdpError> {
+    mdp.check_target(target)?;
+    validate_costs(mdp)?;
+    let zeros = vec![0.0; mdp.num_states()];
+    let mut decision = Vec::with_capacity(budget as usize + 1);
+    let mut dec0 = Vec::new();
+    let mut cur = solve_level(mdp, target, &zeros, objective, Some(&mut dec0));
+    decision.push(dec0);
+    for _ in 1..=budget {
+        let mut dec = Vec::new();
+        cur = solve_level(mdp, target, &cur, objective, Some(&mut dec));
+        decision.push(dec);
+    }
+    Ok((cur, BoundedPolicy { decision }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Choice;
+
+    /// Geometric trial: each round, flip a coin; heads wins.
+    /// State 0 = trying, 1 = won.
+    fn geometric() -> ExplicitMdp {
+        ExplicitMdp::new(
+            vec![vec![Choice::dist(1, vec![(1, 0.5), (0, 0.5)])], vec![]],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn geometric_bounded_reach_is_one_minus_half_pow() {
+        let m = geometric();
+        let target = [false, true];
+        for budget in 0..6 {
+            let v = cost_bounded_reach(&m, &target, budget, Objective::MinProb).unwrap();
+            let expect = 1.0 - 0.5f64.powi(budget as i32);
+            assert!(
+                (v[0] - expect).abs() < 1e-12,
+                "budget {budget}: {} vs {expect}",
+                v[0]
+            );
+        }
+    }
+
+    #[test]
+    fn target_states_have_probability_one_at_zero_budget() {
+        let m = geometric();
+        let v = cost_bounded_reach(&m, &[false, true], 0, Objective::MinProb).unwrap();
+        assert_eq!(v[1], 1.0);
+    }
+
+    /// Adversary picks between a safe branch (never reaches) and a risky
+    /// branch (reaches with probability 1): min picks safe, max risky.
+    fn pick() -> ExplicitMdp {
+        ExplicitMdp::new(
+            vec![
+                vec![Choice::to(1, 1), Choice::to(1, 2)],
+                vec![], // dead end
+                vec![], // target
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn min_and_max_differ_under_nondeterminism() {
+        let m = pick();
+        let target = [false, false, true];
+        let vmin = cost_bounded_reach(&m, &target, 3, Objective::MinProb).unwrap();
+        let vmax = cost_bounded_reach(&m, &target, 3, Objective::MaxProb).unwrap();
+        assert_eq!(vmin[0], 0.0);
+        assert_eq!(vmax[0], 1.0);
+    }
+
+    #[test]
+    fn zero_cost_steps_do_not_consume_budget() {
+        // 0 -0-> 1 -0-> 2 (target): reachable even with budget 0.
+        let m = ExplicitMdp::new(
+            vec![vec![Choice::to(0, 1)], vec![Choice::to(0, 2)], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        let v = cost_bounded_reach(&m, &[false, false, true], 0, Objective::MinProb).unwrap();
+        assert_eq!(v[0], 1.0);
+    }
+
+    #[test]
+    fn cost_one_steps_consume_budget() {
+        // 0 -1-> 1 -1-> 2 (target): needs budget 2.
+        let m = ExplicitMdp::new(
+            vec![vec![Choice::to(1, 1)], vec![Choice::to(1, 2)], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        let target = [false, false, true];
+        let v1 = cost_bounded_reach(&m, &target, 1, Objective::MinProb).unwrap();
+        let v2 = cost_bounded_reach(&m, &target, 2, Objective::MinProb).unwrap();
+        assert_eq!(v1[0], 0.0);
+        assert_eq!(v2[0], 1.0);
+    }
+
+    #[test]
+    fn levels_are_monotone_in_budget() {
+        let m = geometric();
+        let mut last = -1.0;
+        cost_bounded_reach_levels(&m, &[false, true], 8, Objective::MinProb, |_, v| {
+            assert!(v[0] >= last - 1e-12);
+            last = v[0];
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_costs_above_one() {
+        let m = ExplicitMdp::new(vec![vec![Choice::to(2, 0)]], vec![0]).unwrap();
+        assert!(matches!(
+            cost_bounded_reach(&m, &[false], 3, Objective::MinProb),
+            Err(MdpError::BadDistribution { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_target_length() {
+        let m = geometric();
+        assert!(matches!(
+            cost_bounded_reach(&m, &[false], 3, Objective::MinProb),
+            Err(MdpError::TargetLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_extraction_picks_optimal_choice() {
+        let m = pick();
+        let target = [false, false, true];
+        let (_, pmin) = cost_bounded_reach_with_policy(&m, &target, 3, Objective::MinProb).unwrap();
+        let (_, pmax) = cost_bounded_reach_with_policy(&m, &target, 3, Objective::MaxProb).unwrap();
+        // With budget remaining, min avoids the target (choice 0 → dead end),
+        // max goes for it (choice 1 → target).
+        assert_eq!(pmin.choice(0, 3), Some(0));
+        assert_eq!(pmax.choice(0, 3), Some(1));
+        // Terminal states have no decision.
+        assert_eq!(pmin.choice(1, 3), None);
+    }
+
+    #[test]
+    fn policy_clamps_budget_lookup() {
+        let m = pick();
+        let (_, p) =
+            cost_bounded_reach_with_policy(&m, &[false, false, true], 1, Objective::MaxProb)
+                .unwrap();
+        assert_eq!(p.choice(0, 99), p.choice(0, 1));
+    }
+}

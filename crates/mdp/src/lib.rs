@@ -1,0 +1,62 @@
+//! Explicit-state MDP model-checking substrate for the `timebounds`
+//! workspace.
+//!
+//! The paper proves statements of the form `U —t→_p U'` by hand; this crate
+//! verifies them mechanically, PRISM-style, by quantifying over *all*
+//! adversaries of a schema at once:
+//!
+//! * [`explore`] — build an [`ExplicitMdp`] from any implicit
+//!   [`pa_core::Automaton`], assigning each transition a time cost
+//!   (0 = scheduling step inside a time unit, 1 = time-unit boundary).
+//! * [`cost_bounded_reach`] — backward induction for
+//!   `P^min/max[reach target within time t]`, the exact semantics of
+//!   Definition 3.1 under the round-based timed model.
+//! * [`reach_prob`] — unbounded reachability with qualitative
+//!   precomputation ([`prob0_max`], [`prob0_min`]).
+//! * [`max_expected_cost`] — worst-case expected time to the target
+//!   (Section 6.2's quantity).
+//! * [`check_invariant`] — exhaustive invariant checking with shortest
+//!   witness paths (Lemma 6.1).
+//! * [`cost_bounded_reach_with_policy`] — extracts the optimal adversary as
+//!   a cost-indexed policy, so the worst case can be replayed and inspected.
+//!
+//! # Example
+//!
+//! ```
+//! use pa_core::TableAutomaton;
+//! use pa_mdp::{cost_bounded_reach, explore, Objective};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A process that wins a coin flip once per time unit.
+//! let m = TableAutomaton::builder()
+//!     .start("try")
+//!     .step("try", "flip", [("won", 0.5), ("try", 0.5)])?
+//!     .build()?;
+//! let e = explore(&m, |_, _| 1, 10_000)?;
+//! let target = e.target_where(|s| *s == "won");
+//! let v = cost_bounded_reach(&e.mdp, &target, 3, Objective::MinProb)?;
+//! let start = e.mdp.initial_states()[0];
+//! assert!((v[start] - 0.875).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod expected;
+mod explore;
+mod horizon;
+mod model;
+mod value_iter;
+
+pub use error::MdpError;
+pub use expected::{has_zero_cost_cycle, max_expected_cost, min_expected_cost, ExpectedCost};
+pub use explore::{check_invariant, explore, Explored, InvariantResult};
+pub use horizon::{
+    cost_bounded_reach, cost_bounded_reach_levels, cost_bounded_reach_with_policy, BoundedPolicy,
+    Objective,
+};
+pub use model::{Choice, ExplicitMdp};
+pub use value_iter::{prob0_max, prob0_min, reach_prob, IterOptions};

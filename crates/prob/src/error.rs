@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for invalid probabilistic data.
+///
+/// Every fallible constructor in this crate returns `Result<_, ProbError>`;
+/// the variants describe exactly which validation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A probability value was outside `[0, 1]` or not finite.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// The weights of a distribution did not sum to (approximately) one.
+    NotNormalized {
+        /// The actual sum of weights.
+        sum: f64,
+    },
+    /// A distribution was constructed with an empty support.
+    EmptySupport,
+    /// An interval was constructed with `lo > hi`.
+    InvertedInterval {
+        /// Lower endpoint.
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+    },
+    /// A statistic was requested from an estimator with no samples.
+    NoSamples,
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::OutOfRange { value } => {
+                write!(f, "probability {value} is not a finite value in [0, 1]")
+            }
+            ProbError::NotNormalized { sum } => {
+                write!(f, "distribution weights sum to {sum}, expected 1")
+            }
+            ProbError::EmptySupport => write!(f, "distribution has empty support"),
+            ProbError::InvertedInterval { lo, hi } => {
+                write!(f, "interval lower bound {lo} exceeds upper bound {hi}")
+            }
+            ProbError::NoSamples => write!(f, "estimator holds no samples"),
+        }
+    }
+}
+
+impl Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants = [
+            ProbError::OutOfRange { value: 1.5 },
+            ProbError::NotNormalized { sum: 0.9 },
+            ProbError::EmptySupport,
+            ProbError::InvertedInterval { lo: 0.8, hi: 0.2 },
+            ProbError::NoSamples,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn Error> = Box::new(ProbError::EmptySupport);
+        assert!(err.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,202 @@
+use std::fmt;
+
+use crate::{Prob, ProbError};
+
+/// An interval `[lo, hi]` bracketing an unknown probability.
+///
+/// Event-schema probabilities can only be *bracketed* on a depth-bounded
+/// execution tree: executions cut off at the depth bound are undecided, and
+/// their mass is assigned against the event for the lower endpoint and in its
+/// favour for the upper endpoint. All paper claims are checked against the
+/// sound side of the bracket.
+///
+/// # Examples
+///
+/// ```
+/// use pa_prob::{Prob, ProbInterval};
+///
+/// # fn main() -> Result<(), pa_prob::ProbError> {
+/// let i = ProbInterval::new(Prob::new(0.25)?, Prob::new(0.3)?)?;
+/// assert!(i.certainly_at_least(Prob::new(0.25)?));
+/// assert!(!i.certainly_at_least(Prob::new(0.26)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbInterval {
+    lo: Prob,
+    hi: Prob,
+}
+
+impl ProbInterval {
+    /// The vacuous bracket `[0, 1]`.
+    pub const UNKNOWN: ProbInterval = ProbInterval {
+        lo: Prob::ZERO,
+        hi: Prob::ONE,
+    };
+
+    /// Creates an interval from its endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvertedInterval`] if `lo > hi` (beyond
+    /// floating-point tolerance).
+    pub fn new(lo: Prob, hi: Prob) -> Result<ProbInterval, ProbError> {
+        if lo.value() > hi.value() + 1e-9 {
+            return Err(ProbError::InvertedInterval {
+                lo: lo.value(),
+                hi: hi.value(),
+            });
+        }
+        Ok(ProbInterval { lo: lo.min(hi), hi })
+    }
+
+    /// Creates the degenerate interval `[p, p]` for an exactly known
+    /// probability.
+    pub fn exact(p: Prob) -> ProbInterval {
+        ProbInterval { lo: p, hi: p }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(self) -> Prob {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(self) -> Prob {
+        self.hi
+    }
+
+    /// Width `hi - lo` of the bracket.
+    pub fn width(self) -> f64 {
+        self.hi.value() - self.lo.value()
+    }
+
+    /// Returns `true` if the bracket has collapsed to a point (within
+    /// floating-point tolerance).
+    pub fn is_exact(self) -> bool {
+        self.width() <= 1e-9
+    }
+
+    /// Returns `true` if every probability in the bracket is at least
+    /// `bound` — the sound check for a paper claim `p ≥ bound`.
+    pub fn certainly_at_least(self, bound: Prob) -> bool {
+        self.lo.at_least(bound)
+    }
+
+    /// Returns `true` if every probability in the bracket is at most
+    /// `bound`.
+    pub fn certainly_at_most(self, bound: Prob) -> bool {
+        bound.at_least(self.hi)
+    }
+
+    /// Returns `true` if `p` lies inside the bracket (inclusive, with
+    /// tolerance). Used to cross-validate Monte-Carlo estimates against
+    /// exact brackets.
+    pub fn contains(self, p: Prob) -> bool {
+        p.at_least(self.lo) && self.hi.at_least(p)
+    }
+
+    /// Interval product: the bracket for the product of two independent
+    /// bracketed probabilities (both endpoints are monotone, so endpoints
+    /// multiply).
+    pub fn product(self, other: ProbInterval) -> ProbInterval {
+        ProbInterval {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+        }
+    }
+
+    /// Pointwise intersection of two brackets for the *same* quantity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvertedInterval`] if the brackets are disjoint,
+    /// which means the two analyses contradict each other.
+    pub fn intersect(self, other: ProbInterval) -> Result<ProbInterval, ProbError> {
+        ProbInterval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+}
+
+impl fmt::Display for ProbInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl From<Prob> for ProbInterval {
+    fn from(p: Prob) -> ProbInterval {
+        ProbInterval::exact(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted() {
+        assert!(ProbInterval::new(p(0.8), p(0.2)).is_err());
+    }
+
+    #[test]
+    fn exact_has_zero_width() {
+        let i = ProbInterval::exact(Prob::HALF);
+        assert!(i.is_exact());
+        assert_eq!(i.width(), 0.0);
+    }
+
+    #[test]
+    fn soundness_checks_use_correct_sides() {
+        let i = ProbInterval::new(p(0.3), p(0.6)).unwrap();
+        assert!(i.certainly_at_least(p(0.3)));
+        assert!(!i.certainly_at_least(p(0.31)));
+        assert!(i.certainly_at_most(p(0.6)));
+        assert!(!i.certainly_at_most(p(0.59)));
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let i = ProbInterval::new(p(0.3), p(0.6)).unwrap();
+        assert!(i.contains(p(0.3)));
+        assert!(i.contains(p(0.45)));
+        assert!(!i.contains(p(0.61)));
+    }
+
+    #[test]
+    fn product_multiplies_endpoints() {
+        let a = ProbInterval::new(p(0.5), p(0.6)).unwrap();
+        let b = ProbInterval::new(p(0.5), p(0.5)).unwrap();
+        let c = a.product(b);
+        assert_eq!(c.lo(), p(0.25));
+        assert_eq!(c.hi(), p(0.3));
+    }
+
+    #[test]
+    fn intersect_narrows_and_detects_contradiction() {
+        let a = ProbInterval::new(p(0.2), p(0.7)).unwrap();
+        let b = ProbInterval::new(p(0.5), p(0.9)).unwrap();
+        let c = a.intersect(b).unwrap();
+        assert_eq!(c.lo(), p(0.5));
+        assert_eq!(c.hi(), p(0.7));
+        let d = ProbInterval::new(p(0.8), p(0.9)).unwrap();
+        assert!(a.intersect(d).is_err());
+    }
+
+    #[test]
+    fn display_formats_exact_and_wide() {
+        assert_eq!(ProbInterval::exact(Prob::HALF).to_string(), "0.5");
+        assert_eq!(
+            ProbInterval::new(p(0.25), p(0.5)).unwrap().to_string(),
+            "[0.25, 0.5]"
+        );
+    }
+}

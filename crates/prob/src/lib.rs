@@ -1,0 +1,44 @@
+//! Probability substrate for the `timebounds` workspace.
+//!
+//! This crate provides the probability-theoretic building blocks used by the
+//! probabilistic-automaton framework of Lynch, Saias & Segala (PODC 1994):
+//!
+//! * [`Prob`] — a validated probability value in `[0, 1]`.
+//! * [`FiniteDist`] — a validated finite probability distribution over an
+//!   arbitrary support, the object that labels every probabilistic step of an
+//!   automaton (Definition 2.1 of the paper).
+//! * [`ProbInterval`] — interval-valued probabilities `[lo, hi]`, used when an
+//!   event's probability can only be bracketed on a depth-bounded execution
+//!   tree.
+//! * [`stats`] — online statistics and binomial confidence intervals for the
+//!   Monte-Carlo experiments.
+//! * [`rng`] — small, deterministic, splittable random number generators so
+//!   every experiment in the workspace is reproducible from a single seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use pa_prob::{FiniteDist, Prob};
+//!
+//! # fn main() -> Result<(), pa_prob::ProbError> {
+//! let coin = FiniteDist::bernoulli("heads", "tails", Prob::new(0.5)?)?;
+//! assert_eq!(coin.support().count(), 2);
+//! assert!(coin.is_normalized());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod error;
+mod interval;
+mod prob;
+pub mod rng;
+pub mod stats;
+
+pub use dist::FiniteDist;
+pub use error::ProbError;
+pub use interval::ProbInterval;
+pub use prob::Prob;

@@ -1,0 +1,341 @@
+//! Online statistics and binomial confidence intervals.
+//!
+//! Monte-Carlo experiments estimate hitting probabilities (Bernoulli trials)
+//! and hitting times (real-valued samples). [`BernoulliEstimator`] wraps
+//! trial counting with Wilson-score confidence intervals; [`OnlineStats`]
+//! implements Welford's numerically stable streaming mean/variance.
+
+use crate::{Prob, ProbError, ProbInterval};
+
+/// Two-sided z-value for a 99% normal confidence interval.
+pub const Z_99: f64 = 2.5758;
+/// Two-sided z-value for a 95% normal confidence interval.
+pub const Z_95: f64 = 1.9600;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use pa_prob::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::NoSamples`] when empty.
+    pub fn min(&self) -> Result<f64, ProbError> {
+        if self.count == 0 {
+            Err(ProbError::NoSamples)
+        } else {
+            Ok(self.min)
+        }
+    }
+
+    /// Largest sample seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::NoSamples`] when empty.
+    pub fn max(&self) -> Result<f64, ProbError> {
+        if self.count == 0 {
+            Err(ProbError::NoSamples)
+        } else {
+            Ok(self.max)
+        }
+    }
+
+    /// Normal-approximation confidence interval `mean ± z · stderr`.
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_err();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// Counter of Bernoulli trials with Wilson-score confidence intervals.
+///
+/// # Examples
+///
+/// ```
+/// use pa_prob::stats::{BernoulliEstimator, Z_95};
+///
+/// let mut est = BernoulliEstimator::new();
+/// for i in 0..1000 {
+///     est.record(i % 2 == 0);
+/// }
+/// let ci = est.wilson_interval(Z_95);
+/// assert!(ci.contains(pa_prob::Prob::HALF));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BernoulliEstimator {
+    successes: u64,
+    trials: u64,
+}
+
+impl BernoulliEstimator {
+    /// Creates an estimator with no trials.
+    pub fn new() -> BernoulliEstimator {
+        BernoulliEstimator::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Merges another estimator (parallel reduction).
+    pub fn merge(&mut self, other: &BernoulliEstimator) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Number of successes recorded.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate `successes / trials`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::NoSamples`] when no trial has been recorded.
+    pub fn point(&self) -> Result<Prob, ProbError> {
+        if self.trials == 0 {
+            return Err(ProbError::NoSamples);
+        }
+        Prob::new(self.successes as f64 / self.trials as f64)
+    }
+
+    /// Wilson-score confidence interval at the given z-value.
+    ///
+    /// The Wilson interval has good coverage even for extreme proportions
+    /// and small counts, which matters when estimating probabilities near
+    /// the paper's 1/8 bound. Returns the vacuous `[0, 1]` bracket when no
+    /// trials have been recorded.
+    pub fn wilson_interval(&self, z: f64) -> ProbInterval {
+        if self.trials == 0 {
+            return ProbInterval::UNKNOWN;
+        }
+        let n = self.trials as f64;
+        let p_hat = self.successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p_hat + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt();
+        ProbInterval::new(Prob::clamped(centre - half), Prob::clamped(centre + half))
+            .expect("wilson interval endpoints are ordered")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min().unwrap(), 2.0);
+        assert_eq!(s.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_report_no_samples() {
+        let s = OnlineStats::new();
+        assert_eq!(s.min(), Err(ProbError::NoSamples));
+        assert_eq!(s.max(), Err(ProbError::NoSamples));
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn bernoulli_point_estimate() {
+        let mut e = BernoulliEstimator::new();
+        for i in 0..8 {
+            e.record(i == 0);
+        }
+        assert_eq!(e.point().unwrap(), Prob::ratio(1, 8).unwrap());
+    }
+
+    #[test]
+    fn bernoulli_empty_errors() {
+        assert_eq!(BernoulliEstimator::new().point(), Err(ProbError::NoSamples));
+        assert_eq!(
+            BernoulliEstimator::new().wilson_interval(Z_95),
+            ProbInterval::UNKNOWN
+        );
+    }
+
+    #[test]
+    fn wilson_interval_contains_truth_for_fair_coin() {
+        let mut e = BernoulliEstimator::new();
+        // Deterministic alternation: exactly half successes.
+        for i in 0..10_000 {
+            e.record(i % 2 == 0);
+        }
+        let ci = e.wilson_interval(Z_99);
+        assert!(ci.contains(Prob::HALF));
+        assert!(ci.width() < 0.03);
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_more_trials() {
+        let mut small = BernoulliEstimator::new();
+        let mut large = BernoulliEstimator::new();
+        for i in 0..100 {
+            small.record(i % 4 == 0);
+        }
+        for i in 0..10_000 {
+            large.record(i % 4 == 0);
+        }
+        assert!(large.wilson_interval(Z_95).width() < small.wilson_interval(Z_95).width());
+    }
+
+    #[test]
+    fn bernoulli_merge_adds_counts() {
+        let mut a = BernoulliEstimator::new();
+        a.record(true);
+        let mut b = BernoulliEstimator::new();
+        b.record(false);
+        b.record(true);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.successes(), 2);
+    }
+}

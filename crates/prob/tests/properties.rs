@@ -1,0 +1,143 @@
+//! Property-based tests for the probability substrate.
+
+use pa_prob::rng::SplitMix64;
+use pa_prob::stats::{BernoulliEstimator, OnlineStats, Z_95};
+use pa_prob::{FiniteDist, Prob, ProbInterval};
+use proptest::prelude::*;
+
+/// Strategy: a vector of positive weights, normalized to sum to one.
+fn normalized_weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..10.0, 1..8).prop_map(|ws| {
+        let sum: f64 = ws.iter().sum();
+        ws.into_iter().map(|w| w / sum).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn normalized_weights_build_valid_distributions(ws in normalized_weights()) {
+        let d = FiniteDist::new(ws.iter().copied().enumerate()).unwrap();
+        prop_assert!(d.is_normalized());
+        prop_assert!(d.len() <= ws.len());
+    }
+
+    #[test]
+    fn prob_where_and_complement_sum_to_one(ws in normalized_weights(), cut in 0usize..8) {
+        let d = FiniteDist::new(ws.iter().copied().enumerate()).unwrap();
+        let a = d.prob_where(|i| *i < cut).value();
+        let b = d.prob_where(|i| *i >= cut).value();
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_preserves_total_mass(ws in normalized_weights(), modulus in 1usize..5) {
+        let d = FiniteDist::new(ws.iter().copied().enumerate()).unwrap();
+        let mapped = d.map(|i| i % modulus);
+        prop_assert!(mapped.is_normalized());
+    }
+
+    #[test]
+    fn product_marginals_match_factors(
+        wa in normalized_weights(),
+        wb in normalized_weights(),
+    ) {
+        let a = FiniteDist::new(wa.iter().copied().enumerate()).unwrap();
+        let b = FiniteDist::new(wb.iter().copied().enumerate()).unwrap();
+        let p = a.product(&b);
+        prop_assert!(p.is_normalized());
+        for (v, w) in a.iter() {
+            let marginal = p.prob_where(|(x, _)| x == v).value();
+            prop_assert!((marginal - w.value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expectation_is_linear(ws in normalized_weights(), scale in -10.0f64..10.0) {
+        let d = FiniteDist::new(ws.iter().copied().enumerate()).unwrap();
+        let e1 = d.expect(|i| *i as f64);
+        let e2 = d.expect(|i| scale * *i as f64);
+        prop_assert!((e2 - scale * e1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn prob_mul_is_bounded_by_min(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let pa = Prob::new(a).unwrap();
+        let pb = Prob::new(b).unwrap();
+        let prod = pa * pb;
+        prop_assert!(prod.value() <= pa.min(pb).value() + 1e-12);
+    }
+
+    #[test]
+    fn prob_complement_is_involutive(a in 0.0f64..=1.0) {
+        let p = Prob::new(a).unwrap();
+        prop_assert!((p.complement().complement().value() - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_product_contains_products(
+        lo1 in 0.0f64..=1.0, w1 in 0.0f64..=0.3,
+        lo2 in 0.0f64..=1.0, w2 in 0.0f64..=0.3,
+        t1 in 0.0f64..=1.0, t2 in 0.0f64..=1.0,
+    ) {
+        let i1 = ProbInterval::new(
+            Prob::new(lo1.min(1.0 - w1)).unwrap(),
+            Prob::new((lo1.min(1.0 - w1) + w1).min(1.0)).unwrap(),
+        ).unwrap();
+        let i2 = ProbInterval::new(
+            Prob::new(lo2.min(1.0 - w2)).unwrap(),
+            Prob::new((lo2.min(1.0 - w2) + w2).min(1.0)).unwrap(),
+        ).unwrap();
+        // Any point in each bracket has its product inside the bracket product.
+        let p1 = i1.lo().value() + t1 * (i1.hi().value() - i1.lo().value());
+        let p2 = i2.lo().value() + t2 * (i2.hi().value() - i2.lo().value());
+        let prod = i1.product(i2);
+        prop_assert!(prod.contains(Prob::new(p1 * p2).unwrap()));
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential(xs in prop::collection::vec(-100.0f64..100.0, 2..64), split in 0usize..64) {
+        let split = split.min(xs.len());
+        let mut all = OnlineStats::new();
+        for &x in &xs { all.push(x); }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate(successes in 0u64..1000, extra in 0u64..1000) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let mut est = BernoulliEstimator::new();
+        for i in 0..trials {
+            est.record(i < successes);
+        }
+        let ci = est.wilson_interval(Z_95);
+        prop_assert!(ci.contains(est.point().unwrap()), "{ci}");
+    }
+
+    #[test]
+    fn splitmix_trial_streams_are_reproducible(seed in any::<u64>(), trial in 0u64..1000) {
+        use rand::Rng;
+        let mut a = SplitMix64::for_trial(seed, trial);
+        let mut b = SplitMix64::for_trial(seed, trial);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn sampling_stays_in_support(ws in normalized_weights(), seed in any::<u64>()) {
+        let d = FiniteDist::new(ws.iter().copied().enumerate()).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            let v = d.sample(&mut rng);
+            prop_assert!(d.support().any(|s| s == v));
+        }
+    }
+}

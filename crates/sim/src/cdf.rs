@@ -1,0 +1,167 @@
+use pa_prob::stats::BernoulliEstimator;
+use pa_prob::{Prob, ProbInterval};
+
+/// An empirical distribution of hitting times, built from per-round hit
+/// counts plus a censored remainder.
+///
+/// `prob_within(t)` estimates `P[hit within t rounds]` — the Monte-Carlo
+/// counterpart of the arrow statement probability, and the data behind the
+/// probability-vs-time curves of experiment E12.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmpiricalCdf {
+    /// `hits[t]` = number of trials whose first hit was at round `t`.
+    hits: Vec<u64>,
+    /// Trials that never hit within the simulation cap.
+    censored: u64,
+    /// Cumulative hit counts.
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl EmpiricalCdf {
+    /// Builds the distribution from raw counts.
+    pub fn from_counts(hits: Vec<u64>, censored: u64) -> EmpiricalCdf {
+        let mut cumulative = Vec::with_capacity(hits.len());
+        let mut run = 0u64;
+        for &h in &hits {
+            run += h;
+            cumulative.push(run);
+        }
+        let total = run + censored;
+        EmpiricalCdf {
+            hits,
+            censored,
+            cumulative,
+            total,
+        }
+    }
+
+    /// Number of trials aggregated (hit + censored).
+    pub fn trials(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of censored trials.
+    pub fn censored(&self) -> u64 {
+        self.censored
+    }
+
+    /// The largest round for which the curve is defined (the simulation
+    /// cap).
+    pub fn max_round(&self) -> u32 {
+        self.hits.len().saturating_sub(1) as u32
+    }
+
+    /// Point estimate of `P[hit within t]`.
+    pub fn prob_within(&self, t: u32) -> Prob {
+        if self.total == 0 {
+            return Prob::ZERO;
+        }
+        let idx = (t as usize).min(self.cumulative.len().saturating_sub(1));
+        let hits = if self.cumulative.is_empty() {
+            0
+        } else {
+            self.cumulative[idx]
+        };
+        Prob::clamped(hits as f64 / self.total as f64)
+    }
+
+    /// Wilson confidence interval for `P[hit within t]` at z-value `z`.
+    pub fn prob_within_ci(&self, t: u32, z: f64) -> ProbInterval {
+        let idx = (t as usize).min(self.cumulative.len().saturating_sub(1));
+        let hits = if self.cumulative.is_empty() {
+            0
+        } else {
+            self.cumulative[idx]
+        };
+        let mut est = BernoulliEstimator::new();
+        // Reconstruct the estimator from counts.
+        for _ in 0..hits {
+            est.record(true);
+        }
+        for _ in 0..(self.total - hits) {
+            est.record(false);
+        }
+        est.wilson_interval(z)
+    }
+
+    /// The curve as `(round, estimate)` points.
+    pub fn points(&self) -> impl Iterator<Item = (u32, Prob)> + '_ {
+        (0..self.hits.len()).map(|t| (t as u32, self.prob_within(t as u32)))
+    }
+
+    /// Mean hitting time over the *uncensored* trials, if any hit.
+    pub fn mean_hit_time(&self) -> Option<f64> {
+        let hit_total: u64 = self.hits.iter().sum();
+        if hit_total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .hits
+            .iter()
+            .enumerate()
+            .map(|(t, &h)| t as f64 * h as f64)
+            .sum();
+        Some(sum / hit_total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmpiricalCdf {
+        // 10 trials: hits at rounds 0(×2), 1(×3), 3(×4); 1 censored.
+        EmpiricalCdf::from_counts(vec![2, 3, 0, 4], 1)
+    }
+
+    #[test]
+    fn prob_within_accumulates() {
+        let c = sample();
+        assert_eq!(c.trials(), 10);
+        assert_eq!(c.prob_within(0).value(), 0.2);
+        assert_eq!(c.prob_within(1).value(), 0.5);
+        assert_eq!(c.prob_within(2).value(), 0.5);
+        assert_eq!(c.prob_within(3).value(), 0.9);
+        // Past the cap, the curve is flat at the last value.
+        assert_eq!(c.prob_within(99).value(), 0.9);
+    }
+
+    #[test]
+    fn censored_trials_lower_the_curve() {
+        let c = sample();
+        assert_eq!(c.censored(), 1);
+        assert!(c.prob_within(c.max_round()).value() < 1.0);
+    }
+
+    #[test]
+    fn mean_hit_time_ignores_censored() {
+        let c = sample();
+        // (0·2 + 1·3 + 3·4) / 9 = 15/9.
+        assert!((c.mean_hit_time().unwrap() - 15.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = EmpiricalCdf::from_counts(vec![], 0);
+        assert_eq!(c.prob_within(5), Prob::ZERO);
+        assert_eq!(c.mean_hit_time(), None);
+        assert_eq!(c.trials(), 0);
+    }
+
+    #[test]
+    fn points_enumerate_curve() {
+        let c = sample();
+        let pts: Vec<(u32, f64)> = c.points().map(|(t, p)| (t, p.value())).collect();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], (0, 0.2));
+        assert_eq!(pts[3], (3, 0.9));
+    }
+
+    #[test]
+    fn ci_brackets_point_estimate() {
+        let c = sample();
+        let ci = c.prob_within_ci(1, pa_prob::stats::Z_95);
+        assert!(ci.contains(c.prob_within(1)));
+    }
+}

@@ -1,0 +1,33 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for simulation runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A run configuration asked for zero trials.
+    NoTrials,
+    /// A worker thread panicked; the panic payload is summarized.
+    WorkerPanicked,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoTrials => write!(f, "simulation requires at least one trial"),
+            SimError::WorkerPanicked => write!(f, "a simulation worker thread panicked"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimError::NoTrials.to_string().is_empty());
+        assert!(!SimError::WorkerPanicked.to_string().is_empty());
+    }
+}

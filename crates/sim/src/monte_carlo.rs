@@ -1,0 +1,264 @@
+use pa_prob::rng::SplitMix64;
+use pa_prob::stats::{BernoulliEstimator, OnlineStats};
+
+use crate::{rounds_to_hit, SimError, Simulable};
+
+/// Configuration for a batch of Monte-Carlo trials.
+///
+/// Results are deterministic in `(seed, trials, max_rounds)` and independent
+/// of the number of worker threads: trial `i` always runs on the generator
+/// `SplitMix64::for_trial(seed, i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Base seed; each trial derives its own stream.
+    pub seed: u64,
+    /// Censoring cap on rounds per trial.
+    pub max_rounds: u32,
+}
+
+impl MonteCarlo {
+    /// Creates a configuration.
+    pub fn new(trials: u64, seed: u64, max_rounds: u32) -> MonteCarlo {
+        MonteCarlo {
+            trials,
+            seed,
+            max_rounds,
+        }
+    }
+
+    fn worker_count(&self) -> u64 {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1);
+        hw.min(self.trials).max(1)
+    }
+
+    /// Runs the trials, reducing each trial's hit round (or censoring) into
+    /// an accumulator. `make_acc` creates a per-worker accumulator, `fold`
+    /// consumes one trial outcome, `merge` combines worker accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoTrials`] for an empty batch and
+    /// [`SimError::WorkerPanicked`] if a worker thread panics.
+    pub fn run_fold<S, Acc>(
+        &self,
+        system: &S,
+        pred: impl Fn(&S::State) -> bool + Sync,
+        make_acc: impl Fn() -> Acc + Sync,
+        fold: impl Fn(&mut Acc, Option<u32>) + Sync,
+        mut merge: impl FnMut(&mut Acc, Acc),
+    ) -> Result<Acc, SimError>
+    where
+        S: Simulable + Sync,
+        Acc: Send,
+    {
+        if self.trials == 0 {
+            return Err(SimError::NoTrials);
+        }
+        let workers = self.worker_count();
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let pred = &pred;
+                let make_acc = &make_acc;
+                let fold = &fold;
+                let cfg = *self;
+                handles.push(scope.spawn(move |_| {
+                    let mut acc = make_acc();
+                    let mut i = w;
+                    while i < cfg.trials {
+                        let mut rng = SplitMix64::for_trial(cfg.seed, i);
+                        let hit = rounds_to_hit(system, pred, cfg.max_rounds, &mut rng);
+                        fold(&mut acc, hit);
+                        i += workers;
+                    }
+                    acc
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Result<Vec<Acc>, _>>()
+        })
+        .map_err(|_| SimError::WorkerPanicked)?
+        .map_err(|_| SimError::WorkerPanicked)?;
+
+        let mut iter = results.into_iter();
+        let mut total = iter.next().expect("at least one worker");
+        for acc in iter {
+            merge(&mut total, acc);
+        }
+        Ok(total)
+    }
+
+    /// Estimates `P[hit pred within `deadline` rounds]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarlo::run_fold`].
+    pub fn hitting_prob_within<S>(
+        &self,
+        system: &S,
+        pred: impl Fn(&S::State) -> bool + Sync,
+        deadline: u32,
+    ) -> Result<BernoulliEstimator, SimError>
+    where
+        S: Simulable + Sync,
+    {
+        self.run_fold(
+            system,
+            pred,
+            BernoulliEstimator::new,
+            |acc, hit| acc.record(matches!(hit, Some(r) if r <= deadline)),
+            |a, b| a.merge(&b),
+        )
+    }
+
+    /// Estimates the distribution of the hitting time: summary statistics
+    /// over the uncensored trials plus the number of censored trials.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarlo::run_fold`].
+    pub fn hitting_time_stats<S>(
+        &self,
+        system: &S,
+        pred: impl Fn(&S::State) -> bool + Sync,
+    ) -> Result<(OnlineStats, u64), SimError>
+    where
+        S: Simulable + Sync,
+    {
+        self.run_fold(
+            system,
+            pred,
+            || (OnlineStats::new(), 0u64),
+            |acc, hit| match hit {
+                Some(r) => acc.0.push(f64::from(r)),
+                None => acc.1 += 1,
+            },
+            |a, b| {
+                a.0.merge(&b.0);
+                a.1 += b.1;
+            },
+        )
+    }
+
+    /// Estimates the full probability-vs-time curve: for each round
+    /// `t = 0..=max_rounds`, the estimated `P[hit within t]`. One pass over
+    /// the trials (each trial contributes its hit round once).
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarlo::run_fold`].
+    pub fn hitting_cdf<S>(
+        &self,
+        system: &S,
+        pred: impl Fn(&S::State) -> bool + Sync,
+    ) -> Result<crate::EmpiricalCdf, SimError>
+    where
+        S: Simulable + Sync,
+    {
+        let max = self.max_rounds;
+        let (hits, censored) = self.run_fold(
+            system,
+            pred,
+            || (vec![0u64; max as usize + 1], 0u64),
+            |acc, hit| match hit {
+                Some(r) => acc.0[r as usize] += 1,
+                None => acc.1 += 1,
+            },
+            |a, b| {
+                for (x, y) in a.0.iter_mut().zip(b.0) {
+                    *x += y;
+                }
+                a.1 += b.1;
+            },
+        )?;
+        Ok(crate::EmpiricalCdf::from_counts(hits, censored))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_prob::Prob;
+    use rand::RngExt;
+
+    /// One fair coin per round; hit = heads.
+    struct CoinRace;
+
+    impl Simulable for CoinRace {
+        type State = bool;
+
+        fn initial(&self, _rng: &mut SplitMix64) -> bool {
+            false
+        }
+
+        fn step_round(&self, state: bool, rng: &mut SplitMix64) -> bool {
+            state || rng.random_bool(0.5)
+        }
+    }
+
+    #[test]
+    fn hitting_prob_matches_geometric_law() {
+        let mc = MonteCarlo::new(20_000, 42, 50);
+        let est = mc.hitting_prob_within(&CoinRace, |s| *s, 3).unwrap();
+        // P[hit within 3 rounds] = 1 - (1/2)^3 = 0.875.
+        let ci = est.wilson_interval(pa_prob::stats::Z_99);
+        assert!(ci.contains(Prob::new(0.875).unwrap()), "{ci}");
+    }
+
+    #[test]
+    fn hitting_time_mean_matches_geometric_expectation() {
+        let mc = MonteCarlo::new(20_000, 7, 200);
+        let (stats, censored) = mc.hitting_time_stats(&CoinRace, |s| *s).unwrap();
+        assert_eq!(censored, 0);
+        assert!((stats.mean() - 2.0).abs() < 0.05, "{}", stats.mean());
+    }
+
+    #[test]
+    fn results_are_deterministic_in_seed() {
+        let mc = MonteCarlo::new(1000, 5, 50);
+        let a = mc.hitting_prob_within(&CoinRace, |s| *s, 2).unwrap();
+        let b = mc.hitting_prob_within(&CoinRace, |s| *s, 2).unwrap();
+        assert_eq!(a, b);
+        let mc2 = MonteCarlo::new(1000, 6, 50);
+        let c = mc2.hitting_prob_within(&CoinRace, |s| *s, 2).unwrap();
+        assert_ne!(a.successes(), c.successes());
+    }
+
+    #[test]
+    fn zero_trials_is_an_error() {
+        let mc = MonteCarlo::new(0, 1, 10);
+        assert_eq!(
+            mc.hitting_prob_within(&CoinRace, |s| *s, 2).unwrap_err(),
+            SimError::NoTrials
+        );
+    }
+
+    #[test]
+    fn censoring_counts_trials_past_cap() {
+        // Impossible predicate: everything censors.
+        let mc = MonteCarlo::new(100, 1, 5);
+        let (stats, censored) = mc.hitting_time_stats(&CoinRace, |_| false).unwrap();
+        assert_eq!(censored, 100);
+        assert_eq!(stats.count(), 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_matches_law() {
+        let mc = MonteCarlo::new(20_000, 11, 30);
+        let cdf = mc.hitting_cdf(&CoinRace, |s| *s).unwrap();
+        let mut last = 0.0;
+        for t in 0..=30 {
+            let p = cdf.prob_within(t).value();
+            assert!(p >= last);
+            last = p;
+        }
+        assert!((cdf.prob_within(1).value() - 0.5).abs() < 0.02);
+        assert!((cdf.prob_within(3).value() - 0.875).abs() < 0.02);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the Monte-Carlo substrate.
+
+use pa_prob::rng::SplitMix64;
+use pa_sim::{EmpiricalCdf, MonteCarlo, Simulable};
+use proptest::prelude::*;
+use rand::RngExt;
+
+/// A biased-coin system parameterized by the success probability (in
+/// 1/256ths, so it is `Copy` and hashable for proptest).
+#[derive(Clone, Copy)]
+struct Biased(u8);
+
+impl Simulable for Biased {
+    type State = bool;
+
+    fn initial(&self, _rng: &mut SplitMix64) -> bool {
+        false
+    }
+
+    fn step_round(&self, state: bool, rng: &mut SplitMix64) -> bool {
+        state || rng.random_range(0u32..256) < u32::from(self.0)
+    }
+}
+
+proptest! {
+    #[test]
+    fn estimates_are_deterministic_in_configuration(
+        p in 1u8..=255, trials in 1u64..500, seed in any::<u64>(), deadline in 0u32..20,
+    ) {
+        let mc = MonteCarlo::new(trials, seed, 50);
+        let a = mc.hitting_prob_within(&Biased(p), |s| *s, deadline).unwrap();
+        let b = mc.hitting_prob_within(&Biased(p), |s| *s, deadline).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(p in 1u8..=255, seed in any::<u64>()) {
+        let mc = MonteCarlo::new(500, seed, 30);
+        let cdf = mc.hitting_cdf(&Biased(p), |s| *s).unwrap();
+        let mut last = 0.0;
+        for t in 0..=30 {
+            let v = cdf.prob_within(t).value();
+            prop_assert!(v >= last - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+        prop_assert_eq!(cdf.trials(), 500);
+    }
+
+    #[test]
+    fn cdf_counts_partition_trials(hits in prop::collection::vec(0u64..50, 1..10), censored in 0u64..50) {
+        let total: u64 = hits.iter().sum::<u64>() + censored;
+        let cdf = EmpiricalCdf::from_counts(hits.clone(), censored);
+        prop_assert_eq!(cdf.trials(), total);
+        prop_assert_eq!(cdf.censored(), censored);
+        if total > 0 {
+            let final_p = cdf.prob_within(cdf.max_round()).value();
+            let expected = (total - censored) as f64 / total as f64;
+            prop_assert!((final_p - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_and_cdf_agree_on_mean(p in 32u8..=255, seed in any::<u64>()) {
+        let mc = MonteCarlo::new(400, seed, 200);
+        let (stats, censored) = mc.hitting_time_stats(&Biased(p), |s| *s).unwrap();
+        let cdf = mc.hitting_cdf(&Biased(p), |s| *s).unwrap();
+        prop_assert_eq!(censored, cdf.censored());
+        if stats.count() > 0 {
+            prop_assert!((stats.mean() - cdf.mean_hit_time().unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_success_probability_hits_no_later_stochastically(seed in any::<u64>()) {
+        let mc = MonteCarlo::new(2_000, seed, 100);
+        let lo = mc.hitting_prob_within(&Biased(32), |s| *s, 3).unwrap();
+        let hi = mc.hitting_prob_within(&Biased(224), |s| *s, 3).unwrap();
+        // 7/8 per round vs 1/8 per round: a large gap that survives noise.
+        prop_assert!(hi.point().unwrap().value() > lo.point().unwrap().value());
+    }
+}

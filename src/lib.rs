@@ -1,0 +1,36 @@
+//! # timebounds
+//!
+//! A reproduction of **Lynch, Saias & Segala, "Proving Time Bounds for
+//! Randomized Distributed Algorithms" (PODC 1994)** as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members under stable names:
+//!
+//! * [`prob`] — probability substrate (distributions, statistics, RNG).
+//! * [`core`] — the paper's probabilistic-automaton model, adversaries,
+//!   event schemas, and the `U —t→_p U'` arrow calculus (Sections 2–4).
+//! * [`mdp`] — explicit-state MDP model-checking substrate used to verify
+//!   arrow claims exactly against *all* adversaries of a schema.
+//! * [`sim`] — Monte-Carlo simulation substrate for statistical estimation.
+//! * [`lehmann_rabin`] — the Lehmann–Rabin Dining Philosophers case study
+//!   (Sections 5–6 and the appendix).
+//!
+//! # Quick start
+//!
+//! ```
+//! use timebounds::lehmann_rabin::{check_arrow, paper, RoundConfig, RoundMdp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Check the paper's G —5→_{1/4} P arrow exactly for a ring of 3.
+//! let claim = paper::arrow_g_to_p();
+//! let mdp = RoundMdp::new(RoundConfig::new(3)?);
+//! let report = check_arrow(&mdp, &claim)?;
+//! assert!(report.holds());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pa_core as core;
+pub use pa_lehmann_rabin as lehmann_rabin;
+pub use pa_mdp as mdp;
+pub use pa_prob as prob;
+pub use pa_sim as sim;

@@ -1,0 +1,156 @@
+//! Cross-validation between the exact checker (pa-mdp backward induction)
+//! and the statistical estimator (pa-sim Monte-Carlo): independent
+//! implementations of the same semantics must agree.
+
+use timebounds::lehmann_rabin::{
+    check_arrow, paper, regions, round_cost, sims, RoundConfig, RoundMdp,
+};
+use timebounds::mdp::{cost_bounded_reach_levels, explore, Objective};
+use timebounds::prob::stats::Z_99;
+use timebounds::prob::Prob;
+use timebounds::sim::MonteCarlo;
+
+#[test]
+fn concrete_schedulers_dominate_the_exact_worst_case() {
+    let exact_worst = check_arrow(
+        &RoundMdp::new(RoundConfig::new(3).unwrap()),
+        &paper::arrow_t_to_c(),
+    )
+    .unwrap()
+    .measured
+    .lo();
+    let mc = MonteCarlo::new(20_000, 5, 60);
+    for which in 0..3 {
+        let ci = match which {
+            0 => {
+                let s = sims::LrSim::new(3, sims::RoundRobin)
+                    .unwrap()
+                    .with_start(sims::all_trying(3).unwrap());
+                mc.hitting_prob_within(&s, |x| regions::in_c(&x.config), 13)
+                    .unwrap()
+                    .wilson_interval(Z_99)
+            }
+            1 => {
+                let s = sims::LrSim::new(3, sims::UniformRandom)
+                    .unwrap()
+                    .with_start(sims::all_trying(3).unwrap());
+                mc.hitting_prob_within(&s, |x| regions::in_c(&x.config), 13)
+                    .unwrap()
+                    .wilson_interval(Z_99)
+            }
+            _ => {
+                let s = sims::LrSim::new(3, sims::AntiProgress)
+                    .unwrap()
+                    .with_start(sims::all_trying(3).unwrap());
+                mc.hitting_prob_within(&s, |x| regions::in_c(&x.config), 13)
+                    .unwrap()
+                    .wilson_interval(Z_99)
+            }
+        };
+        assert!(
+            ci.hi().at_least(exact_worst),
+            "scheduler {which}: CI {ci} below exact worst case {exact_worst}"
+        );
+    }
+}
+
+/// The exact probability-vs-time curve from the all-trying start must
+/// bracket the Monte-Carlo CDF of a concrete scheduler from below (the
+/// exact value is the minimum over all adversaries, the simulated scheduler
+/// is just one of them).
+#[test]
+fn exact_curve_lower_bounds_simulated_cdf() {
+    let all_trying = sims::all_trying(3).unwrap();
+    let mdp = RoundMdp::new(RoundConfig::new(3).unwrap())
+        .with_starts(vec![all_trying.clone()])
+        .with_absorb(regions::in_c);
+    let explored = explore(&mdp, round_cost, 10_000_000).unwrap();
+    let target = explored.target_where(|rs| regions::in_c(&rs.config));
+    let start = explored.mdp.initial_states()[0];
+    let mut exact_curve = vec![0.0f64]; // t = 0
+    cost_bounded_reach_levels(&explored.mdp, &target, 19, Objective::MinProb, |_, v| {
+        exact_curve.push(v[start]);
+    })
+    .unwrap();
+
+    let sim = sims::LrSim::new(3, sims::UniformRandom)
+        .unwrap()
+        .with_start(all_trying);
+    let mc = MonteCarlo::new(30_000, 11, 20);
+    let cdf = mc.hitting_cdf(&sim, |s| regions::in_c(&s.config)).unwrap();
+    for t in 0..=20u32 {
+        let exact = exact_curve[t as usize];
+        let ci = cdf.prob_within_ci(t, Z_99);
+        assert!(
+            ci.hi().value() + 1e-9 >= exact,
+            "t={t}: simulated CI {ci} below exact worst case {exact}"
+        );
+    }
+    // And the curve shapes agree qualitatively: both are 0 before round 4
+    // (a meal takes flip, wait, second, crit) and near 1 by round 20.
+    assert_eq!(exact_curve[3], 0.0);
+    assert_eq!(cdf.prob_within(3), Prob::ZERO);
+    assert!(exact_curve[20] > 0.99);
+    assert!(cdf.prob_within(20).value() > 0.99);
+}
+
+/// Replaying the extracted optimal (minimizing) policy through the explicit
+/// MDP by direct sampling reproduces the backward-induction value — the
+/// policy really is the worst-case adversary it claims to be.
+#[test]
+fn extracted_worst_case_policy_reproduces_its_value() {
+    use rand::RngExt;
+    use timebounds::mdp::cost_bounded_reach_with_policy;
+    use timebounds::prob::rng::SplitMix64;
+
+    let all_trying = sims::all_trying(3).unwrap();
+    let mdp = RoundMdp::new(RoundConfig::new(3).unwrap())
+        .with_starts(vec![all_trying])
+        .with_absorb(regions::in_c);
+    let explored = explore(&mdp, round_cost, 10_000_000).unwrap();
+    let target = explored.target_where(|rs| regions::in_c(&rs.config));
+    let budget = 12u32; // time 13
+    let (values, policy) =
+        cost_bounded_reach_with_policy(&explored.mdp, &target, budget, Objective::MinProb).unwrap();
+    let start = explored.mdp.initial_states()[0];
+
+    // Sample trajectories following the policy.
+    let trials = 40_000u64;
+    let mut hits = 0u64;
+    for trial in 0..trials {
+        let mut rng = SplitMix64::for_trial(99, trial);
+        let mut state = start;
+        let mut remaining = budget;
+        loop {
+            if target[state] {
+                hits += 1;
+                break;
+            }
+            let Some(choice_idx) = policy.choice(state, remaining) else {
+                break; // absorbing non-target state
+            };
+            let choice = &explored.mdp.choices(state)[choice_idx as usize];
+            if choice.cost > remaining {
+                break; // out of time budget
+            }
+            remaining -= choice.cost;
+            // Sample the successor.
+            let mut x: f64 = rng.random();
+            let mut next = choice.transitions[0].0;
+            for &(t, p) in &choice.transitions {
+                if x < p {
+                    next = t;
+                    break;
+                }
+                x -= p;
+            }
+            state = next;
+        }
+    }
+    let simulated = hits as f64 / trials as f64;
+    let exact = values[start];
+    assert!(
+        (simulated - exact).abs() < 0.01,
+        "policy replay {simulated} vs exact {exact}"
+    );
+}

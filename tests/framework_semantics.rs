@@ -1,0 +1,147 @@
+//! Cross-crate semantic checks: the execution-tree view (pa-core), the
+//! MDP view (pa-mdp) and the timed patient construction must assign the
+//! same probabilities to the same behaviours.
+
+use timebounds::core::{
+    schema, Adversary, Automaton, EventSchema, Eventually, ExecTree, FirstEnabled, FnAdversary,
+    Fragment, Patient, ReachWithin, TableAutomaton, TimedAction, TimedState,
+};
+use timebounds::mdp::{cost_bounded_reach, explore, reach_prob, IterOptions, Objective};
+
+type M = TableAutomaton<&'static str, &'static str>;
+
+fn retry_machine() -> M {
+    TableAutomaton::builder()
+        .start("try")
+        .step("try", "flip", [("won", 0.5), ("try", 0.5)])
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// On a fully probabilistic system, the exec-tree probability of
+/// "eventually won" after k steps equals the MDP's k-cost-bounded
+/// reachability (both are 1 − (1/2)^k).
+#[test]
+fn exec_tree_and_mdp_agree_on_bounded_reachability() {
+    let m = retry_machine();
+    for k in 1..=6usize {
+        let tree = ExecTree::build(&m, &FirstEnabled, Fragment::initial("try"), k).unwrap();
+        let tree_prob = Eventually::new(|s: &&str| *s == "won")
+            .probability(&tree)
+            .lo()
+            .value();
+
+        let e = explore(&m, |_, _| 1, 1000).unwrap();
+        let target = e.target_where(|s| *s == "won");
+        let v = cost_bounded_reach(&e.mdp, &target, k as u32, Objective::MinProb).unwrap();
+        let mdp_prob = v[e.mdp.initial_states()[0]];
+
+        assert!(
+            (tree_prob - mdp_prob).abs() < 1e-12,
+            "k={k}: tree {tree_prob} vs mdp {mdp_prob}"
+        );
+        let law = 1.0 - 0.5f64.powi(k as i32);
+        assert!((tree_prob - law).abs() < 1e-12);
+    }
+}
+
+/// The patient construction plus `ReachWithin` computes the same numbers
+/// as the cost-based MDP encoding of time.
+#[test]
+fn patient_construction_matches_cost_encoding() {
+    let timed = Patient::new(retry_machine());
+    // Adversary: flip once per tick (base step then tick, repeatedly).
+    let adv = FnAdversary::new(
+        |m: &Patient<M>, f: &Fragment<TimedState<&'static str>, TimedAction<&'static str>>| {
+            let last_was_base = matches!(f.actions().last(), Some(TimedAction::Base(_)));
+            m.steps(f.lstate()).into_iter().find(|s| {
+                if last_was_base {
+                    s.action == TimedAction::Tick
+                } else {
+                    matches!(s.action, TimedAction::Base(_))
+                }
+            })
+        },
+    );
+    let start = Fragment::initial(TimedState {
+        base: "try",
+        ticks: 0,
+    });
+    let tree = ExecTree::build(&timed, &adv, start, 16).unwrap();
+    for deadline in 0..6u32 {
+        let p = ReachWithin::new(
+            |s: &TimedState<&'static str>| s.base == "won",
+            deadline.into(),
+        )
+        .probability(&tree)
+        .lo()
+        .value();
+        // Flips happen at times 0, 1, 2, …: by time t there were t+1 flips.
+        let law = 1.0 - 0.5f64.powi(deadline as i32 + 1);
+        assert!((p - law).abs() < 1e-12, "t={deadline}: {p} vs {law}");
+    }
+}
+
+/// Unbounded reachability agrees with the limit of the bounded values.
+#[test]
+fn unbounded_reach_is_the_limit_of_bounded() {
+    let m = retry_machine();
+    let e = explore(&m, |_, _| 1, 1000).unwrap();
+    let target = e.target_where(|s| *s == "won");
+    let unbounded = reach_prob(&e.mdp, &target, Objective::MinProb, IterOptions::default())
+        .unwrap()[e.mdp.initial_states()[0]];
+    let bounded_50 = cost_bounded_reach(&e.mdp, &target, 50, Objective::MinProb).unwrap()
+        [e.mdp.initial_states()[0]];
+    assert!((unbounded - 1.0).abs() < 1e-9);
+    assert!(
+        unbounded >= bounded_50 - 1e-9,
+        "limit dominates up to VI tolerance"
+    );
+    assert!(unbounded - bounded_50 < 1e-9);
+}
+
+/// Definition 3.3 machinery: a family of memoryless adversaries is
+/// execution-closed; the round model's scheduler-relevant state lives in
+/// the state space, which is the structural argument used for Unit-Time.
+#[test]
+fn memoryless_families_are_execution_closed() {
+    let m = TableAutomaton::builder()
+        .start(0u8)
+        .det_step(0, 'a', 1)
+        .det_step(0, 'b', 2)
+        .det_step(1, 'c', 0)
+        .det_step(2, 'd', 0)
+        .build()
+        .unwrap();
+    let first = FirstEnabled;
+    let last = FnAdversary::new(|m: &TableAutomaton<u8, char>, f: &Fragment<u8, char>| {
+        m.steps(f.lstate()).into_iter().last()
+    });
+    let family: Vec<&dyn Adversary<TableAutomaton<u8, char>>> = vec![&first, &last];
+    assert!(schema::check_execution_closed(&m, &family, 3, 2).is_ok());
+}
+
+/// A step-counting adversary is the canonical violation of execution
+/// closure — composability (Theorem 3.4) would be unsound for its
+/// singleton schema, which the checker detects.
+#[test]
+fn step_counter_violates_execution_closure() {
+    let m = TableAutomaton::builder()
+        .start(0u8)
+        .det_step(0, 'a', 1)
+        .det_step(1, 'b', 2)
+        .det_step(2, 'c', 3)
+        .build()
+        .unwrap();
+    let counter = FnAdversary::new(|m: &TableAutomaton<u8, char>, f: &Fragment<u8, char>| {
+        if f.len() < 2 {
+            m.steps(f.lstate()).into_iter().next()
+        } else {
+            None
+        }
+    });
+    let family: Vec<&dyn Adversary<TableAutomaton<u8, char>>> = vec![&counter];
+    let err = schema::check_execution_closed(&m, &family, 2, 2).unwrap_err();
+    assert!(!err.prefix.is_empty());
+}
