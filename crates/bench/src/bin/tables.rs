@@ -4,14 +4,36 @@
 //! cargo run --release -p pa-bench --bin tables            # all experiments
 //! cargo run --release -p pa-bench --bin tables -- e5 e7   # selected ones
 //! cargo run --release -p pa-bench --bin tables -- --full  # larger rings
+//! cargo run --release -p pa-bench --bin tables -- --bench-json
+//!                                     # regenerate BENCH_mdp.json instead
 //! ```
 
 use std::error::Error;
 
-use pa_bench::{experiments, render_table, Row, Verdict};
+use pa_bench::{experiments, perf, render_table, Row, Verdict};
+use serde::Serialize;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bench-json") {
+        let report = perf::bench_report(3_000_000)?;
+        let path = "BENCH_mdp.json";
+        std::fs::write(path, perf::pretty_json(&report.to_json()))?;
+        println!("wrote {path}");
+        for ring in &report.rings {
+            println!(
+                "n={}: explore {:.0} -> {:.0} states/s ({:.2}x), VI {:.2} -> {:.2} sweeps/s ({:.2}x)",
+                ring.n,
+                ring.explore_states_per_sec.baseline_per_sec,
+                ring.explore_states_per_sec.csr_per_sec,
+                ring.explore_states_per_sec.speedup,
+                ring.vi_sweeps_per_sec.baseline_per_sec,
+                ring.vi_sweeps_per_sec.csr_per_sec,
+                ring.vi_sweeps_per_sec.speedup,
+            );
+        }
+        return Ok(());
+    }
     let full = args.iter().any(|a| a == "--full");
     let selected: Vec<String> = args
         .iter()

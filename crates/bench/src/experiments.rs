@@ -16,7 +16,7 @@ use pa_lehmann_rabin::{
     set_pred, sims, verify_lemma_6_1, Config, LrAction, LrProtocol, Pc, RoundConfig, RoundMdp,
     Side, UserModel,
 };
-use pa_mdp::{cost_bounded_reach_levels, explore, Objective};
+use pa_mdp::{cost_bounded_reach_levels, par_explore, Objective};
 use pa_prob::stats::Z_99;
 use pa_prob::Prob;
 use pa_sim::MonteCarlo;
@@ -468,7 +468,7 @@ pub fn ablation(n: usize) -> ExpResult {
         .clone()
         .with_starts(vec![all_trying])
         .with_absorb(regions::in_c);
-    let explored = explore(&model, round_cost, STATE_LIMIT)?;
+    let explored = par_explore(&model, round_cost, STATE_LIMIT)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let start = explored.mdp.initial_states()[0];
     let mut curve = Vec::new();

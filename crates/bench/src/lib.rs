@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 mod table;
 
 pub use table::{render_table, Row, Verdict};

@@ -1,0 +1,415 @@
+//! Engine-throughput measurements behind `tables --bench-json`.
+//!
+//! Produces `BENCH_mdp.json`: exploration states/sec and value-iteration
+//! sweeps/sec on the Lehmann–Rabin ring (saturating user model, the state
+//! space of the paper's progress analysis) for `n = 3..=7`, measured for
+//! both the seed engine (serial SipHash exploration, nested Gauss–Seidel
+//! sweeps) and the CSR engine this workspace now runs on. The JSON is the
+//! perf trajectory artifact: regenerate it after engine changes and diff.
+//!
+//! Sweep throughput is measured by running value iteration with a
+//! *negative* epsilon, which disables early convergence exit in both
+//! engines so that exactly `max_sweeps` full sweeps execute.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use pa_core::Automaton;
+use pa_lehmann_rabin::{regions, LrProtocol, UserModel};
+use pa_mdp::{
+    par_explore, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective,
+};
+use serde::Serialize;
+
+/// The seed engine's exploration, reproduced verbatim for baseline timing:
+/// serial BFS interning *cloned* states through a default-SipHash
+/// `HashMap`, cloning the source state again for every expansion.
+pub fn explore_seed_style<M: Automaton>(
+    automaton: &M,
+    mut cost_of: impl FnMut(&M::State, &M::Action) -> u32,
+    limit: usize,
+) -> Result<ExplicitMdp, MdpError> {
+    let mut states: Vec<M::State> = Vec::new();
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut choices: Vec<Vec<Choice>> = Vec::new();
+
+    let intern = |s: M::State,
+                  states: &mut Vec<M::State>,
+                  index: &mut HashMap<M::State, usize>,
+                  queue: &mut VecDeque<usize>|
+     -> Result<usize, MdpError> {
+        match index.entry(s) {
+            Entry::Occupied(e) => Ok(*e.get()),
+            Entry::Vacant(e) => {
+                let id = states.len();
+                if id >= limit {
+                    return Err(MdpError::StateLimitExceeded { limit });
+                }
+                states.push(e.key().clone());
+                e.insert(id);
+                queue.push_back(id);
+                Ok(id)
+            }
+        }
+    };
+
+    let mut initial = Vec::new();
+    for s in automaton.start_states() {
+        initial.push(intern(s, &mut states, &mut index, &mut queue)?);
+    }
+    while let Some(id) = queue.pop_front() {
+        let state = states[id].clone();
+        let mut cs = Vec::new();
+        for step in automaton.steps(&state) {
+            let cost = cost_of(&state, &step.action);
+            let mut transitions = Vec::with_capacity(step.target.len());
+            for (t, p) in step.target.iter() {
+                let ti = intern(t.clone(), &mut states, &mut index, &mut queue)?;
+                transitions.push((ti, p.value()));
+            }
+            cs.push(Choice { cost, transitions });
+        }
+        choices.push(cs);
+    }
+    ExplicitMdp::new(choices, initial)
+}
+
+/// Throughput of one exploration or sweep workload, baseline vs CSR.
+#[derive(Debug, Clone, Serialize)]
+pub struct Throughput {
+    /// Work units per second for the seed engine.
+    pub baseline_per_sec: f64,
+    /// Work units per second for the CSR engine.
+    pub csr_per_sec: f64,
+    /// `csr_per_sec / baseline_per_sec`.
+    pub speedup: f64,
+    /// Wall-clock seconds of the baseline run.
+    pub baseline_seconds: f64,
+    /// Wall-clock seconds of the CSR run.
+    pub csr_seconds: f64,
+}
+
+fn throughput(units: f64, baseline_seconds: f64, csr_seconds: f64) -> Throughput {
+    Throughput {
+        baseline_per_sec: units / baseline_seconds,
+        csr_per_sec: units / csr_seconds,
+        speedup: baseline_seconds / csr_seconds,
+        baseline_seconds,
+        csr_seconds,
+    }
+}
+
+/// One ring size's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct RingBench {
+    /// Ring size.
+    pub n: usize,
+    /// Reachable states of the saturating-user protocol automaton.
+    pub states: usize,
+    /// Total nondeterministic choices.
+    pub choices: usize,
+    /// Total probabilistic transitions.
+    pub transitions: usize,
+    /// Full Jacobi/Gauss–Seidel sweeps timed for the sweep metric.
+    pub sweeps_timed: usize,
+    /// Seconds to flatten the nested model into CSR (one-time cost).
+    pub csr_build_seconds: f64,
+    /// Exploration throughput in states/sec.
+    pub explore_states_per_sec: Throughput,
+    /// Value-iteration throughput in sweeps/sec.
+    pub vi_sweeps_per_sec: Throughput,
+}
+
+/// Machine identification recorded alongside the numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct Machine {
+    /// CPU model string from `/proc/cpuinfo` (or "unknown").
+    pub cpu: String,
+    /// Logical cores visible to the process.
+    pub logical_cores: usize,
+    /// Total memory in GiB from `/proc/meminfo` (0.0 if unreadable).
+    pub memory_gib: f64,
+    /// `rustc --version` of the toolchain on `PATH` (or "unknown").
+    pub rustc: String,
+    /// Kernel identification (or "unknown").
+    pub os: String,
+}
+
+/// The whole `BENCH_mdp.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Artifact format tag.
+    pub schema: String,
+    /// Model measured.
+    pub model: String,
+    /// Command that regenerates the artifact.
+    pub regenerate: String,
+    /// Machine the numbers were taken on.
+    pub machine: Machine,
+    /// Per-ring-size measurements.
+    pub rings: Vec<RingBench>,
+}
+
+fn read_cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn read_memory_gib() -> f64 {
+    std::fs::read_to_string("/proc/meminfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("MemTotal"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map_or(0.0, |kb| kb / (1024.0 * 1024.0))
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn os_version() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| format!("Linux {}", s.trim()))
+        .unwrap_or_else(|_| "unknown".to_string())
+}
+
+/// Identifies the current machine.
+pub fn machine() -> Machine {
+    Machine {
+        cpu: read_cpu_model(),
+        logical_cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        memory_gib: read_memory_gib(),
+        rustc: rustc_version(),
+        os: os_version(),
+    }
+}
+
+/// Measures one ring size. Exploration is capped at `limit` states so the
+/// largest rings measure throughput without materializing the full space.
+pub fn bench_ring(n: usize, limit: usize) -> Result<RingBench, MdpError> {
+    let protocol = LrProtocol::new(n, UserModel::saturating()).expect("valid ring size");
+    let cost = |_: &pa_lehmann_rabin::Config, _: &pa_lehmann_rabin::LrAction| 1u32;
+
+    // Exploration: seed engine first, then the CSR-era engine. Drop the
+    // seed model before the second timed run — keeping gigabytes of nested
+    // `Vec`s alive would slow the second explorer's allocations and skew
+    // the comparison (measured: the ordering effect exceeded the engine
+    // delta at n = 7).
+    let t0 = Instant::now();
+    let seed_mdp = explore_seed_style(&protocol, cost, limit)?;
+    let explore_baseline = t0.elapsed().as_secs_f64();
+    let seed_states = seed_mdp.num_states();
+    drop(seed_mdp);
+
+    let t0 = Instant::now();
+    let mut explored = par_explore(&protocol, cost, limit)?;
+    let explore_csr = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        seed_states,
+        explored.mdp.num_states(),
+        "engines must agree on the state space"
+    );
+    let states = explored.mdp.num_states();
+    let choices = explored.mdp.num_choices();
+    let transitions = explored.mdp.num_transitions();
+
+    // Value iteration: fix the sweep count by size, disable early exit
+    // with a negative epsilon, and time full sweeps to the critical region.
+    let sweeps = (60_000_000 / transitions.max(1)).clamp(4, 64);
+    let opts = IterOptions {
+        epsilon: -1.0,
+        max_sweeps: sweeps,
+    };
+    let target = explored.target_where(regions::in_c);
+    // The intern map is dead weight from here on; free it so both VI
+    // engines sweep against the same live heap.
+    explored.index = Default::default();
+
+    let t0 = Instant::now();
+    let gs = reference::reach_prob_gauss_seidel(&explored.mdp, &target, Objective::MaxProb, opts)?;
+    let vi_baseline = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let csr = CsrMdp::from_explicit(&explored.mdp);
+    let csr_build = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let jacobi = csr.reach_prob(&target, Objective::MaxProb, opts, None)?;
+    let vi_csr = t0.elapsed().as_secs_f64();
+
+    // Both engines converge on this model well before the timed sweep
+    // budget, so cross-check the fixpoints while we have them.
+    let start = explored.mdp.initial_states()[0];
+    assert!(
+        (gs[start] - jacobi[start]).abs() < 1e-6,
+        "engines disagree: {} vs {}",
+        gs[start],
+        jacobi[start]
+    );
+
+    Ok(RingBench {
+        n,
+        states,
+        choices,
+        transitions,
+        sweeps_timed: sweeps,
+        csr_build_seconds: csr_build,
+        explore_states_per_sec: throughput(states as f64, explore_baseline, explore_csr),
+        vi_sweeps_per_sec: throughput(sweeps as f64, vi_baseline, vi_csr),
+    })
+}
+
+/// Runs the full `n = 3..=7` suite and renders `BENCH_mdp.json`.
+pub fn bench_report(limit: usize) -> Result<BenchReport, MdpError> {
+    let mut rings = Vec::new();
+    for n in 3..=7 {
+        eprintln!("benchmarking ring n={n}…");
+        rings.push(bench_ring(n, limit)?);
+    }
+    Ok(BenchReport {
+        schema: "pa-bench/mdp-throughput/v1".to_string(),
+        model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
+        regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
+        machine: machine(),
+        rings,
+    })
+}
+
+/// Re-indents a compact JSON document (2 spaces) so the artifact diffs
+/// cleanly between benchmark runs. String-literal aware; assumes valid
+/// JSON input, which [`Serialize::to_json`] guarantees.
+pub fn pretty_json(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_style_explore_matches_new_engine() {
+        use pa_mdp::explore;
+        let p = LrProtocol::new(3, UserModel::saturating()).unwrap();
+        let cost = |_: &pa_lehmann_rabin::Config, _: &pa_lehmann_rabin::LrAction| 1u32;
+        let old = explore_seed_style(&p, cost, 100_000).unwrap();
+        let new = explore(&p, cost, 100_000).unwrap();
+        assert_eq!(old.num_states(), new.mdp.num_states());
+        assert_eq!(old.num_choices(), new.mdp.num_choices());
+        for s in 0..old.num_states() {
+            assert_eq!(old.choices(s), new.mdp.choices(s));
+        }
+    }
+
+    #[test]
+    fn bench_ring_produces_sane_numbers() {
+        let b = bench_ring(3, 100_000).unwrap();
+        assert!(b.states > 0);
+        assert!(b.explore_states_per_sec.csr_per_sec > 0.0);
+        assert!(b.vi_sweeps_per_sec.baseline_per_sec > 0.0);
+        assert!(b.sweeps_timed >= 4);
+    }
+
+    #[test]
+    fn machine_identification_is_populated() {
+        let m = machine();
+        assert!(m.logical_cores >= 1);
+        assert!(!m.cpu.is_empty());
+    }
+
+    #[test]
+    fn pretty_json_preserves_content() {
+        let compact = r#"{"a":[1,2],"b":"x{,}[y]","c":{"d":1.5}}"#;
+        let pretty = pretty_json(compact);
+        let stripped: String = {
+            let mut out = String::new();
+            let mut in_string = false;
+            let mut escaped = false;
+            for c in pretty.chars() {
+                if in_string {
+                    out.push(c);
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        in_string = false;
+                    }
+                } else if c == '"' {
+                    in_string = true;
+                    out.push(c);
+                } else if !c.is_whitespace() {
+                    out.push(c);
+                }
+            }
+            out
+        };
+        assert_eq!(stripped, compact);
+        assert!(pretty.lines().count() > 5);
+    }
+}

@@ -4,7 +4,7 @@
 
 use pa_core::{Arrow, ArrowCheck, Derivation, SetExpr};
 use pa_mdp::{
-    cost_bounded_reach, explore, max_expected_cost, min_expected_cost, IterOptions, Objective,
+    cost_bounded_reach, max_expected_cost, min_expected_cost, par_explore, IterOptions, Objective,
 };
 use pa_prob::{Prob, ProbInterval};
 
@@ -157,7 +157,7 @@ pub fn set_pred(set: &SetExpr) -> Result<impl Fn(&Config) -> bool + Send + Sync,
 /// Propagates ring-size validation and state-limit errors.
 pub fn reachable_configs(n: usize, limit: usize) -> Result<Vec<Config>, LrError> {
     let protocol = crate::LrProtocol::new(n, crate::UserModel::full())?;
-    let explored = explore(&protocol, |_, _| 1, limit)?;
+    let explored = par_explore(&protocol, |_, _| 1, limit)?;
     Ok(explored.states)
 }
 
@@ -208,7 +208,7 @@ pub fn check_arrow_with_limit(
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = explore(&model, round_cost, limit)?;
+    let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let budget = time_to_budget(arrow.time());
     let values = cost_bounded_reach(&explored.mdp, &target, budget, Objective::MinProb)?;
@@ -260,7 +260,7 @@ pub fn max_expected_time(
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = explore(&model, round_cost, limit)?;
+    let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let expected = max_expected_cost(&explored.mdp, &target, IterOptions::default())?;
     let worst = expected.max_over(explored.mdp.initial_states().iter().copied())?;
@@ -297,7 +297,7 @@ pub fn min_expected_time(
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = explore(&model, round_cost, limit)?;
+    let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let expected = min_expected_cost(&explored.mdp, &target, IterOptions::default())?;
     let worst = expected.max_over(explored.mdp.initial_states().iter().copied())?;

@@ -11,7 +11,7 @@
 //! that forces repeated flip retries in the composed `T —13→ C` claim.
 
 use pa_core::Arrow;
-use pa_mdp::{cost_bounded_reach_with_policy, explore, Objective};
+use pa_mdp::{cost_bounded_reach_with_policy, par_explore, Objective};
 
 use crate::{
     reachable_configs, round_cost, set_pred, time_to_budget, Config, LrError, RoundAction, RoundMdp,
@@ -79,7 +79,7 @@ pub fn worst_case_witness(mdp: &RoundMdp, arrow: &Arrow, limit: usize) -> Result
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = explore(&model, round_cost, limit)?;
+    let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let budget = time_to_budget(arrow.time());
     let (values, policy) =

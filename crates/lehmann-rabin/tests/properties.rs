@@ -1,10 +1,11 @@
 //! Property-based tests for the Lehmann–Rabin protocol semantics.
 
-use pa_core::Automaton;
+use pa_core::{Automaton, Step};
 use pa_lehmann_rabin::{
-    lemma_6_1_invariant, regions, Config, LrProtocol, Pc, ProcState, RoundConfig, RoundMdp, Side,
-    UserModel,
+    lemma_6_1_invariant, regions, Config, LrAction, LrProtocol, Pc, ProcState, RoundConfig,
+    RoundMdp, Side, UserModel,
 };
+use pa_mdp::{cost_bounded_reach, explore, Objective};
 use pa_prob::rng::SplitMix64;
 use proptest::prelude::*;
 use rand::RngExt;
@@ -26,6 +27,53 @@ fn proc_state() -> impl Strategy<Value = ProcState> {
 /// is enforced by assumption filtering.
 fn consistent_config() -> impl Strategy<Value = Config> {
     (2usize..6, prop::collection::vec(proc_state(), 6))
+        .prop_map(|(n, procs)| {
+            let procs: Vec<ProcState> = procs.into_iter().take(n).collect();
+            let probe = Config::from_parts(procs.clone(), []).expect("valid size");
+            let taken: Vec<usize> = (0..n).filter(|&i| probe.derived_res_taken(i)).collect();
+            Config::from_parts(procs, taken).expect("valid size")
+        })
+        .prop_filter("exclusive resources", |c| {
+            (0..c.n()).all(|i| c.resource_exclusive(i))
+        })
+}
+
+/// The protocol automaton re-rooted at an arbitrary configuration, so
+/// analyses can start from any (not just the canonical initial) state.
+struct FromStart {
+    protocol: LrProtocol,
+    start: Config,
+}
+
+impl Automaton for FromStart {
+    type State = Config;
+    type Action = LrAction;
+
+    fn start_states(&self) -> Vec<Config> {
+        vec![self.start.clone()]
+    }
+
+    fn steps(&self, state: &Config) -> Vec<Step<Config, LrAction>> {
+        self.protocol.steps(state)
+    }
+}
+
+/// Rotates the ring by `r`: new process `i` is old process `i + r`, new
+/// `Res_j` is old `Res_{j+r}` (which keeps "right resource of process `i`
+/// is `Res_i`" intact).
+fn rotate(c: &Config, r: usize) -> Config {
+    let n = c.n();
+    Config::from_parts(
+        (0..n).map(|i| c.proc(i + r)).collect(),
+        (0..n).filter(|&j| c.res_taken(j + r)),
+    )
+    .unwrap()
+}
+
+/// Like [`consistent_config`], but capped at `n ≤ 4` so that exhaustive
+/// exploration from the configuration stays cheap inside a property.
+fn small_consistent_config() -> impl Strategy<Value = Config> {
+    (2usize..5, prop::collection::vec(proc_state(), 4))
         .prop_map(|(n, procs)| {
             let procs: Vec<ProcState> = procs.into_iter().take(n).collect();
             let probe = Config::from_parts(procs.clone(), []).expect("valid size");
@@ -125,6 +173,79 @@ proptest! {
                 }
             }
             state = next;
+        }
+    }
+
+    #[test]
+    fn ring_rotation_preserves_invariant_and_regions(c in consistent_config(), r in 0usize..6) {
+        // The ring is anonymous: relabelling process i as i - r (and
+        // resource j as j - r) maps reachable configurations to reachable
+        // configurations and preserves every region. Rotate so that new
+        // process i is old process (i + r) and new Res_j is old Res_{j+r},
+        // which keeps "right resource of process i is Res_i" intact.
+        let n = c.n();
+        let r = r % n;
+        let procs: Vec<ProcState> = (0..n).map(|i| c.proc(i + r)).collect();
+        let rot = Config::from_parts(
+            procs,
+            (0..n).filter(|&j| c.res_taken(j + r)),
+        ).unwrap();
+
+        prop_assert_eq!(lemma_6_1_invariant(&rot), lemma_6_1_invariant(&c));
+        prop_assert_eq!(regions::in_t(&rot), regions::in_t(&c));
+        prop_assert_eq!(regions::in_rt(&rot), regions::in_rt(&c));
+        prop_assert_eq!(regions::in_g(&rot), regions::in_g(&c));
+        prop_assert_eq!(regions::in_f(&rot), regions::in_f(&c));
+        prop_assert_eq!(regions::in_c(&rot), regions::in_c(&c));
+        for i in 0..n {
+            prop_assert_eq!(
+                regions::is_committed(&rot, i),
+                regions::is_committed(&c, i + r),
+                "process {} vs {}", i, (i + r) % n
+            );
+            prop_assert_eq!(
+                rot.ready_mask() & (1 << i) != 0,
+                c.ready_mask() & (1 << ((i + r) % n)) != 0
+            );
+        }
+        // Good processes rotate as a set.
+        let mut good_rot: Vec<usize> = regions::good_processes(&rot);
+        let mut good_src: Vec<usize> =
+            regions::good_processes(&c).into_iter().map(|i| (i + n - r) % n).collect();
+        good_rot.sort_unstable();
+        good_src.sort_unstable();
+        prop_assert_eq!(good_rot, good_src);
+    }
+
+    #[test]
+    fn value_iteration_from_rotated_start_agrees(
+        c in small_consistent_config(),
+        r in 1usize..4,
+        budget in 0u32..5,
+    ) {
+        // The ring is anonymous, so the probability of reaching the
+        // critical region within any time budget is invariant under
+        // rotating the start configuration. The two explorations visit
+        // isomorphic (but differently ordered) state spaces, so values
+        // agree up to value-iteration tolerance, not bitwise.
+        let n = c.n();
+        let r = r % n;
+        let protocol = LrProtocol::new(n, UserModel::full()).unwrap();
+        let rot = rotate(&c, r);
+        let ea = explore(&FromStart { protocol, start: c }, |_, _| 1, 500_000).unwrap();
+        let eb = explore(&FromStart { protocol, start: rot }, |_, _| 1, 500_000).unwrap();
+        prop_assert_eq!(ea.mdp.num_states(), eb.mdp.num_states(), "isomorphic spaces");
+        let ta = ea.target_where(regions::in_c);
+        let tb = eb.target_where(regions::in_c);
+        for objective in [Objective::MinProb, Objective::MaxProb] {
+            let va = cost_bounded_reach(&ea.mdp, &ta, budget, objective).unwrap();
+            let vb = cost_bounded_reach(&eb.mdp, &tb, budget, objective).unwrap();
+            let sa = ea.mdp.initial_states()[0];
+            let sb = eb.mdp.initial_states()[0];
+            prop_assert!(
+                (va[sa] - vb[sb]).abs() <= 1e-12,
+                "{:?}: {} vs {}", objective, va[sa], vb[sb]
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! units. The best case is its dual: the expected time under the most
 //! cooperative scheduler.
 
-use crate::{reach_prob, ExplicitMdp, IterOptions, MdpError, Objective};
+use crate::{CsrMdp, ExplicitMdp, IterOptions, MdpError};
 
 /// Result of an expected-cost analysis: per-state expectations, with
 /// `f64::INFINITY` marking states from which the target is not reached
@@ -58,59 +58,8 @@ pub fn max_expected_cost(
     target: &[bool],
     options: IterOptions,
 ) -> Result<ExpectedCost, MdpError> {
-    mdp.check_target(target)?;
-    let n = mdp.num_states();
-    let min_reach = reach_prob(mdp, target, Objective::MinProb, options)?;
-    let proper: Vec<bool> = min_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
-
-    let mut v = vec![0.0f64; n];
-    for _ in 0..options.max_sweeps {
-        let mut delta = 0.0f64;
-        for s in 0..n {
-            if target[s] || !proper[s] || mdp.choices(s).is_empty() {
-                continue;
-            }
-            let mut best = f64::NEG_INFINITY;
-            for c in mdp.choices(s) {
-                // Transitions into improper states cannot happen under a
-                // proper policy... but the *adversary* is maximizing, and a
-                // choice leading to an improper state would have been caught
-                // by min_reach < 1 at s itself. Defensive: treat improper
-                // successors as infinite.
-                let mut val = c.cost as f64;
-                let mut ok = true;
-                for &(t, p) in &c.transitions {
-                    if p == 0.0 {
-                        continue;
-                    }
-                    if !target[t] && !proper[t] {
-                        ok = false;
-                        break;
-                    }
-                    val += p * v[t];
-                }
-                if ok && val > best {
-                    best = val;
-                }
-            }
-            if best.is_finite() {
-                let d = (best - v[s]).abs();
-                if d > delta {
-                    delta = d;
-                }
-                v[s] = best;
-            }
-        }
-        if delta <= options.epsilon {
-            break;
-        }
-    }
-    for s in 0..n {
-        if !target[s] && !proper[s] {
-            v[s] = f64::INFINITY;
-        }
-    }
-    Ok(ExpectedCost { values: v })
+    let values = CsrMdp::from_explicit(mdp).max_expected_cost(target, options, None)?;
+    Ok(ExpectedCost { values })
 }
 
 /// Detects a cycle in the zero-cost transition subgraph (states connected
@@ -123,50 +72,7 @@ pub fn max_expected_cost(
 /// (The round models of the case study are zero-cost-acyclic by
 /// construction: every scheduling step consumes per-round budget.)
 pub fn has_zero_cost_cycle(mdp: &ExplicitMdp, target: &[bool]) -> Result<bool, MdpError> {
-    mdp.check_target(target)?;
-    let n = mdp.num_states();
-    // Iterative three-colour DFS over zero-cost edges.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Colour {
-        White,
-        Grey,
-        Black,
-    }
-    let mut colour = vec![Colour::White; n];
-    for root in 0..n {
-        if colour[root] != Colour::White || target[root] {
-            continue;
-        }
-        // Stack of (state, next-edge cursor).
-        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-        colour[root] = Colour::Grey;
-        while let Some(&mut (s, ref mut cursor)) = stack.last_mut() {
-            let succs: Vec<usize> = mdp
-                .choices(s)
-                .iter()
-                .filter(|c| c.cost == 0)
-                .flat_map(|c| c.transitions.iter())
-                .filter(|&&(t, p)| p > 0.0 && !target[t])
-                .map(|&(t, _)| t)
-                .collect();
-            if *cursor < succs.len() {
-                let t = succs[*cursor];
-                *cursor += 1;
-                match colour[t] {
-                    Colour::Grey => return Ok(true),
-                    Colour::White => {
-                        colour[t] = Colour::Grey;
-                        stack.push((t, 0));
-                    }
-                    Colour::Black => {}
-                }
-            } else {
-                colour[s] = Colour::Black;
-                stack.pop();
-            }
-        }
-    }
-    Ok(false)
+    CsrMdp::from_explicit(mdp).has_zero_cost_cycle(target)
 }
 
 /// Computes the best-case (scheduler-minimal) expected accumulated cost to
@@ -192,60 +98,8 @@ pub fn min_expected_cost(
     target: &[bool],
     options: IterOptions,
 ) -> Result<ExpectedCost, MdpError> {
-    mdp.check_target(target)?;
-    if has_zero_cost_cycle(mdp, target)? {
-        return Err(MdpError::DivergentExpectation { state: 0 });
-    }
-    let n = mdp.num_states();
-    let max_reach = reach_prob(mdp, target, Objective::MaxProb, options)?;
-    let feasible: Vec<bool> = max_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
-
-    let mut v = vec![0.0f64; n];
-    for _ in 0..options.max_sweeps {
-        let mut delta = 0.0f64;
-        for s in 0..n {
-            if target[s] || !feasible[s] || mdp.choices(s).is_empty() {
-                continue;
-            }
-            let mut best = f64::INFINITY;
-            for c in mdp.choices(s) {
-                // Only choices whose successors can all still reach the
-                // target (or are targets) participate: a proper policy
-                // never moves into an infeasible state.
-                let mut val = c.cost as f64;
-                let mut ok = true;
-                for &(t, p) in &c.transitions {
-                    if p == 0.0 {
-                        continue;
-                    }
-                    if !target[t] && !feasible[t] {
-                        ok = false;
-                        break;
-                    }
-                    val += p * v[t];
-                }
-                if ok && val < best {
-                    best = val;
-                }
-            }
-            if best.is_finite() {
-                let d = (best - v[s]).abs();
-                if d > delta {
-                    delta = d;
-                }
-                v[s] = best;
-            }
-        }
-        if delta <= options.epsilon {
-            break;
-        }
-    }
-    for s in 0..n {
-        if !target[s] && !feasible[s] {
-            v[s] = f64::INFINITY;
-        }
-    }
-    Ok(ExpectedCost { values: v })
+    let values = CsrMdp::from_explicit(mdp).min_expected_cost(target, options, None)?;
+    Ok(ExpectedCost { values })
 }
 
 #[cfg(test)]

@@ -1,8 +1,27 @@
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+//! State-space exploration: building an [`ExplicitMdp`] from an implicit
+//! [`pa_core::Automaton`].
+//!
+//! Two explorers share one deterministic contract:
+//!
+//! * [`explore`] — serial FIFO breadth-first search, interning states with
+//!   the crate's [`FxHashMap`] (SipHash dominated the profile; model states
+//!   are not attacker-controlled, see [`crate::fxhash`]).
+//! * [`par_explore`] — level-synchronized parallel BFS. Each BFS level is
+//!   split into contiguous shards; workers expand their shard against a
+//!   read-only snapshot of the intern table, deduplicating *new* successor
+//!   states in a worker-local `FxHashMap`. The main thread then merges
+//!   shard outputs **in shard order**, assigning global state ids in
+//!   exactly the order the serial explorer would (shard order = level
+//!   order; within a shard, encounter order). The result — state ids,
+//!   choice lists, transitions, and even the state at which a
+//!   [`MdpError::StateLimitExceeded`] fires — is identical to [`explore`]
+//!   for every worker count, which the property tests assert.
+
+use std::collections::VecDeque;
 
 use pa_core::Automaton;
 
+use crate::fxhash::FxHashMap;
 use crate::{Choice, ExplicitMdp, MdpError};
 
 /// The result of exploring an implicit model: the explicit MDP plus the
@@ -16,7 +35,7 @@ pub struct Explored<S> {
     /// Concrete state of each index.
     pub states: Vec<S>,
     /// Index of each concrete state.
-    pub index: HashMap<S, usize>,
+    pub index: FxHashMap<S, usize>,
     /// The explicit model.
     pub mdp: ExplicitMdp,
 }
@@ -52,33 +71,33 @@ pub fn explore<M: Automaton>(
     limit: usize,
 ) -> Result<Explored<M::State>, MdpError> {
     let mut states: Vec<M::State> = Vec::new();
-    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut index: FxHashMap<M::State, usize> = FxHashMap::default();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut choices: Vec<Vec<Choice>> = Vec::new();
 
-    let intern = |s: M::State,
+    // Interns a state by reference, cloning only on first sight — the hot
+    // path (an already-known successor) is a single hash lookup.
+    let intern = |s: &M::State,
                   states: &mut Vec<M::State>,
-                  index: &mut HashMap<M::State, usize>,
+                  index: &mut FxHashMap<M::State, usize>,
                   queue: &mut VecDeque<usize>|
      -> Result<usize, MdpError> {
-        match index.entry(s) {
-            Entry::Occupied(e) => Ok(*e.get()),
-            Entry::Vacant(e) => {
-                let id = states.len();
-                if id >= limit {
-                    return Err(MdpError::StateLimitExceeded { limit });
-                }
-                states.push(e.key().clone());
-                e.insert(id);
-                queue.push_back(id);
-                Ok(id)
-            }
+        if let Some(&id) = index.get(s) {
+            return Ok(id);
         }
+        let id = states.len();
+        if id >= limit {
+            return Err(MdpError::StateLimitExceeded { limit });
+        }
+        states.push(s.clone());
+        index.insert(s.clone(), id);
+        queue.push_back(id);
+        Ok(id)
     };
 
     let mut initial = Vec::new();
     for s in automaton.start_states() {
-        initial.push(intern(s, &mut states, &mut index, &mut queue)?);
+        initial.push(intern(&s, &mut states, &mut index, &mut queue)?);
     }
     if initial.is_empty() {
         return Err(MdpError::NoInitialStates);
@@ -91,13 +110,217 @@ pub fn explore<M: Automaton>(
             let cost = cost_of(&state, &step.action);
             let mut transitions = Vec::with_capacity(step.target.len());
             for (t, p) in step.target.iter() {
-                let ti = intern(t.clone(), &mut states, &mut index, &mut queue)?;
+                let ti = intern(t, &mut states, &mut index, &mut queue)?;
                 transitions.push((ti, p.value()));
             }
             cs.push(Choice { cost, transitions });
         }
         debug_assert_eq!(choices.len(), id);
         choices.push(cs);
+    }
+
+    let mdp = ExplicitMdp::new(choices, initial)?;
+    Ok(Explored { states, index, mdp })
+}
+
+/// A successor reference produced by a shard worker: either a state already
+/// interned when the level started, or the `k`-th *new* state this shard
+/// discovered.
+enum Succ {
+    Known(usize),
+    Fresh(usize),
+}
+
+/// One choice as expanded by a shard: its cost and shard-relative targets.
+type ShardChoice = (u32, Vec<(Succ, f64)>);
+
+/// One shard's expansion output for a BFS level.
+struct ShardOutput<S> {
+    /// New states in encounter order (shard-local ids `0..fresh.len()`).
+    fresh: Vec<S>,
+    /// Per expanded state, its choices as `(cost, transitions)`.
+    expansions: Vec<Vec<ShardChoice>>,
+}
+
+/// Expands `chunk` (state ids of the current level) against the read-only
+/// snapshot: successors already in `index` become [`Succ::Known`], new ones
+/// are deduplicated into a shard-local intern map.
+fn expand_shard<M: Automaton>(
+    automaton: &M,
+    cost_of: &(impl Fn(&M::State, &M::Action) -> u32 + Sync),
+    states: &[M::State],
+    index: &FxHashMap<M::State, usize>,
+    chunk: &[usize],
+) -> ShardOutput<M::State> {
+    let mut fresh: Vec<M::State> = Vec::new();
+    let mut local: FxHashMap<M::State, usize> = FxHashMap::default();
+    let mut expansions = Vec::with_capacity(chunk.len());
+    for &id in chunk {
+        let state = &states[id];
+        let mut cs = Vec::new();
+        for step in automaton.steps(state) {
+            let cost = cost_of(state, &step.action);
+            let mut transitions = Vec::with_capacity(step.target.len());
+            for (t, p) in step.target.iter() {
+                let succ = if let Some(&g) = index.get(t) {
+                    Succ::Known(g)
+                } else if let Some(&l) = local.get(t) {
+                    Succ::Fresh(l)
+                } else {
+                    let l = fresh.len();
+                    fresh.push(t.clone());
+                    local.insert(t.clone(), l);
+                    Succ::Fresh(l)
+                };
+                transitions.push((succ, p.value()));
+            }
+            cs.push((cost, transitions));
+        }
+        expansions.push(cs);
+    }
+    ShardOutput { fresh, expansions }
+}
+
+/// Parallel [`explore`] with the default worker count (available
+/// parallelism, overridable via `PA_MDP_WORKERS`). Drop-in replacement:
+/// produces bit-for-bit the same [`Explored`] as the serial explorer.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn par_explore<M>(
+    automaton: &M,
+    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
+    limit: usize,
+) -> Result<Explored<M::State>, MdpError>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+{
+    par_explore_workers(automaton, cost_of, limit, None)
+}
+
+/// [`par_explore`] with an explicit worker count (used by the determinism
+/// property tests; `None` resolves as in [`crate::resolve_workers`]).
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn par_explore_workers<M>(
+    automaton: &M,
+    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
+    limit: usize,
+    workers: Option<usize>,
+) -> Result<Explored<M::State>, MdpError>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+{
+    let workers = crate::csr::resolve_workers(workers);
+    if workers <= 1 {
+        // One worker: the sharded frontier machinery only adds overhead,
+        // and the serial BFS produces the identical result by contract.
+        return explore(automaton, |s, a| cost_of(s, a), limit);
+    }
+    // Below this level width, shard spawn overhead dominates expansion.
+    const PAR_MIN_LEVEL: usize = 128;
+
+    let mut states: Vec<M::State> = Vec::new();
+    let mut index: FxHashMap<M::State, usize> = FxHashMap::default();
+    let mut choices: Vec<Vec<Choice>> = Vec::new();
+
+    // Level 0: intern the start states serially, exactly like `explore`.
+    let mut initial = Vec::new();
+    let mut level: Vec<usize> = Vec::new();
+    for s in automaton.start_states() {
+        let id = if let Some(&id) = index.get(&s) {
+            id
+        } else {
+            let id = states.len();
+            if id >= limit {
+                return Err(MdpError::StateLimitExceeded { limit });
+            }
+            states.push(s.clone());
+            index.insert(s, id);
+            level.push(id);
+            id
+        };
+        initial.push(id);
+    }
+    if initial.is_empty() {
+        return Err(MdpError::NoInitialStates);
+    }
+
+    let cost_of = &cost_of;
+    while !level.is_empty() {
+        // Expand the level in shards (in parallel when it pays off)...
+        let outputs: Vec<ShardOutput<M::State>> = if workers <= 1 || level.len() < PAR_MIN_LEVEL {
+            vec![expand_shard(automaton, cost_of, &states, &index, &level)]
+        } else {
+            let chunk = level.len().div_ceil(workers);
+            let states_ref: &[M::State] = &states;
+            let index_ref = &index;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = level
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move |_| {
+                            expand_shard(automaton, cost_of, states_ref, index_ref, shard)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exploration worker panicked"))
+                    .collect()
+            })
+            .expect("exploration scope panicked")
+        };
+
+        // ...then merge deterministically: shard order is level order, so
+        // global ids are assigned exactly as the serial explorer would.
+        let mut next_level: Vec<usize> = Vec::new();
+        for out in outputs {
+            let mut local_to_global = Vec::with_capacity(out.fresh.len());
+            for s in out.fresh {
+                // A state can be fresh in two shards at once; the first
+                // shard (earlier in level order) wins, as in serial BFS.
+                let id = if let Some(&id) = index.get(&s) {
+                    id
+                } else {
+                    let id = states.len();
+                    if id >= limit {
+                        return Err(MdpError::StateLimitExceeded { limit });
+                    }
+                    states.push(s.clone());
+                    index.insert(s, id);
+                    next_level.push(id);
+                    id
+                };
+                local_to_global.push(id);
+            }
+            for cs in out.expansions {
+                let resolved: Vec<Choice> = cs
+                    .into_iter()
+                    .map(|(cost, transitions)| Choice {
+                        cost,
+                        transitions: transitions
+                            .into_iter()
+                            .map(|(succ, p)| {
+                                let t = match succ {
+                                    Succ::Known(g) => g,
+                                    Succ::Fresh(l) => local_to_global[l],
+                                };
+                                (t, p)
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                choices.push(resolved);
+            }
+        }
+        debug_assert_eq!(choices.len() + next_level.len(), states.len());
+        level = next_level;
     }
 
     let mdp = ExplicitMdp::new(choices, initial)?;
@@ -143,19 +366,19 @@ pub fn check_invariant<M: Automaton>(
     mut invariant: impl FnMut(&M::State) -> bool,
     limit: usize,
 ) -> Result<InvariantResult<M::State>, MdpError> {
-    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut index: FxHashMap<M::State, usize> = FxHashMap::default();
     let mut parent: Vec<Option<usize>> = Vec::new();
     let mut states: Vec<M::State> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
 
-    let push = |s: M::State,
+    let push = |s: &M::State,
                 from: Option<usize>,
-                index: &mut HashMap<M::State, usize>,
+                index: &mut FxHashMap<M::State, usize>,
                 states: &mut Vec<M::State>,
                 parent: &mut Vec<Option<usize>>,
                 queue: &mut VecDeque<usize>|
      -> Result<Option<usize>, MdpError> {
-        if index.contains_key(&s) {
+        if index.contains_key(s) {
             return Ok(None);
         }
         let id = states.len();
@@ -163,7 +386,7 @@ pub fn check_invariant<M: Automaton>(
             return Err(MdpError::StateLimitExceeded { limit });
         }
         index.insert(s.clone(), id);
-        states.push(s);
+        states.push(s.clone());
         parent.push(from);
         queue.push_back(id);
         Ok(Some(id))
@@ -172,7 +395,7 @@ pub fn check_invariant<M: Automaton>(
     let mut witness: Option<usize> = None;
     'outer: {
         for s in automaton.start_states() {
-            if let Some(id) = push(s, None, &mut index, &mut states, &mut parent, &mut queue)? {
+            if let Some(id) = push(&s, None, &mut index, &mut states, &mut parent, &mut queue)? {
                 if !invariant(&states[id]) {
                     witness = Some(id);
                     break 'outer;
@@ -184,7 +407,7 @@ pub fn check_invariant<M: Automaton>(
             for step in automaton.steps(&state) {
                 for (t, _) in step.target.iter() {
                     if let Some(nid) = push(
-                        t.clone(),
+                        t,
                         Some(id),
                         &mut index,
                         &mut states,
@@ -266,6 +489,37 @@ mod tests {
         let m = coin_walk();
         assert!(matches!(
             explore(&m, |_, _| 1, 2),
+            Err(MdpError::StateLimitExceeded { limit: 2 })
+        ));
+    }
+
+    #[test]
+    fn par_explore_matches_serial_exactly() {
+        let m = coin_walk();
+        let serial = explore(&m, |_, _| 1, 1000).unwrap();
+        for workers in [1, 2, 5] {
+            let par = par_explore_workers(&m, |_, _| 1, 1000, Some(workers)).unwrap();
+            assert_eq!(par.states, serial.states, "workers={workers}");
+            for s in 0..serial.mdp.num_states() {
+                assert_eq!(
+                    par.mdp.choices(s),
+                    serial.mdp.choices(s),
+                    "workers={workers}"
+                );
+            }
+            assert_eq!(
+                par.mdp.initial_states(),
+                serial.mdp.initial_states(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_explore_enforces_limit_like_serial() {
+        let m = coin_walk();
+        assert!(matches!(
+            par_explore_workers(&m, |_, _| 1, 2, Some(3)),
             Err(MdpError::StateLimitExceeded { limit: 2 })
         ));
     }

@@ -11,7 +11,7 @@
 //! dependent deterministic adversaries, so backward induction quantifies
 //! over the paper's full adversary class (substitution 2 in DESIGN.md).
 
-use crate::{ExplicitMdp, MdpError};
+use crate::{CsrMdp, ExplicitMdp, MdpError};
 
 /// Whether the adversary minimizes or maximizes the objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,14 +24,18 @@ pub enum Objective {
 }
 
 impl Objective {
-    fn better(self, a: f64, b: f64) -> bool {
+    /// Whether `a` improves on `b` under this objective.
+    #[inline]
+    pub(crate) fn better(self, a: f64, b: f64) -> bool {
         match self {
             Objective::MinProb => a < b,
             Objective::MaxProb => a > b,
         }
     }
 
-    fn start(self) -> f64 {
+    /// The identity element of the optimization (`±∞`).
+    #[inline]
+    pub(crate) fn start(self) -> f64 {
         match self {
             Objective::MinProb => f64::INFINITY,
             Objective::MaxProb => f64::NEG_INFINITY,
@@ -57,94 +61,16 @@ impl BoundedPolicy {
     }
 }
 
-fn validate_costs(mdp: &ExplicitMdp) -> Result<(), MdpError> {
-    for s in 0..mdp.num_states() {
-        for c in mdp.choices(s) {
-            if c.cost > 1 {
-                return Err(MdpError::BadDistribution {
-                    state: s,
-                    reason: format!(
-                        "cost-bounded reachability supports costs 0 and 1, found {}",
-                        c.cost
-                    ),
-                });
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Computes one level of the induction: the fixpoint of
-/// `v(s) = opt_c [ Σ p · (cost(c)=1 ? prev : v)(t) ]` over the zero-cost
-/// subgraph, starting from 0 (the least fixpoint, reached exactly when the
-/// zero-cost subgraph is acyclic, and approached monotonically from below —
-/// hence conservatively for `MinProb` claims — otherwise).
-fn solve_level(
-    mdp: &ExplicitMdp,
-    target: &[bool],
-    prev: &[f64],
-    objective: Objective,
-    decisions: Option<&mut Vec<Option<u32>>>,
-) -> Vec<f64> {
-    let n = mdp.num_states();
-    let mut cur = vec![0.0f64; n];
-    for s in 0..n {
-        if target[s] {
-            cur[s] = 1.0;
-        }
-    }
-    // Gauss–Seidel sweeps to the (least) fixpoint.
-    let max_sweeps = 4 * n + 8;
-    for _ in 0..max_sweeps {
-        let mut delta = 0.0f64;
-        for s in 0..n {
-            if target[s] || mdp.choices(s).is_empty() {
-                continue;
-            }
-            let mut best = objective.start();
-            for c in mdp.choices(s) {
-                let source: &[f64] = if c.cost == 1 { prev } else { &cur };
-                let v: f64 = c.transitions.iter().map(|&(t, p)| p * source[t]).sum();
-                if objective.better(v, best) {
-                    best = v;
-                }
-            }
-            let d = (best - cur[s]).abs();
-            if d > delta {
-                delta = d;
-            }
-            cur[s] = best;
-        }
-        if delta <= 1e-14 {
-            break;
-        }
-    }
-    if let Some(dec) = decisions {
-        dec.clear();
-        dec.resize(n, None);
-        for s in 0..n {
-            if target[s] || mdp.choices(s).is_empty() {
-                continue;
-            }
-            let mut best = objective.start();
-            let mut best_i = 0u32;
-            for (i, c) in mdp.choices(s).iter().enumerate() {
-                let source: &[f64] = if c.cost == 1 { prev } else { &cur };
-                let v: f64 = c.transitions.iter().map(|&(t, p)| p * source[t]).sum();
-                if objective.better(v, best) {
-                    best = v;
-                    best_i = i as u32;
-                }
-            }
-            dec[s] = Some(best_i);
-        }
-    }
-    cur
-}
-
 /// Computes `P^opt[reach target with total cost ≤ budget]` for every state,
 /// invoking `on_level(k, values)` after each budget level `k = 0..=budget`
 /// (useful for probability-vs-time CDF series). Returns the final level.
+///
+/// Each level is the fixpoint of
+/// `v(s) = opt_c [ Σ p · (cost(c)=1 ? prev : v)(t) ]` over the zero-cost
+/// subgraph, starting from 0 (the least fixpoint, reached exactly when the
+/// zero-cost subgraph is acyclic, and approached monotonically from below —
+/// hence conservatively for `MinProb` claims — otherwise). Levels run on
+/// the CSR engine's deterministic parallel Jacobi sweeps.
 ///
 /// # Errors
 ///
@@ -155,19 +81,9 @@ pub fn cost_bounded_reach_levels(
     target: &[bool],
     budget: u32,
     objective: Objective,
-    mut on_level: impl FnMut(u32, &[f64]),
+    on_level: impl FnMut(u32, &[f64]),
 ) -> Result<Vec<f64>, MdpError> {
-    mdp.check_target(target)?;
-    validate_costs(mdp)?;
-    // Level 0: only zero-cost steps allowed.
-    let zeros = vec![0.0; mdp.num_states()];
-    let mut cur = solve_level(mdp, target, &zeros, objective, None);
-    on_level(0, &cur);
-    for k in 1..=budget {
-        cur = solve_level(mdp, target, &cur, objective, None);
-        on_level(k, &cur);
-    }
-    Ok(cur)
+    CsrMdp::from_explicit(mdp).cost_bounded_reach_levels(target, budget, objective, None, on_level)
 }
 
 /// Computes `P^opt[reach target with total cost ≤ budget]` for every state.
@@ -196,16 +112,17 @@ pub fn cost_bounded_reach_with_policy(
     budget: u32,
     objective: Objective,
 ) -> Result<(Vec<f64>, BoundedPolicy), MdpError> {
-    mdp.check_target(target)?;
-    validate_costs(mdp)?;
-    let zeros = vec![0.0; mdp.num_states()];
+    let csr = CsrMdp::from_explicit(mdp);
+    csr.check_target_and_costs(target)?;
+    let workers = crate::csr::resolve_workers(None);
+    let zeros = vec![0.0; csr.num_states()];
     let mut decision = Vec::with_capacity(budget as usize + 1);
     let mut dec0 = Vec::new();
-    let mut cur = solve_level(mdp, target, &zeros, objective, Some(&mut dec0));
+    let mut cur = csr.solve_level(target, &zeros, objective, workers, Some(&mut dec0));
     decision.push(dec0);
     for _ in 1..=budget {
         let mut dec = Vec::new();
-        cur = solve_level(mdp, target, &cur, objective, Some(&mut dec));
+        cur = csr.solve_level(target, &cur, objective, workers, Some(&mut dec));
         decision.push(dec);
     }
     Ok((cur, BoundedPolicy { decision }))

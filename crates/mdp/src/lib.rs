@@ -20,6 +20,17 @@
 //! * [`cost_bounded_reach_with_policy`] — extracts the optimal adversary as
 //!   a cost-indexed policy, so the worst case can be replayed and inspected.
 //!
+//! All quantitative analyses run on a compressed-sparse-row engine
+//! ([`CsrMdp`]): the nested model is flattened once into contiguous arrays
+//! and swept with double-buffered Jacobi value iteration, parallelized
+//! across disjoint state chunks with results that are bit-for-bit
+//! identical for every worker count. [`par_explore`] parallelizes state-
+//! space exploration the same way (level-synchronized, deterministic
+//! merge). The [`reference`] module retains nested-model oracles — both a
+//! Jacobi twin (bitwise comparison) and the original Gauss–Seidel engine
+//! (tolerance comparison, benchmark baseline) — used by the property
+//! tests.
+//!
 //! # Example
 //!
 //! ```
@@ -44,16 +55,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod error;
 mod expected;
 mod explore;
+pub mod fxhash;
 mod horizon;
 mod model;
+pub mod reference;
 mod value_iter;
 
+pub use csr::{resolve_workers, CsrMdp};
 pub use error::MdpError;
 pub use expected::{has_zero_cost_cycle, max_expected_cost, min_expected_cost, ExpectedCost};
-pub use explore::{check_invariant, explore, Explored, InvariantResult};
+pub use explore::{
+    check_invariant, explore, par_explore, par_explore_workers, Explored, InvariantResult,
+};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use horizon::{
     cost_bounded_reach, cost_bounded_reach_levels, cost_bounded_reach_with_policy, BoundedPolicy,
     Objective,

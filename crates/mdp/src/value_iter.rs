@@ -1,8 +1,15 @@
 //! Unbounded reachability: qualitative graph precomputation plus value
 //! iteration. The PRISM-style baseline against which the paper's manual
 //! proof method is compared in the benchmarks.
+//!
+//! These entry points keep the original nested-model signatures but run on
+//! the CSR engine ([`crate::CsrMdp`]): the model is flattened once, then
+//! analyzed with double-buffered Jacobi sweeps that parallelize
+//! deterministically (see the `csr` module docs). Callers holding a
+//! [`crate::CsrMdp`] can invoke the engine directly and amortize the
+//! flattening across analyses.
 
-use crate::{ExplicitMdp, MdpError, Objective};
+use crate::{CsrMdp, ExplicitMdp, MdpError, Objective};
 
 /// Numerical options for value iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,30 +32,7 @@ impl Default for IterOptions {
 /// States with **maximal** reachability probability zero: no path to the
 /// target exists in the transition graph (any choice, any branch).
 pub fn prob0_max(mdp: &ExplicitMdp, target: &[bool]) -> Result<Vec<bool>, MdpError> {
-    mdp.check_target(target)?;
-    let n = mdp.num_states();
-    // Backward reachability from the target over all edges.
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for s in 0..n {
-        for c in mdp.choices(s) {
-            for &(t, p) in &c.transitions {
-                if p > 0.0 {
-                    preds[t].push(s);
-                }
-            }
-        }
-    }
-    let mut can_reach = target.to_vec();
-    let mut stack: Vec<usize> = (0..n).filter(|&s| target[s]).collect();
-    while let Some(t) = stack.pop() {
-        for &s in &preds[t] {
-            if !can_reach[s] {
-                can_reach[s] = true;
-                stack.push(s);
-            }
-        }
-    }
-    Ok(can_reach.iter().map(|&b| !b).collect())
+    CsrMdp::from_explicit(mdp).prob0_max(target)
 }
 
 /// States with **minimal** reachability probability zero: the adversary has
@@ -57,34 +41,13 @@ pub fn prob0_max(mdp: &ExplicitMdp, target: &[bool]) -> Result<Vec<bool>, MdpErr
 /// X}` — terminal states count because an adversary may also stop
 /// scheduling (Definition 2.2 allows returning nothing).
 pub fn prob0_min(mdp: &ExplicitMdp, target: &[bool]) -> Result<Vec<bool>, MdpError> {
-    mdp.check_target(target)?;
-    let n = mdp.num_states();
-    let mut in_x: Vec<bool> = target.iter().map(|&t| !t).collect();
-    loop {
-        let mut changed = false;
-        for s in 0..n {
-            if !in_x[s] {
-                continue;
-            }
-            let stays = mdp.choices(s).is_empty()
-                || mdp
-                    .choices(s)
-                    .iter()
-                    .any(|c| c.transitions.iter().all(|&(t, p)| p == 0.0 || in_x[t]));
-            if !stays {
-                in_x[s] = false;
-                changed = true;
-            }
-        }
-        if !changed {
-            return Ok(in_x);
-        }
-    }
+    CsrMdp::from_explicit(mdp).prob0_min(target)
 }
 
 /// Computes unbounded reachability probabilities
 /// `P^opt[eventually reach target]` by qualitative precomputation followed
-/// by value iteration from below.
+/// by value iteration from below (double-buffered Jacobi on the CSR
+/// engine; deterministically parallel — see [`crate::CsrMdp`]).
 ///
 /// A terminal non-target state has value 0 under both objectives (for
 /// `MinProb` also because the adversary may simply stop scheduling).
@@ -98,46 +61,7 @@ pub fn reach_prob(
     objective: Objective,
     options: IterOptions,
 ) -> Result<Vec<f64>, MdpError> {
-    mdp.check_target(target)?;
-    let n = mdp.num_states();
-    let zero = match objective {
-        Objective::MaxProb => prob0_max(mdp, target)?,
-        Objective::MinProb => prob0_min(mdp, target)?,
-    };
-    let mut v = vec![0.0f64; n];
-    for s in 0..n {
-        if target[s] {
-            v[s] = 1.0;
-        }
-    }
-    for _ in 0..options.max_sweeps {
-        let mut delta = 0.0f64;
-        for s in 0..n {
-            if target[s] || zero[s] || mdp.choices(s).is_empty() {
-                continue;
-            }
-            let mut best = match objective {
-                Objective::MinProb => f64::INFINITY,
-                Objective::MaxProb => f64::NEG_INFINITY,
-            };
-            for c in mdp.choices(s) {
-                let val: f64 = c.transitions.iter().map(|&(t, p)| p * v[t]).sum();
-                best = match objective {
-                    Objective::MinProb => best.min(val),
-                    Objective::MaxProb => best.max(val),
-                };
-            }
-            let d = (best - v[s]).abs();
-            if d > delta {
-                delta = d;
-            }
-            v[s] = best;
-        }
-        if delta <= options.epsilon {
-            break;
-        }
-    }
-    Ok(v)
+    CsrMdp::from_explicit(mdp).reach_prob(target, objective, options, None)
 }
 
 #[cfg(test)]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arrows-a6d231ce54915bd3.d: crates/bench/benches/arrows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarrows-a6d231ce54915bd3.rmeta: crates/bench/benches/arrows.rs Cargo.toml
+
+crates/bench/benches/arrows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-257d4d2eed8d81c3.d: crates/bench/benches/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-257d4d2eed8d81c3.rmeta: crates/bench/benches/checker.rs Cargo.toml
+
+crates/bench/benches/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

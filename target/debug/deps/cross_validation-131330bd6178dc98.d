@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-131330bd6178dc98.d: tests/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-131330bd6178dc98.rmeta: tests/cross_validation.rs Cargo.toml
+
+tests/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

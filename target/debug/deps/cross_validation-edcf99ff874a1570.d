@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-edcf99ff874a1570.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-edcf99ff874a1570: tests/cross_validation.rs
+
+tests/cross_validation.rs:

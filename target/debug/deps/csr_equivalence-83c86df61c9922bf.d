@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csr_equivalence-83c86df61c9922bf.d: crates/mdp/tests/csr_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsr_equivalence-83c86df61c9922bf.rmeta: crates/mdp/tests/csr_equivalence.rs Cargo.toml
+
+crates/mdp/tests/csr_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_semantics-0940b1a3b4f462c1.d: tests/framework_semantics.rs
+
+/root/repo/target/debug/deps/framework_semantics-0940b1a3b4f462c1: tests/framework_semantics.rs
+
+tests/framework_semantics.rs:

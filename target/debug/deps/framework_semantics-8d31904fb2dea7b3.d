@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_semantics-8d31904fb2dea7b3.d: tests/framework_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_semantics-8d31904fb2dea7b3.rmeta: tests/framework_semantics.rs Cargo.toml
+
+tests/framework_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

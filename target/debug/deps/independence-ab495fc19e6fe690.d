@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/independence-ab495fc19e6fe690.d: crates/bench/benches/independence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindependence-ab495fc19e6fe690.rmeta: crates/bench/benches/independence.rs Cargo.toml
+
+crates/bench/benches/independence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pa_bench-45a609afd47fa567.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_bench-45a609afd47fa567.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pa_bench-674d853d18e4d7e4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_bench-674d853d18e4d7e4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

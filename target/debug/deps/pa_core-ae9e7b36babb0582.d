@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/pa_core-ae9e7b36babb0582.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_core-ae9e7b36babb0582.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/arrow.rs:
+crates/core/src/automaton.rs:
+crates/core/src/checker.rs:
+crates/core/src/derivation.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/exec_tree.rs:
+crates/core/src/execution.rs:
+crates/core/src/first_next.rs:
+crates/core/src/measure.rs:
+crates/core/src/recurrence.rs:
+crates/core/src/schema.rs:
+crates/core/src/timed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pa_lehmann_rabin-5f16c30b345a6fc2.d: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_lehmann_rabin-5f16c30b345a6fc2.rmeta: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs Cargo.toml
+
+crates/lehmann-rabin/src/lib.rs:
+crates/lehmann-rabin/src/arrows.rs:
+crates/lehmann-rabin/src/concurrent.rs:
+crates/lehmann-rabin/src/error.rs:
+crates/lehmann-rabin/src/events.rs:
+crates/lehmann-rabin/src/invariant.rs:
+crates/lehmann-rabin/src/lemmas.rs:
+crates/lehmann-rabin/src/pc.rs:
+crates/lehmann-rabin/src/protocol.rs:
+crates/lehmann-rabin/src/regions.rs:
+crates/lehmann-rabin/src/round.rs:
+crates/lehmann-rabin/src/sims.rs:
+crates/lehmann-rabin/src/state.rs:
+crates/lehmann-rabin/src/witness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

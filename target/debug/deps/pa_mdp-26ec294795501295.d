@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pa_mdp-26ec294795501295.d: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_mdp-26ec294795501295.rmeta: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs Cargo.toml
+
+crates/mdp/src/lib.rs:
+crates/mdp/src/csr.rs:
+crates/mdp/src/error.rs:
+crates/mdp/src/expected.rs:
+crates/mdp/src/explore.rs:
+crates/mdp/src/fxhash.rs:
+crates/mdp/src/horizon.rs:
+crates/mdp/src/model.rs:
+crates/mdp/src/reference.rs:
+crates/mdp/src/value_iter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

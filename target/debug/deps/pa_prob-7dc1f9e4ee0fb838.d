@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pa_prob-7dc1f9e4ee0fb838.d: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_prob-7dc1f9e4ee0fb838.rmeta: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs Cargo.toml
+
+crates/prob/src/lib.rs:
+crates/prob/src/dist.rs:
+crates/prob/src/error.rs:
+crates/prob/src/interval.rs:
+crates/prob/src/prob.rs:
+crates/prob/src/rng.rs:
+crates/prob/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pa_prob-9d13b0e8e822ba22.d: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+/root/repo/target/debug/deps/libpa_prob-9d13b0e8e822ba22.rlib: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+/root/repo/target/debug/deps/libpa_prob-9d13b0e8e822ba22.rmeta: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+crates/prob/src/lib.rs:
+crates/prob/src/dist.rs:
+crates/prob/src/error.rs:
+crates/prob/src/interval.rs:
+crates/prob/src/prob.rs:
+crates/prob/src/rng.rs:
+crates/prob/src/stats.rs:

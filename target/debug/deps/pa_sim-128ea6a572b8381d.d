@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pa_sim-128ea6a572b8381d.d: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpa_sim-128ea6a572b8381d.rmeta: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cdf.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/monte_carlo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

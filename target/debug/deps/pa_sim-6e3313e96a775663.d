@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pa_sim-6e3313e96a775663.d: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+/root/repo/target/debug/deps/libpa_sim-6e3313e96a775663.rlib: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+/root/repo/target/debug/deps/libpa_sim-6e3313e96a775663.rmeta: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cdf.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/monte_carlo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ef008fb96b4f159c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ef008fb96b4f159c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-89a6e5950c7bd759.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-89a6e5950c7bd759.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

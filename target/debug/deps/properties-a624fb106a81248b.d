@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a624fb106a81248b.d: crates/lehmann-rabin/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a624fb106a81248b.rmeta: crates/lehmann-rabin/tests/properties.rs Cargo.toml
+
+crates/lehmann-rabin/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

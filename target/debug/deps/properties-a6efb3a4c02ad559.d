@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a6efb3a4c02ad559.d: crates/prob/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a6efb3a4c02ad559.rmeta: crates/prob/tests/properties.rs Cargo.toml
+
+crates/prob/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

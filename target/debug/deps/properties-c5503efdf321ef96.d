@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c5503efdf321ef96.d: crates/mdp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c5503efdf321ef96.rmeta: crates/mdp/tests/properties.rs Cargo.toml
+
+crates/mdp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

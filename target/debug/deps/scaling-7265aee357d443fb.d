@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-7265aee357d443fb.d: crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-7265aee357d443fb.rmeta: crates/bench/benches/scaling.rs Cargo.toml
+
+crates/bench/benches/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_and_threads-2ac2281918e7a076.d: tests/simulation_and_threads.rs
+
+/root/repo/target/debug/deps/simulation_and_threads-2ac2281918e7a076: tests/simulation_and_threads.rs
+
+tests/simulation_and_threads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_and_threads-3604e5422afdc217.d: tests/simulation_and_threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_and_threads-3604e5422afdc217.rmeta: tests/simulation_and_threads.rs Cargo.toml
+
+tests/simulation_and_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

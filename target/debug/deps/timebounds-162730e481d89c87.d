@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timebounds-162730e481d89c87.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimebounds-162730e481d89c87.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timebounds-a87319e201e9ede4.d: src/lib.rs
+
+/root/repo/target/debug/deps/timebounds-a87319e201e9ede4: src/lib.rs
+
+src/lib.rs:

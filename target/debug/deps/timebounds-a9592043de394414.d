@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timebounds-a9592043de394414.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimebounds-a9592043de394414.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

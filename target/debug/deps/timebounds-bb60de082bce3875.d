@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/timebounds-bb60de082bce3875.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtimebounds-bb60de082bce3875.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtimebounds-bb60de082bce3875.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversary_independence-4d281902c10ab262.d: examples/adversary_independence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversary_independence-4d281902c10ab262.rmeta: examples/adversary_independence.rs Cargo.toml
+
+examples/adversary_independence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversary_independence-6195004edb4339cc.d: examples/adversary_independence.rs
+
+/root/repo/target/debug/examples/adversary_independence-6195004edb4339cc: examples/adversary_independence.rs
+
+examples/adversary_independence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/appendix_lemmas-0e99082f45159b3b.d: examples/appendix_lemmas.rs Cargo.toml
+
+/root/repo/target/debug/examples/libappendix_lemmas-0e99082f45159b3b.rmeta: examples/appendix_lemmas.rs Cargo.toml
+
+examples/appendix_lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

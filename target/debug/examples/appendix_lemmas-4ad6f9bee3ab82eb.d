@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/appendix_lemmas-4ad6f9bee3ab82eb.d: examples/appendix_lemmas.rs
+
+/root/repo/target/debug/examples/appendix_lemmas-4ad6f9bee3ab82eb: examples/appendix_lemmas.rs
+
+examples/appendix_lemmas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dining_philosophers-6db9a80bdec04826.d: examples/dining_philosophers.rs
+
+/root/repo/target/debug/examples/dining_philosophers-6db9a80bdec04826: examples/dining_philosophers.rs
+
+examples/dining_philosophers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dining_philosophers-cc191de5d1fdf56f.d: examples/dining_philosophers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdining_philosophers-cc191de5d1fdf56f.rmeta: examples/dining_philosophers.rs Cargo.toml
+
+examples/dining_philosophers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expected_time-50cc6b8e73e133cf.d: examples/expected_time.rs
+
+/root/repo/target/debug/examples/expected_time-50cc6b8e73e133cf: examples/expected_time.rs
+
+examples/expected_time.rs:

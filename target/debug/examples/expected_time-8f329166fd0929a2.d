@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/expected_time-8f329166fd0929a2.d: examples/expected_time.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexpected_time-8f329166fd0929a2.rmeta: examples/expected_time.rs Cargo.toml
+
+examples/expected_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4d3e54e56d047353.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4d3e54e56d047353: examples/quickstart.rs
+
+examples/quickstart.rs:

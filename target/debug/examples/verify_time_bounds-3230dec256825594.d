@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_time_bounds-3230dec256825594.d: examples/verify_time_bounds.rs
+
+/root/repo/target/debug/examples/verify_time_bounds-3230dec256825594: examples/verify_time_bounds.rs
+
+examples/verify_time_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_time_bounds-5ddbd35822a67521.d: examples/verify_time_bounds.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_time_bounds-5ddbd35822a67521.rmeta: examples/verify_time_bounds.rs Cargo.toml
+
+examples/verify_time_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

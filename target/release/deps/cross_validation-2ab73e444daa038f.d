@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_validation-2ab73e444daa038f.d: tests/cross_validation.rs
+
+/root/repo/target/release/deps/cross_validation-2ab73e444daa038f: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_validation-9282fdaa8b8a36d9.d: tests/cross_validation.rs
+
+/root/repo/target/release/deps/cross_validation-9282fdaa8b8a36d9: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csr_equivalence-487a1e10698abca3.d: crates/mdp/tests/csr_equivalence.rs
+
+/root/repo/target/release/deps/csr_equivalence-487a1e10698abca3: crates/mdp/tests/csr_equivalence.rs
+
+crates/mdp/tests/csr_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/framework_semantics-0de34041241a2c9b.d: tests/framework_semantics.rs
+
+/root/repo/target/release/deps/framework_semantics-0de34041241a2c9b: tests/framework_semantics.rs
+
+tests/framework_semantics.rs:

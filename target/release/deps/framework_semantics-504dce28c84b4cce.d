@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/framework_semantics-504dce28c84b4cce.d: tests/framework_semantics.rs
+
+/root/repo/target/release/deps/framework_semantics-504dce28c84b4cce: tests/framework_semantics.rs
+
+tests/framework_semantics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pa_bench-4810277617caef08.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpa_bench-4810277617caef08.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpa_bench-4810277617caef08.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pa_bench-67a185c1e8a7ed49.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpa_bench-67a185c1e8a7ed49.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpa_bench-67a185c1e8a7ed49.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pa_bench-c39ee0d0b1a865d9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/pa_bench-c39ee0d0b1a865d9: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

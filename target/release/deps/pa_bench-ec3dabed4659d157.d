@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pa_bench-ec3dabed4659d157.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/pa_bench-ec3dabed4659d157: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:

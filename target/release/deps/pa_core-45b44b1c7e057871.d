@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/pa_core-45b44b1c7e057871.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs
+
+/root/repo/target/release/deps/libpa_core-45b44b1c7e057871.rlib: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs
+
+/root/repo/target/release/deps/libpa_core-45b44b1c7e057871.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/arrow.rs:
+crates/core/src/automaton.rs:
+crates/core/src/checker.rs:
+crates/core/src/derivation.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/exec_tree.rs:
+crates/core/src/execution.rs:
+crates/core/src/first_next.rs:
+crates/core/src/measure.rs:
+crates/core/src/recurrence.rs:
+crates/core/src/schema.rs:
+crates/core/src/timed.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pa_lehmann_rabin-8224e334338ced88.d: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs
+
+/root/repo/target/release/deps/libpa_lehmann_rabin-8224e334338ced88.rlib: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs
+
+/root/repo/target/release/deps/libpa_lehmann_rabin-8224e334338ced88.rmeta: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs
+
+crates/lehmann-rabin/src/lib.rs:
+crates/lehmann-rabin/src/arrows.rs:
+crates/lehmann-rabin/src/concurrent.rs:
+crates/lehmann-rabin/src/error.rs:
+crates/lehmann-rabin/src/events.rs:
+crates/lehmann-rabin/src/invariant.rs:
+crates/lehmann-rabin/src/lemmas.rs:
+crates/lehmann-rabin/src/pc.rs:
+crates/lehmann-rabin/src/protocol.rs:
+crates/lehmann-rabin/src/regions.rs:
+crates/lehmann-rabin/src/round.rs:
+crates/lehmann-rabin/src/sims.rs:
+crates/lehmann-rabin/src/state.rs:
+crates/lehmann-rabin/src/witness.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pa_mdp-0dc21f5d64980279.d: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/release/deps/libpa_mdp-0dc21f5d64980279.rlib: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/release/deps/libpa_mdp-0dc21f5d64980279.rmeta: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+crates/mdp/src/lib.rs:
+crates/mdp/src/csr.rs:
+crates/mdp/src/error.rs:
+crates/mdp/src/expected.rs:
+crates/mdp/src/explore.rs:
+crates/mdp/src/fxhash.rs:
+crates/mdp/src/horizon.rs:
+crates/mdp/src/model.rs:
+crates/mdp/src/reference.rs:
+crates/mdp/src/value_iter.rs:

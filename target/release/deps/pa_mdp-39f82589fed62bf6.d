@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pa_mdp-39f82589fed62bf6.d: crates/mdp/src/lib.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/release/deps/pa_mdp-39f82589fed62bf6: crates/mdp/src/lib.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/value_iter.rs
+
+crates/mdp/src/lib.rs:
+crates/mdp/src/error.rs:
+crates/mdp/src/expected.rs:
+crates/mdp/src/explore.rs:
+crates/mdp/src/horizon.rs:
+crates/mdp/src/model.rs:
+crates/mdp/src/value_iter.rs:

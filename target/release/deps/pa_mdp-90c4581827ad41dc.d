@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pa_mdp-90c4581827ad41dc.d: crates/mdp/src/lib.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/release/deps/libpa_mdp-90c4581827ad41dc.rlib: crates/mdp/src/lib.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/release/deps/libpa_mdp-90c4581827ad41dc.rmeta: crates/mdp/src/lib.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/value_iter.rs
+
+crates/mdp/src/lib.rs:
+crates/mdp/src/error.rs:
+crates/mdp/src/expected.rs:
+crates/mdp/src/explore.rs:
+crates/mdp/src/horizon.rs:
+crates/mdp/src/model.rs:
+crates/mdp/src/value_iter.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pa_mdp-ee6cbc21d40e93ff.d: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/release/deps/pa_mdp-ee6cbc21d40e93ff: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+crates/mdp/src/lib.rs:
+crates/mdp/src/csr.rs:
+crates/mdp/src/error.rs:
+crates/mdp/src/expected.rs:
+crates/mdp/src/explore.rs:
+crates/mdp/src/fxhash.rs:
+crates/mdp/src/horizon.rs:
+crates/mdp/src/model.rs:
+crates/mdp/src/reference.rs:
+crates/mdp/src/value_iter.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pa_prob-2797140170d2f91b.d: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+/root/repo/target/release/deps/libpa_prob-2797140170d2f91b.rlib: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+/root/repo/target/release/deps/libpa_prob-2797140170d2f91b.rmeta: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+crates/prob/src/lib.rs:
+crates/prob/src/dist.rs:
+crates/prob/src/error.rs:
+crates/prob/src/interval.rs:
+crates/prob/src/prob.rs:
+crates/prob/src/rng.rs:
+crates/prob/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pa_prob-a805f87977bdb98e.d: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+/root/repo/target/release/deps/pa_prob-a805f87977bdb98e: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+crates/prob/src/lib.rs:
+crates/prob/src/dist.rs:
+crates/prob/src/error.rs:
+crates/prob/src/interval.rs:
+crates/prob/src/prob.rs:
+crates/prob/src/rng.rs:
+crates/prob/src/stats.rs:

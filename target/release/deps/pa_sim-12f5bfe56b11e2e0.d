@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pa_sim-12f5bfe56b11e2e0.d: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+/root/repo/target/release/deps/pa_sim-12f5bfe56b11e2e0: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cdf.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/monte_carlo.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pa_sim-c4e995020f2b96d9.d: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+/root/repo/target/release/deps/libpa_sim-c4e995020f2b96d9.rlib: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+/root/repo/target/release/deps/libpa_sim-c4e995020f2b96d9.rmeta: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cdf.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/monte_carlo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-4bbdf70c5f802d52.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-4bbdf70c5f802d52: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-e70454b46ecaa6b2.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-e70454b46ecaa6b2: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-383d694e29dd78e4.d: crates/lehmann-rabin/tests/properties.rs
+
+/root/repo/target/release/deps/properties-383d694e29dd78e4: crates/lehmann-rabin/tests/properties.rs
+
+crates/lehmann-rabin/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-3edecad7392cc8c3.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-3edecad7392cc8c3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-3f7c4def8870d363.d: crates/mdp/tests/properties.rs
+
+/root/repo/target/release/deps/properties-3f7c4def8870d363: crates/mdp/tests/properties.rs
+
+crates/mdp/tests/properties.rs:

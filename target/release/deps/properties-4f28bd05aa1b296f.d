@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-4f28bd05aa1b296f.d: crates/mdp/tests/properties.rs
+
+/root/repo/target/release/deps/properties-4f28bd05aa1b296f: crates/mdp/tests/properties.rs
+
+crates/mdp/tests/properties.rs:

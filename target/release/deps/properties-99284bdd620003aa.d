@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-99284bdd620003aa.d: crates/sim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-99284bdd620003aa: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-99c2338dddef9893.d: crates/lehmann-rabin/tests/properties.rs
+
+/root/repo/target/release/deps/properties-99c2338dddef9893: crates/lehmann-rabin/tests/properties.rs
+
+crates/lehmann-rabin/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-bf746d039b739c6b.d: crates/prob/tests/properties.rs
+
+/root/repo/target/release/deps/properties-bf746d039b739c6b: crates/prob/tests/properties.rs
+
+crates/prob/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-e34f5bf781398e42.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-e34f5bf781398e42: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

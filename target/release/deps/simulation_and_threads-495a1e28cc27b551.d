@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_and_threads-495a1e28cc27b551.d: tests/simulation_and_threads.rs
+
+/root/repo/target/release/deps/simulation_and_threads-495a1e28cc27b551: tests/simulation_and_threads.rs
+
+tests/simulation_and_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_and_threads-4a48114f0adec78b.d: tests/simulation_and_threads.rs
+
+/root/repo/target/release/deps/simulation_and_threads-4a48114f0adec78b: tests/simulation_and_threads.rs
+
+tests/simulation_and_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-168c68204ef283a8.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-168c68204ef283a8: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-53d1c9556d295edf.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-53d1c9556d295edf: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

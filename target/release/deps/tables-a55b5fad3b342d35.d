@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-a55b5fad3b342d35.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-a55b5fad3b342d35: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/timebounds-1ad3656a4fa6de77.d: src/lib.rs
+
+/root/repo/target/release/deps/libtimebounds-1ad3656a4fa6de77.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtimebounds-1ad3656a4fa6de77.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/timebounds-3c9435f512ea5984.d: src/lib.rs
+
+/root/repo/target/release/deps/libtimebounds-3c9435f512ea5984.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtimebounds-3c9435f512ea5984.rmeta: src/lib.rs
+
+src/lib.rs:

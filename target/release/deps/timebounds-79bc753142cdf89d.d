@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timebounds-79bc753142cdf89d.d: src/lib.rs
+
+/root/repo/target/release/deps/timebounds-79bc753142cdf89d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timebounds-d476510c7c3421a3.d: src/lib.rs
+
+/root/repo/target/release/deps/timebounds-d476510c7c3421a3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adversary_independence-4422ed22693b1920.d: examples/adversary_independence.rs
+
+/root/repo/target/release/examples/adversary_independence-4422ed22693b1920: examples/adversary_independence.rs
+
+examples/adversary_independence.rs:

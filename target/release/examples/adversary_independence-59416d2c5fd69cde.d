@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adversary_independence-59416d2c5fd69cde.d: examples/adversary_independence.rs
+
+/root/repo/target/release/examples/adversary_independence-59416d2c5fd69cde: examples/adversary_independence.rs
+
+examples/adversary_independence.rs:

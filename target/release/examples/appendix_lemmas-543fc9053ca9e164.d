@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/appendix_lemmas-543fc9053ca9e164.d: examples/appendix_lemmas.rs
+
+/root/repo/target/release/examples/appendix_lemmas-543fc9053ca9e164: examples/appendix_lemmas.rs
+
+examples/appendix_lemmas.rs:

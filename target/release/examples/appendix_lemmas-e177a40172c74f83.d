@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/appendix_lemmas-e177a40172c74f83.d: examples/appendix_lemmas.rs
+
+/root/repo/target/release/examples/appendix_lemmas-e177a40172c74f83: examples/appendix_lemmas.rs
+
+examples/appendix_lemmas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dining_philosophers-77421bd6968a4f59.d: examples/dining_philosophers.rs
+
+/root/repo/target/release/examples/dining_philosophers-77421bd6968a4f59: examples/dining_philosophers.rs
+
+examples/dining_philosophers.rs:

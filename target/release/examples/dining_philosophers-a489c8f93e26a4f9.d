@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dining_philosophers-a489c8f93e26a4f9.d: examples/dining_philosophers.rs
+
+/root/repo/target/release/examples/dining_philosophers-a489c8f93e26a4f9: examples/dining_philosophers.rs
+
+examples/dining_philosophers.rs:

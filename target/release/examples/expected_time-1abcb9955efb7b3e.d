@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/expected_time-1abcb9955efb7b3e.d: examples/expected_time.rs
+
+/root/repo/target/release/examples/expected_time-1abcb9955efb7b3e: examples/expected_time.rs
+
+examples/expected_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/expected_time-c837fbfd20d5bcb9.d: examples/expected_time.rs
+
+/root/repo/target/release/examples/expected_time-c837fbfd20d5bcb9: examples/expected_time.rs
+
+examples/expected_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hash_check-75b38e8d47b9558a.d: crates/bench/examples/hash_check.rs
+
+/root/repo/target/release/examples/hash_check-75b38e8d47b9558a: crates/bench/examples/hash_check.rs
+
+crates/bench/examples/hash_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9787069eb5ad9ac5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9787069eb5ad9ac5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bc7d084d3afe6219.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bc7d084d3afe6219: examples/quickstart.rs
+
+examples/quickstart.rs:

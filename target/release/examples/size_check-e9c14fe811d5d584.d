@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/size_check-e9c14fe811d5d584.d: crates/bench/examples/size_check.rs
+
+/root/repo/target/release/examples/size_check-e9c14fe811d5d584: crates/bench/examples/size_check.rs
+
+crates/bench/examples/size_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_time_bounds-02d21baaeafaf3ad.d: examples/verify_time_bounds.rs
+
+/root/repo/target/release/examples/verify_time_bounds-02d21baaeafaf3ad: examples/verify_time_bounds.rs
+
+examples/verify_time_bounds.rs:

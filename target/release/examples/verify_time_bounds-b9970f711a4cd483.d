@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_time_bounds-b9970f711a4cd483.d: examples/verify_time_bounds.rs
+
+/root/repo/target/release/examples/verify_time_bounds-b9970f711a4cd483: examples/verify_time_bounds.rs
+
+examples/verify_time_bounds.rs:

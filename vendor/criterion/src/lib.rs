@@ -1,0 +1,269 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Implements [`Criterion`], benchmark groups, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
+//! median over `sample_size` samples of a calibrated inner batch — good
+//! enough for the relative before/after numbers the repo's docs report,
+//! with none of upstream's plotting or statistics machinery (the build
+//! container has no network access, so the real crate is unavailable).
+//!
+//! A quick smoke mode (`CRITERION_FAST=1`, also used by CI) runs one
+//! sample of one iteration per benchmark so `cargo bench` stays cheap.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver. Shim of `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_benchmark(id, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for source compatibility;
+    /// the shim's sample count is governed by `sample_size` alone.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLabel, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier. Shim of `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier carrying a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IdLabel {
+    /// The display label.
+    fn label(&self) -> String;
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.text.clone()
+    }
+}
+
+/// Passed to the benchmark closure to time the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("CRITERION_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Picks an iteration count so one sample takes roughly 10ms, then times
+/// `sample_size` samples and reports the median per-iteration duration.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    if fast_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{label:<48} {:>12} (fast mode, 1 iter)",
+            fmt_duration(b.elapsed)
+        );
+        return;
+    }
+
+    // Calibrate: grow the batch until one sample takes >= ~10ms.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<48} median {:>12}  [{} .. {}]  ({sample_size} samples x {iters} iters)",
+        fmt_secs(median),
+        fmt_secs(lo),
+        fmt_secs(hi),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    fmt_secs(d.as_secs_f64())
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runner (shim of upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (shim of upstream's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| sum_to(100)));
+        for n in [10u64, 20] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| sum_to(n))
+            });
+        }
+        group.finish();
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline shim for the subset of the `crossbeam` API this workspace uses:
+//! scoped threads (`crossbeam::thread::scope`) and unbounded MPMC-ish
+//! channels (`crossbeam::channel`). Both are thin wrappers over `std`
+//! (`std::thread::scope` and `std::sync::mpsc`), preserving the call-site
+//! signatures the workspace relies on.
+//!
+//! Known shim narrowing: the closure passed to [`thread::Scope::spawn`]
+//! receives `()` instead of a nested `&Scope`, so spawned threads cannot
+//! re-spawn onto the same scope. Every call site in this workspace ignores
+//! the argument (`|_| …`), which is why the narrowing is acceptable.
+
+/// Scoped threads (shim of `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle for spawning threads that may borrow from the stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives `()` (see the module
+        /// docs for why this differs from upstream crossbeam).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. Returns `Err` with
+    /// the panic payload if the scope closure itself panics (spawned-thread
+    /// panics surface through [`ScopedJoinHandle::join`], as in upstream).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Unbounded channels (shim of `crossbeam::channel`, backed by `mpsc`).
+pub mod channel {
+    /// Error returned when sending on a disconnected channel.
+    pub use std::sync::mpsc::SendError;
+
+    /// The sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one is available or all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
+            self.inner.recv()
+        }
+
+        /// Drains currently-available messages without blocking.
+        pub fn try_iter(&self) -> std::sync::mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+
+        /// Blocking iterator over messages until all senders are gone.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let sum = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 20);
+    }
+
+    #[test]
+    fn spawned_panic_surfaces_through_join() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_roundtrip_and_try_iter() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline shim for the subset of the `parking_lot` API this workspace
+//! uses: a `Mutex` whose `lock` returns the guard directly (no poison
+//! `Result`) and whose `try_lock` returns an `Option`. Backed by
+//! `std::sync::Mutex`; a poisoned std mutex is transparently recovered,
+//! matching parking_lot's no-poisoning semantics.
+
+#![forbid(unsafe_code)]
+
+/// RAII guard returned by [`Mutex::lock`] and [`Mutex::try_lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's panic-transparent API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutably borrows the protected value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(5);
+        {
+            let g = m.lock();
+            assert_eq!(*g, 5);
+            assert!(m.try_lock().is_none(), "held lock blocks try_lock");
+        }
+        let mut g = m.try_lock().expect("released lock is takeable");
+        *g = 6;
+        drop(g);
+        assert_eq!(m.into_inner(), 6);
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline shim for the subset of the `rand` 0.10 API this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation of exactly the surface
+//! the crates consume: [`rand_core::TryRng`], the infallible [`Rng`] view of
+//! it, and the [`RngExt`] convenience methods (`random`, `random_bool`,
+//! `random_range`). Distribution quality matches the textbook constructions
+//! (53-bit uniform floats, Lemire-style bounded integers); streams are
+//! deterministic functions of the generator state, which is all the
+//! workspace's reproducibility contract requires.
+
+#![forbid(unsafe_code)]
+
+/// Core fallible-generator traits (shim of the `rand_core` facade).
+pub mod rand_core {
+    /// A random number generator that may fail. The workspace's generators
+    /// use `Error = Infallible` and get the blanket [`crate::Rng`] impl.
+    pub trait TryRng {
+        /// Error type for generation failures.
+        type Error;
+        /// Returns the next random `u32`.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Returns the next random `u64`.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Fills `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`rand_core::TryRng`] whose error is
+/// [`std::convert::Infallible`].
+pub trait Rng {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T> Rng for T
+where
+    T: rand_core::TryRng<Error = std::convert::Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        self.try_next_u32().unwrap_or_else(|e| match e {})
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.try_next_u64().unwrap_or_else(|e| match e {})
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.try_fill_bytes(dest).unwrap_or_else(|e| match e {})
+    }
+}
+
+/// A type that can be sampled uniformly from its full value range.
+pub trait Random {
+    /// Samples a uniform value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u8 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
+impl Random for u16 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+        (rng.next_u32() >> 16) as u16
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for usize {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for i32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Random for i64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that supports uniform sampling (shim of `SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bounded_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u: f64 = Random::random(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Uniform value in `0..bound` (`bound > 0`) by 128-bit multiply-shift.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((rng.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.random::<f64>() < p
+    }
+
+    /// Samples a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl rand_core::TryRng for Lcg {
+        type Error = std::convert::Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok((self.try_next_u64()? >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+            for b in dest {
+                *b = (self.try_next_u64()? >> 56) as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = Lcg(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(2);
+        for i in 0..1000u64 {
+            let a = rng.random_range(0u32..256);
+            assert!(a < 256);
+            let b = rng.random_range(0..=i as usize);
+            assert!(b <= i as usize);
+            let c = rng.random_range(-5i32..7);
+            assert!((-5..7).contains(&c));
+        }
+    }
+
+    #[test]
+    fn random_bool_frequency_tracks_p() {
+        let mut rng = Lcg(3);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.25).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut rng = Lcg(4);
+        let mut buf = [0u8; 9];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

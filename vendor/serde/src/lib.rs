@@ -1,0 +1,156 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde models serialization through a visitor (`Serializer`);
+//! this shim collapses the contract to one method, [`Serialize::to_json`],
+//! which renders the value as a JSON string. That is exactly what the
+//! workspace needs (machine-readable benchmark and experiment artifacts)
+//! without pulling a serializer framework into an offline build.
+//!
+//! `#[derive(Serialize)]` works via the companion `serde_derive` shim for
+//! structs with named fields and enums with unit variants.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A value renderable as JSON. Shim of `serde::Serialize`.
+pub trait Serialize {
+    /// Renders the value as a JSON document fragment.
+    fn to_json(&self) -> String;
+}
+
+/// Escapes a string per JSON's rules and wraps it in quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> String {
+        json_escape(self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> String {
+        json_escape(self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> String {
+        self.to_string()
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> String {
+        if self.is_finite() {
+            // Shortest round-trip representation; integral values keep a
+            // decimal point so consumers parse them as floats.
+            let s = format!("{self}");
+            if s.contains(['.', 'e', 'E']) {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        } else {
+            // JSON has no Infinity/NaN; null is the conventional stand-in.
+            "null".to_string()
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> String {
+        f64::from(*self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_wraps_strings() {
+        assert_eq!("a\"b\\c\nd".to_string().to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn numbers_and_options_render() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(2.0f64.to_json(), "2.0");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!(Option::<u8>::None.to_json(), "null");
+        assert_eq!(Some(3u8).to_json(), "3");
+    }
+
+    #[test]
+    fn vectors_render_as_arrays() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        let v: Vec<String> = vec!["x".into()];
+        assert_eq!(v.to_json(), r#"["x"]"#);
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline shim of `serde_derive`: implements `#[derive(Serialize)]` for
+//! the vendored single-method `serde::Serialize` trait without `syn`/
+//! `quote` (the build container has no network access, so the macro parses
+//! the token stream by hand).
+//!
+//! Supported shapes — exactly what the workspace derives:
+//! * structs with named fields (field attributes and doc comments are
+//!   skipped; generics are not supported),
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name string, matching serde's default external representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-producing shim trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match parse_item(&tokens) {
+        Ok(generated) => generated
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! is valid Rust"),
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip outer attributes (#[...]) and visibility/auxiliary keywords
+    // until the `struct` or `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("expected an identifier after `{kind}`")),
+    };
+    if matches!(tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+    let body = tokens[i + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("serde_derive shim: `{name}` must have a braced body"))?;
+
+    if kind == "struct" {
+        emit_struct(&name, &body.into_iter().collect::<Vec<_>>())
+    } else {
+        emit_enum(&name, &body.into_iter().collect::<Vec<_>>())
+    }
+}
+
+/// Collects the field names of a named-field struct body: for each
+/// top-level comma-separated entry, the identifier immediately before the
+/// first top-level `:` (attributes and visibility are skipped).
+fn named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // One field: [attrs] [pub [(...)]] name : Type
+        while matches!(&body[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2; // '#' + bracket group
+        }
+        let mut name: Option<String> = None;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == ':' => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Ident(id) => {
+                    name = Some(id.to_string());
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        let name = name.ok_or("serde_derive shim: tuple structs are not supported")?;
+        if name != "pub" {
+            fields.push(name);
+        }
+        // Skip the type up to the next top-level comma.
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn emit_struct(name: &str, body: &[TokenTree]) -> Result<String, String> {
+    let fields = named_fields(body)?;
+    if fields.is_empty() {
+        return Err(format!(
+            "serde_derive shim: `{name}` has no named fields to serialize"
+        ));
+    }
+    let mut pushes = String::new();
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            pushes.push_str("out.push(',');\n");
+        }
+        pushes.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n\
+             out.push_str(&serde::Serialize::to_json(&self.{f}));\n"
+        ));
+    }
+    Ok(format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> String {{\n\
+                 let mut out = String::from(\"{{\");\n\
+                 {pushes}\
+                 out.push('}}');\n\
+                 out\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+fn emit_enum(name: &str, body: &[TokenTree]) -> Result<String, String> {
+    let mut arms = String::new();
+    let mut i = 0;
+    let mut any = false;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                if matches!(body.get(i + 1), Some(TokenTree::Group(_))) {
+                    return Err(format!(
+                        "serde_derive shim: enum `{name}` variant `{variant}` carries data; only unit variants are supported"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{variant} => \"\\\"{variant}\\\"\".to_string(),\n"
+                ));
+                any = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if !any {
+        return Err(format!("serde_derive shim: enum `{name}` has no variants"));
+    }
+    Ok(format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> String {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}\n"
+    ))
+}
