@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csr_equivalence-0a14b5de4f3c7dac.d: crates/mdp/tests/csr_equivalence.rs
+
+/root/repo/target/debug/deps/csr_equivalence-0a14b5de4f3c7dac: crates/mdp/tests/csr_equivalence.rs
+
+crates/mdp/tests/csr_equivalence.rs:

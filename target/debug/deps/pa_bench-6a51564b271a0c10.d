@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pa_bench-6a51564b271a0c10.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpa_bench-6a51564b271a0c10.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpa_bench-6a51564b271a0c10.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:

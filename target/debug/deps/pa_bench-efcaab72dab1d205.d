@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pa_bench-efcaab72dab1d205.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/pa_bench-efcaab72dab1d205: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:

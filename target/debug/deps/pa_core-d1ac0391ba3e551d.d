@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pa_core-d1ac0391ba3e551d.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs
+
+/root/repo/target/debug/deps/pa_core-d1ac0391ba3e551d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/arrow.rs crates/core/src/automaton.rs crates/core/src/checker.rs crates/core/src/derivation.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/exec_tree.rs crates/core/src/execution.rs crates/core/src/first_next.rs crates/core/src/measure.rs crates/core/src/recurrence.rs crates/core/src/schema.rs crates/core/src/timed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/arrow.rs:
+crates/core/src/automaton.rs:
+crates/core/src/checker.rs:
+crates/core/src/derivation.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/exec_tree.rs:
+crates/core/src/execution.rs:
+crates/core/src/first_next.rs:
+crates/core/src/measure.rs:
+crates/core/src/recurrence.rs:
+crates/core/src/schema.rs:
+crates/core/src/timed.rs:

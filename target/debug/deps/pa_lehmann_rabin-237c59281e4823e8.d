@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pa_lehmann_rabin-237c59281e4823e8.d: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs
+
+/root/repo/target/debug/deps/pa_lehmann_rabin-237c59281e4823e8: crates/lehmann-rabin/src/lib.rs crates/lehmann-rabin/src/arrows.rs crates/lehmann-rabin/src/concurrent.rs crates/lehmann-rabin/src/error.rs crates/lehmann-rabin/src/events.rs crates/lehmann-rabin/src/invariant.rs crates/lehmann-rabin/src/lemmas.rs crates/lehmann-rabin/src/pc.rs crates/lehmann-rabin/src/protocol.rs crates/lehmann-rabin/src/regions.rs crates/lehmann-rabin/src/round.rs crates/lehmann-rabin/src/sims.rs crates/lehmann-rabin/src/state.rs crates/lehmann-rabin/src/witness.rs
+
+crates/lehmann-rabin/src/lib.rs:
+crates/lehmann-rabin/src/arrows.rs:
+crates/lehmann-rabin/src/concurrent.rs:
+crates/lehmann-rabin/src/error.rs:
+crates/lehmann-rabin/src/events.rs:
+crates/lehmann-rabin/src/invariant.rs:
+crates/lehmann-rabin/src/lemmas.rs:
+crates/lehmann-rabin/src/pc.rs:
+crates/lehmann-rabin/src/protocol.rs:
+crates/lehmann-rabin/src/regions.rs:
+crates/lehmann-rabin/src/round.rs:
+crates/lehmann-rabin/src/sims.rs:
+crates/lehmann-rabin/src/state.rs:
+crates/lehmann-rabin/src/witness.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pa_mdp-8b6a646190655b57.d: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+/root/repo/target/debug/deps/pa_mdp-8b6a646190655b57: crates/mdp/src/lib.rs crates/mdp/src/csr.rs crates/mdp/src/error.rs crates/mdp/src/expected.rs crates/mdp/src/explore.rs crates/mdp/src/fxhash.rs crates/mdp/src/horizon.rs crates/mdp/src/model.rs crates/mdp/src/reference.rs crates/mdp/src/value_iter.rs
+
+crates/mdp/src/lib.rs:
+crates/mdp/src/csr.rs:
+crates/mdp/src/error.rs:
+crates/mdp/src/expected.rs:
+crates/mdp/src/explore.rs:
+crates/mdp/src/fxhash.rs:
+crates/mdp/src/horizon.rs:
+crates/mdp/src/model.rs:
+crates/mdp/src/reference.rs:
+crates/mdp/src/value_iter.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pa_prob-0aedc4d5c917b22d.d: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+/root/repo/target/debug/deps/pa_prob-0aedc4d5c917b22d: crates/prob/src/lib.rs crates/prob/src/dist.rs crates/prob/src/error.rs crates/prob/src/interval.rs crates/prob/src/prob.rs crates/prob/src/rng.rs crates/prob/src/stats.rs
+
+crates/prob/src/lib.rs:
+crates/prob/src/dist.rs:
+crates/prob/src/error.rs:
+crates/prob/src/interval.rs:
+crates/prob/src/prob.rs:
+crates/prob/src/rng.rs:
+crates/prob/src/stats.rs:

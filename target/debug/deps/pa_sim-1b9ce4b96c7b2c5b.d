@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pa_sim-1b9ce4b96c7b2c5b.d: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+/root/repo/target/debug/deps/pa_sim-1b9ce4b96c7b2c5b: crates/sim/src/lib.rs crates/sim/src/cdf.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/monte_carlo.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cdf.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/monte_carlo.rs:

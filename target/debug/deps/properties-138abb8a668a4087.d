@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-138abb8a668a4087.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-138abb8a668a4087: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5e4af61a64d595e1.d: crates/prob/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5e4af61a64d595e1: crates/prob/tests/properties.rs
+
+crates/prob/tests/properties.rs:

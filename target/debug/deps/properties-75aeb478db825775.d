@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-75aeb478db825775.d: crates/mdp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-75aeb478db825775: crates/mdp/tests/properties.rs
+
+crates/mdp/tests/properties.rs:

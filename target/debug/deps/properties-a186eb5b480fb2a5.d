@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a186eb5b480fb2a5.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a186eb5b480fb2a5: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

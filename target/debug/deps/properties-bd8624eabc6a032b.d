@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bd8624eabc6a032b.d: crates/lehmann-rabin/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bd8624eabc6a032b: crates/lehmann-rabin/tests/properties.rs
+
+crates/lehmann-rabin/tests/properties.rs:

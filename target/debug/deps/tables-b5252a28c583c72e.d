@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-b5252a28c583c72e.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-b5252a28c583c72e: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:
