@@ -1,0 +1,200 @@
+//! CI bench-regression gate: compares a freshly measured bench artifact
+//! against the checked-in baseline.
+//!
+//! ```text
+//! compare_bench BENCH_baseline.json BENCH_smoke.json [--tolerance 20]
+//! ```
+//!
+//! Three families of checks, from hard to soft:
+//!
+//! 1. **Structural metrics** (states, choices, transitions per ring) must
+//!    match *exactly* — the explored state space is deterministic, so any
+//!    drift is a semantic change, not noise.
+//! 2. **Speedup ratios** (CSR over seed engine, for exploration and value
+//!    iteration) must not regress by more than the tolerance. Ratios within
+//!    one run compare the same machine against itself, so they transfer
+//!    across hosts in a way absolute seconds do not.
+//! 3. **Telemetry sanity**: the current artifact must carry a `telemetry`
+//!    block proving the instrumentation fired (sweeps, explored states and
+//!    Monte-Carlo trials all positive).
+//!
+//! Exit code 0 = pass, 1 = regression or malformed artifact.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use pa_bench::json::Json;
+
+struct Gate {
+    tolerance_pct: f64,
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn fail(&mut self, msg: String) {
+        self.failures.push(msg);
+    }
+
+    fn check_exact(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        if baseline != current {
+            self.fail(format!("{what}: expected {baseline}, got {current}"));
+        }
+    }
+
+    /// Ratio metrics where larger is better: fail when `current` drops
+    /// more than `tolerance_pct` below `baseline`.
+    fn check_ratio(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        let floor = baseline * (1.0 - self.tolerance_pct / 100.0);
+        if current < floor {
+            self.fail(format!(
+                "{what}: {current:.3} regressed more than {}% below baseline {baseline:.3}",
+                self.tolerance_pct
+            ));
+        }
+    }
+
+    fn check_positive(&mut self, what: &str, value: Option<f64>) {
+        self.checks += 1;
+        match value {
+            Some(v) if v > 0.0 => {}
+            Some(v) => self.fail(format!("{what}: expected > 0, got {v}")),
+            None => self.fail(format!("{what}: missing from the artifact")),
+        }
+    }
+}
+
+fn ring_metric(doc: &Json, n: f64, keys: &[&str]) -> Option<f64> {
+    doc.get("rings")?
+        .as_array()?
+        .iter()
+        .find(|r| r.get("n").and_then(Json::as_f64) == Some(n))?
+        .path(keys)?
+        .as_f64()
+}
+
+/// Value of a named counter inside the report's `telemetry` block.
+fn telemetry_counter(doc: &Json, name: &str) -> Option<f64> {
+    doc.path(&["telemetry", "counters"])?
+        .as_array()?
+        .iter()
+        .find(|c| c.get("name").and_then(Json::as_str) == Some(name))?
+        .get("value")?
+        .as_f64()
+}
+
+fn run() -> Result<Vec<String>, Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance_pct = 20.0;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--tolerance" {
+            tolerance_pct = iter
+                .next()
+                .ok_or("--tolerance needs a value")?
+                .parse::<f64>()?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg}").into());
+        } else {
+            files.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        return Err("usage: compare_bench <baseline.json> <current.json> [--tolerance PCT]".into());
+    };
+
+    let baseline = Json::parse(&std::fs::read_to_string(baseline_path)?)
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = Json::parse(&std::fs::read_to_string(current_path)?)
+        .map_err(|e| format!("{current_path}: {e}"))?;
+
+    let mut gate = Gate {
+        tolerance_pct,
+        failures: Vec::new(),
+        checks: 0,
+    };
+
+    let schema = |doc: &Json| doc.get("schema").and_then(Json::as_str).map(str::to_string);
+    if schema(&baseline) != schema(&current) {
+        gate.fail(format!(
+            "schema mismatch: baseline {:?} vs current {:?}",
+            schema(&baseline),
+            schema(&current)
+        ));
+    }
+
+    let rings = baseline
+        .get("rings")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no rings array")?;
+    for ring in rings {
+        let n = ring
+            .get("n")
+            .and_then(Json::as_f64)
+            .ok_or("ring without n")?;
+        for metric in ["states", "choices", "transitions"] {
+            let base = ring.get(metric).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            match ring_metric(&current, n, &[metric]) {
+                Some(cur) => gate.check_exact(&format!("n={n} {metric}"), base, cur),
+                None => gate.fail(format!("n={n} {metric}: missing from current artifact")),
+            }
+        }
+        for family in ["explore_states_per_sec", "vi_sweeps_per_sec"] {
+            let base = ring.path(&[family, "speedup"]).and_then(Json::as_f64);
+            let cur = ring_metric(&current, n, &[family, "speedup"]);
+            match (base, cur) {
+                (Some(b), Some(c)) => gate.check_ratio(&format!("n={n} {family}.speedup"), b, c),
+                _ => gate.fail(format!("n={n} {family}.speedup: missing")),
+            }
+        }
+    }
+
+    gate.check_positive(
+        "telemetry mdp.vi.sweeps",
+        telemetry_counter(&current, "mdp.vi.sweeps"),
+    );
+    gate.check_positive(
+        "telemetry mdp.explore.states",
+        telemetry_counter(&current, "mdp.explore.states"),
+    );
+    gate.check_positive(
+        "telemetry sim.mc.trials",
+        telemetry_counter(&current, "sim.mc.trials"),
+    );
+    gate.check_positive(
+        "telemetry_overhead.enabled_over_disabled",
+        current
+            .path(&["telemetry_overhead", "enabled_over_disabled"])
+            .and_then(Json::as_f64),
+    );
+
+    println!(
+        "compare_bench: {} checks, {} failures (tolerance {}%)",
+        gate.checks,
+        gate.failures.len(),
+        tolerance_pct
+    );
+    Ok(gate.failures)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench gate passed");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("compare_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! cargo run --release -p pa-bench --bin tables -- --full  # larger rings
 //! cargo run --release -p pa-bench --bin tables -- --bench-json
 //!                                     # regenerate BENCH_mdp.json instead
+//! cargo run --release -p pa-bench --bin tables -- --bench-json --smoke --out BENCH_smoke.json
+//!                                     # small fixed instance for CI gating
 //! ```
 
 use std::error::Error;
@@ -16,8 +18,22 @@ use serde::Serialize;
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--bench-json") {
-        let report = perf::bench_report(3_000_000)?;
-        let path = "BENCH_mdp.json";
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let default_path = if smoke {
+            "BENCH_smoke.json"
+        } else {
+            "BENCH_mdp.json"
+        };
+        let path = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map_or(default_path, String::as_str);
+        let report = if smoke {
+            perf::bench_report_sized(100_000, 4)?
+        } else {
+            perf::bench_report(3_000_000)?
+        };
         std::fs::write(path, perf::pretty_json(&report.to_json()))?;
         println!("wrote {path}");
         for ring in &report.rings {
@@ -32,6 +48,14 @@ fn main() -> Result<(), Box<dyn Error>> {
                 ring.vi_sweeps_per_sec.speedup,
             );
         }
+        println!(
+            "telemetry probe: {} VI sweeps, {} states explored, {} MC trials; \
+             overhead on/off = {:.3}",
+            report.telemetry.counter("mdp.vi.sweeps").unwrap_or(0),
+            report.telemetry.counter("mdp.explore.states").unwrap_or(0),
+            report.telemetry.counter("sim.mc.trials").unwrap_or(0),
+            report.telemetry_overhead.enabled_over_disabled,
+        );
         return Ok(());
     }
     let full = args.iter().any(|a| a == "--full");

@@ -16,10 +16,12 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use pa_core::Automaton;
-use pa_lehmann_rabin::{regions, LrProtocol, UserModel};
+use pa_lehmann_rabin::{regions, round_cost, sims, LrProtocol, RoundConfig, RoundMdp, UserModel};
 use pa_mdp::{
     par_explore, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective,
 };
+use pa_sim::MonteCarlo;
+use pa_telemetry::TelemetrySnapshot;
 use serde::Serialize;
 
 /// The seed engine's exploration, reproduced verbatim for baseline timing:
@@ -137,6 +139,26 @@ pub struct Machine {
     pub os: String,
 }
 
+/// Disabled-vs-enabled cost of the telemetry layer on the value-iteration
+/// hot loop — the "near-zero-cost when off" microcheck. Timed on the same
+/// CSR model with a fixed sweep budget, so the only variable is the
+/// per-sweep recording.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryOverhead {
+    /// Ring size of the probe model.
+    pub n: usize,
+    /// Full Jacobi sweeps timed in each configuration.
+    pub sweeps: usize,
+    /// Wall-clock seconds with the registry disabled.
+    pub vi_disabled_seconds: f64,
+    /// Wall-clock seconds with the registry enabled (recording sweeps,
+    /// residuals and spans).
+    pub vi_enabled_seconds: f64,
+    /// `vi_enabled_seconds / vi_disabled_seconds`; ≈ 1.0 means the
+    /// instrumentation is invisible at this granularity.
+    pub enabled_over_disabled: f64,
+}
+
 /// The whole `BENCH_mdp.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -150,6 +172,14 @@ pub struct BenchReport {
     pub machine: Machine,
     /// Per-ring-size measurements.
     pub rings: Vec<RingBench>,
+    /// Metrics collected by a fixed instrumented workload (exploration +
+    /// value iteration + Monte-Carlo on the `n = 3` round model). The timed
+    /// throughput runs above execute with telemetry *disabled* so the
+    /// engine comparison stays unbiased; this block is produced by a
+    /// separate probe run.
+    pub telemetry: TelemetrySnapshot,
+    /// The disabled-registry overhead microcheck.
+    pub telemetry_overhead: TelemetryOverhead,
 }
 
 fn read_cpu_model() -> String {
@@ -279,20 +309,133 @@ pub fn bench_ring(n: usize, limit: usize) -> Result<RingBench, MdpError> {
     })
 }
 
-/// Runs the full `n = 3..=7` suite and renders `BENCH_mdp.json`.
-pub fn bench_report(limit: usize) -> Result<BenchReport, MdpError> {
-    let mut rings = Vec::new();
-    for n in 3..=7 {
-        eprintln!("benchmarking ring n={n}…");
-        rings.push(bench_ring(n, limit)?);
+/// Runs a fixed instrumented workload with telemetry enabled and returns
+/// the resulting snapshot: exploration, qualitative + quantitative value
+/// iteration and a Monte-Carlo batch, all on the `n = 3` round model. The
+/// registry is reset first and left *disabled* afterwards, so the timed
+/// throughput runs are never polluted.
+pub fn telemetry_probe() -> Result<TelemetrySnapshot, Box<dyn std::error::Error>> {
+    pa_telemetry::set_enabled(true);
+    pa_telemetry::reset();
+    let result = (|| -> Result<TelemetrySnapshot, Box<dyn std::error::Error>> {
+        let mdp = RoundMdp::new(RoundConfig::new(3)?);
+        let explored = par_explore(&mdp, round_cost, 1_000_000)?;
+        let target = explored.target_where(|s| regions::in_c(&s.config));
+        let csr = CsrMdp::from_explicit(&explored.mdp);
+        let opts = IterOptions {
+            epsilon: 1e-9,
+            max_sweeps: 10_000,
+        };
+        csr.reach_prob(&target, Objective::MinProb, opts, None)?;
+
+        let sim = sims::LrSim::new(3, sims::RoundRobin)?.with_start(sims::all_trying(3)?);
+        let mc = MonteCarlo::new(2_000, 42, 60);
+        mc.hitting_prob_within(&sim, |s| regions::in_c(&s.config), 13)?;
+        Ok(pa_telemetry::snapshot())
+    })();
+    pa_telemetry::set_enabled(false);
+    result
+}
+
+/// Times the CSR value iteration with telemetry disabled vs enabled on the
+/// `n` saturating-user protocol model, with a fixed sweep budget (negative
+/// epsilon disables early exit). Leaves telemetry disabled.
+pub fn telemetry_overhead(n: usize) -> Result<TelemetryOverhead, MdpError> {
+    pa_telemetry::set_enabled(false);
+    let protocol = LrProtocol::new(n, UserModel::saturating()).expect("valid ring size");
+    let cost = |_: &pa_lehmann_rabin::Config, _: &pa_lehmann_rabin::LrAction| 1u32;
+    let explored = par_explore(&protocol, cost, 1_000_000)?;
+    let target = explored.target_where(regions::in_c);
+    let csr = CsrMdp::from_explicit(&explored.mdp);
+    let sweeps = 64;
+    let opts = IterOptions {
+        epsilon: -1.0,
+        max_sweeps: sweeps,
+    };
+
+    let t0 = Instant::now();
+    let off = csr.reach_prob(&target, Objective::MaxProb, opts, None)?;
+    let vi_disabled = t0.elapsed().as_secs_f64();
+
+    pa_telemetry::set_enabled(true);
+    let t0 = Instant::now();
+    let on = csr.reach_prob(&target, Objective::MaxProb, opts, None)?;
+    let vi_enabled = t0.elapsed().as_secs_f64();
+    pa_telemetry::set_enabled(false);
+
+    assert_eq!(off, on, "telemetry must not perturb the values");
+    Ok(TelemetryOverhead {
+        n,
+        sweeps,
+        vi_disabled_seconds: vi_disabled,
+        vi_enabled_seconds: vi_enabled,
+        enabled_over_disabled: vi_enabled / vi_disabled,
+    })
+}
+
+/// [`bench_ring`], repeated `repeats` times keeping the fastest wall time
+/// of each timed segment (the standard noise filter: the minimum is the
+/// run least disturbed by the scheduler). The structural counts are
+/// identical across repeats; throughputs and speedups are recomputed from
+/// the minima. The small CI smoke instances need this — a single
+/// microsecond-scale sweep timing can drift ±40% run to run.
+pub fn bench_ring_best_of(n: usize, limit: usize, repeats: usize) -> Result<RingBench, MdpError> {
+    let mut best = bench_ring(n, limit)?;
+    for _ in 1..repeats {
+        let next = bench_ring(n, limit)?;
+        best.csr_build_seconds = best.csr_build_seconds.min(next.csr_build_seconds);
+        for (b, x, units) in [
+            (
+                &mut best.explore_states_per_sec,
+                &next.explore_states_per_sec,
+                best.states as f64,
+            ),
+            (
+                &mut best.vi_sweeps_per_sec,
+                &next.vi_sweeps_per_sec,
+                best.sweeps_timed as f64,
+            ),
+        ] {
+            let baseline = b.baseline_seconds.min(x.baseline_seconds);
+            let csr = b.csr_seconds.min(x.csr_seconds);
+            *b = throughput(units, baseline, csr);
+        }
     }
+    Ok(best)
+}
+
+/// Runs the suite for `n = 3..=max_n` and renders the report. `max_n = 7`
+/// is the full perf-trajectory artifact; `max_n = 4` is the CI smoke size,
+/// which also takes best-of-5 timings to keep the regression gate stable.
+pub fn bench_report_sized(
+    limit: usize,
+    max_n: usize,
+) -> Result<BenchReport, Box<dyn std::error::Error>> {
+    pa_telemetry::set_enabled(false);
+    let repeats = if max_n <= 4 { 5 } else { 1 };
+    let mut rings = Vec::new();
+    for n in 3..=max_n {
+        eprintln!("benchmarking ring n={n}…");
+        rings.push(bench_ring_best_of(n, limit, repeats)?);
+    }
+    eprintln!("measuring telemetry overhead…");
+    let overhead = telemetry_overhead(4)?;
+    eprintln!("running telemetry probe…");
+    let telemetry = telemetry_probe()?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v1".to_string(),
+        schema: "pa-bench/mdp-throughput/v2".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
         rings,
+        telemetry,
+        telemetry_overhead: overhead,
     })
+}
+
+/// Runs the full `n = 3..=7` suite and renders `BENCH_mdp.json`.
+pub fn bench_report(limit: usize) -> Result<BenchReport, Box<dyn std::error::Error>> {
+    bench_report_sized(limit, 7)
 }
 
 /// Re-indents a compact JSON document (2 spaces) so the artifact diffs

@@ -1,0 +1,171 @@
+//! Integration tests for the bench artifact pipeline: the report emitted
+//! by `tables --bench-json` must carry a valid, instrumented `telemetry`
+//! block, the snapshot must survive the JSON round-trip through the
+//! in-repo parser, and the `compare_bench` gate must pass a faithful
+//! artifact and fail a regressed one.
+
+use pa_bench::json::Json;
+use pa_bench::perf;
+use serde::Serialize;
+
+/// One smoke-sized report, parsed back out of its own JSON rendering.
+/// Building the report is the expensive part, so the assertions share one.
+#[test]
+fn bench_report_emits_a_valid_telemetry_block() {
+    let report = perf::bench_report_sized(100_000, 3).expect("smoke report");
+    let doc = Json::parse(&perf::pretty_json(&report.to_json())).expect("well-formed JSON");
+
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("pa-bench/mdp-throughput/v2")
+    );
+    assert_eq!(
+        doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
+        Some(1)
+    );
+
+    // The probe drove every instrumented crate: exploration, value
+    // iteration, round expansion, Monte-Carlo and RNG-stream creation all
+    // show up as positive counters.
+    let counter = |name: &str| {
+        doc.path(&["telemetry", "counters"])
+            .and_then(Json::as_array)
+            .and_then(|cs| {
+                cs.iter()
+                    .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+            })
+            .and_then(|c| c.get("value"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert!(counter("mdp.vi.sweeps") > 0.0);
+    assert!(counter("mdp.vi.runs") >= 1.0);
+    assert!(counter("mdp.explore.states") > 0.0);
+    assert!(counter("lr.round.expansions") > 0.0);
+    assert_eq!(counter("sim.mc.trials"), 2000.0);
+    assert!(counter("sim.mc.rng_draws") > 0.0);
+    assert!(counter("prob.rng.streams") > 0.0);
+
+    // Residual trajectory and rounds-to-fire histogram made it through.
+    let residuals = doc
+        .path(&["telemetry", "series"])
+        .and_then(Json::as_array)
+        .and_then(|ss| {
+            ss.iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some("mdp.vi.residual"))
+        })
+        .and_then(|s| s.get("values"))
+        .and_then(Json::as_array)
+        .expect("residual series present");
+    assert!(!residuals.is_empty());
+
+    let rounds_hist = doc
+        .path(&["telemetry", "histograms"])
+        .and_then(Json::as_array)
+        .and_then(|hs| {
+            hs.iter()
+                .find(|h| h.get("name").and_then(Json::as_str) == Some("sim.mc.rounds_to_fire"))
+        })
+        .expect("rounds-to-fire histogram present");
+    assert!(rounds_hist.get("count").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // Overhead microcheck: the ratio is a sane positive number. (No upper
+    // bound asserted — wall-clock ratios are too noisy for CI — the gate
+    // only requires the measurement to exist; the artifact records it for
+    // trend tracking.)
+    let ratio = doc
+        .path(&["telemetry_overhead", "enabled_over_disabled"])
+        .and_then(Json::as_f64)
+        .expect("overhead ratio present");
+    assert!(ratio > 0.0 && ratio.is_finite());
+
+    // Serde round-trip of the snapshot alone: every counter the typed
+    // accessor sees is in the JSON with the same value.
+    let snap_doc = Json::parse(&report.telemetry.to_json()).expect("snapshot JSON");
+    for (name, json_value) in snap_doc
+        .get("counters")
+        .and_then(Json::as_array)
+        .expect("counters array")
+        .iter()
+        .map(|c| {
+            (
+                c.get("name").and_then(Json::as_str).unwrap(),
+                c.get("value").and_then(Json::as_f64).unwrap(),
+            )
+        })
+    {
+        assert_eq!(
+            report.telemetry.counter(name),
+            Some(json_value as u64),
+            "{name}"
+        );
+    }
+    assert_eq!(
+        snap_doc.get("enabled").and_then(Json::as_bool),
+        Some(report.telemetry.enabled)
+    );
+}
+
+fn gate_artifact(states: u64, speedup: f64, sweeps: u64) -> String {
+    format!(
+        r#"{{"schema":"pa-bench/mdp-throughput/v2","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}}}}"#
+    )
+}
+
+fn run_gate(baseline: &str, current: &str, tolerance: &str) -> bool {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let base_path = dir.join(format!("pa_bench_gate_base_{pid}_{tolerance}.json"));
+    let cur_path = dir.join(format!("pa_bench_gate_cur_{pid}_{tolerance}.json"));
+    std::fs::write(&base_path, baseline).unwrap();
+    std::fs::write(&cur_path, current).unwrap();
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_compare_bench"))
+        .arg(&base_path)
+        .arg(&cur_path)
+        .args(["--tolerance", tolerance])
+        .status()
+        .expect("compare_bench runs");
+    let _ = std::fs::remove_file(base_path);
+    let _ = std::fs::remove_file(cur_path);
+    status.success()
+}
+
+#[test]
+fn compare_bench_passes_identical_artifacts() {
+    let artifact = gate_artifact(536, 2.0, 640);
+    assert!(run_gate(&artifact, &artifact, "20"));
+}
+
+#[test]
+fn compare_bench_tolerates_small_speedup_drift() {
+    let baseline = gate_artifact(536, 2.0, 640);
+    let current = gate_artifact(536, 1.7, 640);
+    assert!(
+        run_gate(&baseline, &current, "20"),
+        "15% drift is within 20%"
+    );
+}
+
+#[test]
+fn compare_bench_fails_speedup_regression() {
+    let baseline = gate_artifact(536, 2.0, 640);
+    let current = gate_artifact(536, 1.5, 640);
+    assert!(!run_gate(&baseline, &current, "20"), "25% drop must fail");
+}
+
+#[test]
+fn compare_bench_fails_structural_drift() {
+    let baseline = gate_artifact(536, 2.0, 640);
+    let current = gate_artifact(537, 2.0, 640);
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn compare_bench_fails_dead_telemetry() {
+    let baseline = gate_artifact(536, 2.0, 640);
+    let current = gate_artifact(536, 2.0, 0);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "zero sweeps = dead probe"
+    );
+}

@@ -91,6 +91,7 @@ where
     where
         M: Automaton<State = S, Action = A>,
     {
+        let _span = pa_telemetry::span("core.exec_tree.build_seconds");
         let mut tree = ExecTree {
             nodes: vec![Node {
                 state: start.lstate().clone(),
@@ -131,6 +132,12 @@ where
                     }
                 }
             }
+        }
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("core.exec_tree.builds").inc();
+            pa_telemetry::counter("core.exec_tree.nodes").add(tree.nodes.len() as u64);
+            let depth = tree.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+            pa_telemetry::histogram("core.exec_tree.depth").record(depth as u64);
         }
         Ok(tree)
     }

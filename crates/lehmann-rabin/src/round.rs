@@ -259,11 +259,19 @@ impl Automaton for RoundMdp {
                 });
             }
         }
+        let schedule_steps = out.len() as u64;
+        let mut round_closes = 0u64;
         if state.obliged == 0 {
             out.push(Step::deterministic(
                 RoundAction::EndRound,
                 self.fresh(state.config.clone()),
             ));
+            round_closes = 1;
+        }
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("lr.round.expansions").inc();
+            pa_telemetry::counter("lr.round.schedule_steps").add(schedule_steps);
+            pa_telemetry::counter("lr.round.round_closes").add(round_closes);
         }
         out
     }

@@ -279,6 +279,7 @@ impl CsrMdp {
         options: IterOptions,
         workers: Option<usize>,
     ) -> Result<Vec<f64>, MdpError> {
+        let _span = pa_telemetry::span("mdp.vi.reach_prob_seconds");
         self.check_target(target)?;
         let zero = match objective {
             Objective::MaxProb => self.prob0_max(target)?,
@@ -286,6 +287,9 @@ impl CsrMdp {
         };
         let n = self.num_states();
         let workers = resolve_workers(workers);
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("mdp.vi.runs").inc();
+        }
         let mut cur = vec![0.0f64; n];
         for s in 0..n {
             if target[s] {
@@ -294,6 +298,7 @@ impl CsrMdp {
         }
         let mut prev = cur.clone();
         for _ in 0..options.max_sweeps {
+            let sweep_span = pa_telemetry::span("mdp.vi.sweep_seconds");
             let delta = jacobi_sweep(&mut cur, &prev, workers, |s, prev| {
                 if target[s] || zero[s] || self.is_terminal(s) {
                     return prev[s];
@@ -307,6 +312,11 @@ impl CsrMdp {
                 }
                 best
             });
+            sweep_span.finish();
+            if pa_telemetry::enabled() {
+                pa_telemetry::counter("mdp.vi.sweeps").inc();
+                pa_telemetry::series("mdp.vi.residual").push(delta);
+            }
             std::mem::swap(&mut cur, &mut prev);
             if delta <= options.epsilon {
                 break;
@@ -335,8 +345,13 @@ impl CsrMdp {
             }
         }
         let mut prev = cur.clone();
+        let level_sweeps =
+            pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.level_sweeps"));
         let max_sweeps = 4 * n + 8;
         for _ in 0..max_sweeps {
+            if let Some(c) = &level_sweeps {
+                c.inc();
+            }
             let delta = jacobi_sweep(&mut cur, &prev, workers, |s, prev| {
                 if target[s] || self.is_terminal(s) {
                     return prev[s];
@@ -416,12 +431,17 @@ impl CsrMdp {
         self.check_target(target)?;
         self.validate_costs()?;
         let workers = resolve_workers(workers);
+        let _span = pa_telemetry::span("mdp.vi.cost_bounded_seconds");
+        let levels = pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.levels"));
         let zeros = vec![0.0; self.num_states()];
         let mut cur = self.solve_level(target, &zeros, objective, workers, None);
         on_level(0, &cur);
         for k in 1..=budget {
             cur = self.solve_level(target, &cur, objective, workers, None);
             on_level(k, &cur);
+        }
+        if let Some(c) = levels {
+            c.add(u64::from(budget) + 1);
         }
         Ok(cur)
     }
@@ -472,9 +492,13 @@ impl CsrMdp {
     ) -> Result<Vec<f64>, MdpError> {
         let n = self.num_states();
         let workers = resolve_workers(workers);
+        let ec_sweeps = pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.ec_sweeps"));
         let mut cur = vec![0.0f64; n];
         let mut prev = cur.clone();
         for _ in 0..options.max_sweeps {
+            if let Some(c) = &ec_sweeps {
+                c.inc();
+            }
             let delta = jacobi_sweep(&mut cur, &prev, workers, |s, prev| {
                 if target[s] || !live[s] || self.is_terminal(s) {
                     return prev[s];

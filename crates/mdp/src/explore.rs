@@ -57,6 +57,19 @@ impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
     }
 }
 
+/// Records the outcome of a finished exploration into the telemetry
+/// registry. Serial and parallel explorers share these names, so consumers
+/// see one set of exploration metrics regardless of engine.
+fn record_explored(mdp: &ExplicitMdp) {
+    if !pa_telemetry::enabled() {
+        return;
+    }
+    pa_telemetry::counter("mdp.explore.runs").inc();
+    pa_telemetry::counter("mdp.explore.states").add(mdp.num_states() as u64);
+    pa_telemetry::counter("mdp.explore.choices").add(mdp.num_choices() as u64);
+    pa_telemetry::counter("mdp.explore.transitions").add(mdp.num_transitions() as u64);
+}
+
 /// Explores the reachable state space of an implicit automaton into an
 /// [`ExplicitMdp`], assigning each transition the cost given by `cost_of`.
 ///
@@ -70,6 +83,7 @@ pub fn explore<M: Automaton>(
     mut cost_of: impl FnMut(&M::State, &M::Action) -> u32,
     limit: usize,
 ) -> Result<Explored<M::State>, MdpError> {
+    let _span = pa_telemetry::span("mdp.explore.seconds");
     let mut states: Vec<M::State> = Vec::new();
     let mut index: FxHashMap<M::State, usize> = FxHashMap::default();
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -120,6 +134,7 @@ pub fn explore<M: Automaton>(
     }
 
     let mdp = ExplicitMdp::new(choices, initial)?;
+    record_explored(&mdp);
     Ok(Explored { states, index, mdp })
 }
 
@@ -251,8 +266,13 @@ where
         return Err(MdpError::NoInitialStates);
     }
 
+    let _span = pa_telemetry::span("mdp.explore.seconds");
     let cost_of = &cost_of;
     while !level.is_empty() {
+        if pa_telemetry::enabled() {
+            pa_telemetry::histogram("mdp.explore.frontier").record(level.len() as u64);
+            pa_telemetry::gauge("mdp.explore.peak_frontier").set_max(level.len() as i64);
+        }
         // Expand the level in shards (in parallel when it pays off)...
         let outputs: Vec<ShardOutput<M::State>> = if workers <= 1 || level.len() < PAR_MIN_LEVEL {
             vec![expand_shard(automaton, cost_of, &states, &index, &level)]
@@ -276,6 +296,22 @@ where
             })
             .expect("exploration scope panicked")
         };
+
+        // Shard imbalance: how much the busiest shard's fresh-state yield
+        // exceeds a perfectly even split (100 = balanced). Contiguous
+        // chunking makes the *input* shards even; the imbalance shows up in
+        // how unevenly new states fall out of them.
+        if pa_telemetry::enabled() && outputs.len() > 1 {
+            let total: u64 = outputs.iter().map(|o| o.fresh.len() as u64).sum();
+            let max = outputs
+                .iter()
+                .map(|o| o.fresh.len() as u64)
+                .max()
+                .unwrap_or(0);
+            if let Some(pct) = (max * outputs.len() as u64 * 100).checked_div(total) {
+                pa_telemetry::histogram("mdp.explore.shard_imbalance_pct").record(pct);
+            }
+        }
 
         // ...then merge deterministically: shard order is level order, so
         // global ids are assigned exactly as the serial explorer would.
@@ -324,6 +360,7 @@ where
     }
 
     let mdp = ExplicitMdp::new(choices, initial)?;
+    record_explored(&mdp);
     Ok(Explored { states, index, mdp })
 }
 

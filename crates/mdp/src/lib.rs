@@ -26,7 +26,7 @@
 //! across disjoint state chunks with results that are bit-for-bit
 //! identical for every worker count. [`par_explore`] parallelizes state-
 //! space exploration the same way (level-synchronized, deterministic
-//! merge). The [`reference`] module retains nested-model oracles — both a
+//! merge). The [`mod@reference`] module retains nested-model oracles — both a
 //! Jacobi twin (bitwise comparison) and the original Gauss–Seidel engine
 //! (tolerance comparison, benchmark baseline) — used by the property
 //! tests.

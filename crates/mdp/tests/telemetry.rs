@@ -1,0 +1,121 @@
+//! Integration tests for the `pa-telemetry` instrumentation of the MDP
+//! engine: the reported metrics must be *exact*, not merely plausible.
+//!
+//! The probe model is a forced geometric chain: one non-target state with a
+//! single choice that reaches the target with probability 1/2 and self-loops
+//! otherwise. Jacobi value iteration from below then improves by exactly
+//! `0.5^k` in sweep `k` — a dyadic rational, exact in `f64` — so the whole
+//! residual trajectory is predictable to the last bit.
+
+use std::sync::Mutex;
+
+use pa_mdp::{Choice, CsrMdp, ExplicitMdp, IterOptions, Objective};
+
+/// Telemetry state is process-global; run the tests of this file one at a
+/// time (the file itself is its own process, so no other test binary can
+/// interfere).
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn geometric_chain() -> ExplicitMdp {
+    let coin = Choice {
+        cost: 1,
+        transitions: vec![(1, 0.5), (0, 0.5)],
+    };
+    ExplicitMdp::new(vec![vec![coin], Vec::new()], vec![0]).expect("valid model")
+}
+
+#[test]
+fn vi_reports_exact_sweep_count_and_monotone_residuals() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    pa_telemetry::set_enabled(true);
+    pa_telemetry::reset();
+
+    let csr = CsrMdp::from_explicit(&geometric_chain());
+    let target = vec![false, true];
+    let opts = IterOptions {
+        epsilon: 0.0,
+        max_sweeps: 10,
+    };
+    let values = csr
+        .reach_prob(&target, Objective::MaxProb, opts, None)
+        .unwrap();
+    // After 10 sweeps from below: 1 - 2^-10.
+    assert_eq!(values[0], 1.0 - 0.5f64.powi(10));
+
+    let snap = pa_telemetry::snapshot();
+    pa_telemetry::set_enabled(false);
+
+    assert_eq!(snap.counter("mdp.vi.runs"), Some(1));
+    assert_eq!(snap.counter("mdp.vi.sweeps"), Some(10));
+    let residuals = &snap
+        .series("mdp.vi.residual")
+        .expect("residuals recorded")
+        .values;
+    assert_eq!(residuals.len(), 10);
+    for (k, &delta) in residuals.iter().enumerate() {
+        assert_eq!(delta, 0.5f64.powi(k as i32 + 1), "sweep {}", k + 1);
+    }
+    assert!(
+        residuals.windows(2).all(|w| w[1] <= w[0]),
+        "residual trajectory must be monotone non-increasing: {residuals:?}"
+    );
+
+    // The span instrumentation saw one solve and one timing per sweep.
+    let run_timer = snap.timer("mdp.vi.reach_prob_seconds").unwrap();
+    assert_eq!(run_timer.count, 1);
+    let sweep_timer = snap.timer("mdp.vi.sweep_seconds").unwrap();
+    assert_eq!(sweep_timer.count, 10);
+    assert!(sweep_timer.total_seconds >= 0.0);
+}
+
+#[test]
+fn convergence_stops_the_sweep_counter_early() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    pa_telemetry::set_enabled(true);
+    pa_telemetry::reset();
+
+    let csr = CsrMdp::from_explicit(&geometric_chain());
+    let target = vec![false, true];
+    // epsilon 0.3 is crossed by the second sweep (residual 0.25).
+    let opts = IterOptions {
+        epsilon: 0.3,
+        max_sweeps: 100,
+    };
+    csr.reach_prob(&target, Objective::MaxProb, opts, None)
+        .unwrap();
+
+    let snap = pa_telemetry::snapshot();
+    pa_telemetry::set_enabled(false);
+    assert_eq!(snap.counter("mdp.vi.sweeps"), Some(2));
+    assert_eq!(snap.series("mdp.vi.residual").unwrap().values, [0.5, 0.25]);
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Zero everything out, then run the workload with telemetry off.
+    pa_telemetry::set_enabled(true);
+    pa_telemetry::reset();
+    pa_telemetry::set_enabled(false);
+
+    let csr = CsrMdp::from_explicit(&geometric_chain());
+    let target = vec![false, true];
+    let opts = IterOptions {
+        epsilon: 0.0,
+        max_sweeps: 10,
+    };
+    csr.reach_prob(&target, Objective::MaxProb, opts, None)
+        .unwrap();
+
+    pa_telemetry::set_enabled(true);
+    let snap = pa_telemetry::snapshot();
+    pa_telemetry::set_enabled(false);
+    assert_eq!(snap.counter("mdp.vi.runs"), Some(0));
+    assert_eq!(snap.counter("mdp.vi.sweeps"), Some(0));
+    assert_eq!(
+        snap.series("mdp.vi.residual").map(|s| s.values.len()),
+        Some(0),
+        "no residuals while disabled"
+    );
+    assert_eq!(snap.timer("mdp.vi.sweep_seconds").unwrap().count, 0);
+}

@@ -39,15 +39,41 @@ fn mix64(mut z: u64) -> u64 {
 /// let mut rng2 = SplitMix64::new(42);
 /// assert_eq!(rng2.random::<f64>(), x);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SplitMix64 {
     state: u64,
+    draws: u64,
 }
+
+/// Generators compare by stream state only: the [`draws`](SplitMix64::draws)
+/// bookkeeping does not affect future output, so it does not affect
+/// equality.
+impl PartialEq for SplitMix64 {
+    fn eq(&self, other: &SplitMix64) -> bool {
+        self.state == other.state
+    }
+}
+
+impl Eq for SplitMix64 {}
 
 impl SplitMix64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("prob.rng.streams").inc();
+        }
+        SplitMix64 {
+            state: seed,
+            draws: 0,
+        }
+    }
+
+    /// Number of `u64` words this generator has produced so far. Each
+    /// `u32`, `u64` or float draw consumes one word; `fill_bytes` consumes
+    /// one word per started 8-byte chunk. The Monte-Carlo runner folds
+    /// these into the `sim.mc.rng_draws` telemetry counter.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Derives an independent child generator.
@@ -72,6 +98,7 @@ impl SplitMix64 {
 impl SplitMix64 {
     fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        self.draws += 1;
         mix64(self.state)
     }
 }
@@ -137,6 +164,22 @@ mod tests {
         assert_eq!(a, b);
         let c = SplitMix64::for_trial(9, 5);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draws_count_every_word() {
+        let mut rng = SplitMix64::new(3);
+        assert_eq!(rng.draws(), 0);
+        let _ = rng.next_u64();
+        let _ = rng.next_u32();
+        assert_eq!(rng.draws(), 2);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(rng.draws(), 4, "13 bytes = 2 words");
+        let fresh = SplitMix64::new(3);
+        let mut advanced = SplitMix64::new(3);
+        let _ = advanced.next_u64();
+        assert_ne!(fresh, advanced, "equality still tracks the stream state");
     }
 
     #[test]

@@ -58,6 +58,16 @@ impl MonteCarlo {
         if self.trials == 0 {
             return Err(SimError::NoTrials);
         }
+        let _span = pa_telemetry::span("sim.mc.seconds");
+        // Shared handles for the per-trial metrics; each worker records
+        // directly into the atomics (no merge step needed).
+        let tele = pa_telemetry::enabled().then(|| {
+            (
+                pa_telemetry::histogram("sim.mc.rounds_to_fire"),
+                pa_telemetry::counter("sim.mc.censored"),
+                pa_telemetry::counter("sim.mc.rng_draws"),
+            )
+        });
         let workers = self.worker_count();
         let results = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -65,15 +75,27 @@ impl MonteCarlo {
                 let pred = &pred;
                 let make_acc = &make_acc;
                 let fold = &fold;
+                let tele = &tele;
                 let cfg = *self;
                 handles.push(scope.spawn(move |_| {
                     let mut acc = make_acc();
+                    let mut draws = 0u64;
                     let mut i = w;
                     while i < cfg.trials {
                         let mut rng = SplitMix64::for_trial(cfg.seed, i);
                         let hit = rounds_to_hit(system, pred, cfg.max_rounds, &mut rng);
+                        if let Some((rounds, censored, _)) = tele {
+                            draws += rng.draws();
+                            match hit {
+                                Some(r) => rounds.record(u64::from(r)),
+                                None => censored.inc(),
+                            }
+                        }
                         fold(&mut acc, hit);
                         i += workers;
+                    }
+                    if let Some((_, _, rng_draws)) = tele {
+                        rng_draws.add(draws);
                     }
                     acc
                 }));
@@ -86,6 +108,10 @@ impl MonteCarlo {
         .map_err(|_| SimError::WorkerPanicked)?
         .map_err(|_| SimError::WorkerPanicked)?;
 
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("sim.mc.batches").inc();
+            pa_telemetry::counter("sim.mc.trials").add(self.trials);
+        }
         let mut iter = results.into_iter();
         let mut total = iter.next().expect("at least one worker");
         for acc in iter {

@@ -1,0 +1,302 @@
+//! The process-global metric registry and enablement flag.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, Series, Span, Timer};
+use crate::snapshot::TelemetrySnapshot;
+
+/// Tri-state enablement: 0 = not yet initialized from the environment,
+/// 1 = disabled, 2 = enabled. Steady state is one relaxed load.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+/// Whether telemetry recording is currently enabled.
+///
+/// The first call consults the `PA_TELEMETRY` environment variable
+/// (`1`/`true`/`on` enable recording); afterwards this is a single relaxed
+/// atomic load, which is what makes disabled instrumentation near-free.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("PA_TELEMETRY")
+        .map(|v| matches!(v.trim(), "1" | "true" | "TRUE" | "on" | "ON"))
+        .unwrap_or(false);
+    let target = if on { ON } else { OFF };
+    // A concurrent set_enabled wins: only replace the uninitialized state.
+    let _ = STATE.compare_exchange(0, target, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == ON
+}
+
+/// Turns telemetry recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+/// One registered metric.
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Timer(Arc<Timer>),
+    Histogram(Arc<Histogram>),
+    Series(Arc<Series>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Timer(_) => "timer",
+            Metric::Histogram(_) => "histogram",
+            Metric::Series(_) => "series",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    metrics: RwLock<HashMap<&'static str, Metric>>,
+}
+
+fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Looks up (or registers) a metric of one kind. Panics if `name` is
+/// already registered as a different kind — metric names are a static,
+/// workspace-wide namespace, so a kind clash is a programming error.
+fn lookup<T>(
+    name: &'static str,
+    extract: impl Fn(&Metric) -> Option<Arc<T>>,
+    create: impl FnOnce() -> Metric,
+) -> Arc<T> {
+    let reg = global();
+    if let Some(m) = reg.metrics.read().expect("registry poisoned").get(name) {
+        return extract(m).unwrap_or_else(|| {
+            panic!(
+                "telemetry metric `{name}` already registered as a {}",
+                m.kind()
+            )
+        });
+    }
+    let mut map = reg.metrics.write().expect("registry poisoned");
+    let m = map.entry(name).or_insert_with(create);
+    extract(m).unwrap_or_else(|| {
+        panic!(
+            "telemetry metric `{name}` already registered as a {}",
+            m.kind()
+        )
+    })
+}
+
+/// The named [`Counter`], registering it on first use.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    lookup(
+        name,
+        |m| match m {
+            Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        },
+        || Metric::Counter(Arc::new(Counter::default())),
+    )
+}
+
+/// The named [`Gauge`], registering it on first use.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    lookup(
+        name,
+        |m| match m {
+            Metric::Gauge(g) => Some(g.clone()),
+            _ => None,
+        },
+        || Metric::Gauge(Arc::new(Gauge::default())),
+    )
+}
+
+/// The named [`Timer`], registering it on first use.
+pub fn timer(name: &'static str) -> Arc<Timer> {
+    lookup(
+        name,
+        |m| match m {
+            Metric::Timer(t) => Some(t.clone()),
+            _ => None,
+        },
+        || Metric::Timer(Arc::new(Timer::default())),
+    )
+}
+
+/// The named [`Histogram`], registering it on first use.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    lookup(
+        name,
+        |m| match m {
+            Metric::Histogram(h) => Some(h.clone()),
+            _ => None,
+        },
+        || Metric::Histogram(Arc::new(Histogram::default())),
+    )
+}
+
+/// The named [`Series`], registering it on first use.
+pub fn series(name: &'static str) -> Arc<Series> {
+    lookup(
+        name,
+        |m| match m {
+            Metric::Series(s) => Some(s.clone()),
+            _ => None,
+        },
+        || Metric::Series(Arc::new(Series::default())),
+    )
+}
+
+/// Starts a [`Span`] recording into the named [`Timer`]. While telemetry
+/// is disabled this neither reads the clock nor touches the registry.
+pub fn span(name: &'static str) -> Span {
+    if enabled() {
+        Span::started(timer(name))
+    } else {
+        Span::disabled()
+    }
+}
+
+/// Zeroes every registered metric in place. Existing handles stay valid.
+pub fn reset() {
+    let reg = global();
+    for m in reg.metrics.read().expect("registry poisoned").values() {
+        match m {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Timer(t) => t.reset(),
+            Metric::Histogram(h) => h.reset(),
+            Metric::Series(s) => s.reset(),
+        }
+    }
+}
+
+/// Freezes every registered metric into a deterministic, name-sorted
+/// [`TelemetrySnapshot`].
+pub fn snapshot() -> TelemetrySnapshot {
+    let reg = global();
+    let map = reg.metrics.read().expect("registry poisoned");
+    let mut snap = TelemetrySnapshot::empty(enabled());
+    for (name, m) in map.iter() {
+        match m {
+            Metric::Counter(c) => snap.push_counter(name, c),
+            Metric::Gauge(g) => snap.push_gauge(name, g),
+            Metric::Timer(t) => snap.push_timer(name, t),
+            Metric::Histogram(h) => snap.push_histogram(name, h),
+            Metric::Series(s) => snap.push_series(name, s),
+        }
+    }
+    snap.sort();
+    snap
+}
+
+/// Test support: serializes tests that touch the global flag and restores
+/// the previous state on drop.
+#[cfg(test)]
+pub(crate) fn test_guard(enable: bool) -> impl Drop {
+    use std::sync::Mutex;
+    static TEST_MUTEX: Mutex<()> = Mutex::new(());
+
+    struct Guard {
+        was_enabled: bool,
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            set_enabled(self.was_enabled);
+        }
+    }
+
+    let lock = TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+    let was_enabled = enabled();
+    set_enabled(enable);
+    Guard {
+        was_enabled,
+        _lock: lock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_survive_reset() {
+        let _g = test_guard(true);
+        let a = counter("registry.test.shared");
+        let b = counter("registry.test.shared");
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2);
+        reset();
+        assert_eq!(a.value(), 0, "reset zeroes in place");
+        a.inc();
+        assert_eq!(b.value(), 1, "handles stay wired after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_clash_panics() {
+        let _g = test_guard(true);
+        let _c = counter("registry.test.clash");
+        let _h = histogram("registry.test.clash");
+    }
+
+    #[test]
+    fn span_records_into_named_timer() {
+        let _g = test_guard(true);
+        timer("registry.test.span").reset();
+        {
+            let _span = span("registry.test.span");
+        }
+        let t = timer("registry.test.span");
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = test_guard(false);
+        timer("registry.test.span_off").reset();
+        {
+            let _span = span("registry.test.span_off");
+        }
+        // The timer was never even registered by `span` while disabled;
+        // registering it here and checking emptiness covers both paths.
+        assert_eq!(timer("registry.test.span_off").count(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let _g = test_guard(true);
+        reset();
+        counter("registry.test.z").inc();
+        counter("registry.test.a").add(3);
+        gauge("registry.test.g").set(-4);
+        histogram("registry.test.h").record(7);
+        series("registry.test.s").push(0.5);
+        let snap = snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.counter("registry.test.a"), Some(3));
+        assert_eq!(snap.counter("registry.test.z"), Some(1));
+        assert_eq!(snap.counter("registry.test.missing"), None);
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

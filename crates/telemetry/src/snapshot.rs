@@ -1,0 +1,251 @@
+//! Point-in-time, JSON-serializable views of the registry.
+
+use serde::Serialize;
+
+use crate::metrics::{Counter, Gauge, Histogram, Series, Timer};
+
+/// A frozen counter value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Count at snapshot time.
+    pub value: u64,
+}
+
+/// A frozen gauge value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// A frozen timer.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimerSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total accumulated seconds.
+    pub total_seconds: f64,
+    /// Mean seconds per span (0 when empty).
+    pub mean_seconds: f64,
+    /// Longest single span in seconds.
+    pub max_seconds: f64,
+}
+
+/// One histogram bucket: observations `<= le` not counted by any earlier
+/// bucket.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// A frozen histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets in increasing bound order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// A frozen series.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeriesSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// The recorded trajectory, in push order.
+    pub values: Vec<f64>,
+    /// Observations dropped at [`crate::SERIES_CAP`].
+    pub truncated: u64,
+}
+
+/// Every registered metric, frozen and sorted by name. Serializes to the
+/// `telemetry` block of `BENCH_mdp.json` via the workspace serde shim.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Whether recording was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All timers.
+    pub timers: Vec<TimerSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All series.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    pub(crate) fn empty(enabled: bool) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            enabled,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            timers: Vec::new(),
+            histograms: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_counter(&mut self, name: &str, c: &Counter) {
+        self.counters.push(CounterSnapshot {
+            name: name.to_string(),
+            value: c.value(),
+        });
+    }
+
+    pub(crate) fn push_gauge(&mut self, name: &str, g: &Gauge) {
+        self.gauges.push(GaugeSnapshot {
+            name: name.to_string(),
+            value: g.value(),
+        });
+    }
+
+    pub(crate) fn push_timer(&mut self, name: &str, t: &Timer) {
+        let count = t.count();
+        let total_seconds = t.total_nanos() as f64 / 1e9;
+        self.timers.push(TimerSnapshot {
+            name: name.to_string(),
+            count,
+            total_seconds,
+            mean_seconds: if count == 0 {
+                0.0
+            } else {
+                total_seconds / count as f64
+            },
+            max_seconds: t.max_nanos() as f64 / 1e9,
+        });
+    }
+
+    pub(crate) fn push_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms.push(HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets: h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(le, count)| HistogramBucket { le, count })
+                .collect(),
+        });
+    }
+
+    pub(crate) fn push_series(&mut self, name: &str, s: &Series) {
+        self.series.push(SeriesSnapshot {
+            name: name.to_string(),
+            values: s.values(),
+            truncated: s.truncated(),
+        });
+    }
+
+    pub(crate) fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.timers.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        self.series.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// The value of a counter by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of a gauge by name, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The histogram by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The series trajectory by name, if registered.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// The timer by name, if registered.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let snap = TelemetrySnapshot {
+            enabled: true,
+            counters: vec![CounterSnapshot {
+                name: "a".into(),
+                value: 3,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "g".into(),
+                value: -2,
+            }],
+            timers: vec![TimerSnapshot {
+                name: "t".into(),
+                count: 1,
+                total_seconds: 0.5,
+                mean_seconds: 0.5,
+                max_seconds: 0.5,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(),
+                count: 2,
+                sum: 4,
+                min: 1,
+                max: 3,
+                buckets: vec![HistogramBucket { le: 3, count: 2 }],
+            }],
+            series: vec![SeriesSnapshot {
+                name: "s".into(),
+                values: vec![0.5, 0.25],
+                truncated: 0,
+            }],
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""enabled":true"#));
+        assert!(json.contains(r#""counters":[{"name":"a","value":3}]"#));
+        assert!(json.contains(r#""buckets":[{"le":3,"count":2}]"#));
+        assert!(json.contains(r#""values":[0.5,0.25]"#));
+    }
+
+    #[test]
+    fn timer_mean_handles_empty() {
+        let t = Timer::default();
+        let mut snap = TelemetrySnapshot::empty(false);
+        snap.push_timer("t", &t);
+        assert_eq!(snap.timers[0].mean_seconds, 0.0);
+        assert_eq!(snap.timer("t").unwrap().count, 0);
+    }
+}

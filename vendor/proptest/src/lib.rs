@@ -418,7 +418,7 @@ impl_tuple_strategy!(A, B, C, D, E, F);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// A length specification for [`vec`]: an exact size or a range.
+    /// A length specification for [`fn@vec`]: an exact size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
