@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pa_lehmann_rabin::{regions, round_cost, sims, RoundConfig, RoundMdp};
-use pa_mdp::{cost_bounded_reach, explore, max_expected_cost, reach_prob, IterOptions, Objective};
+use pa_mdp::{explore, Objective, Query, QueryObjective};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -21,34 +21,30 @@ fn bench_pipeline(c: &mut Criterion) {
     });
     group.bench_function("bounded_reach_t13", |b| {
         b.iter(|| {
-            cost_bounded_reach(
-                black_box(&explored.mdp),
-                black_box(&target),
-                12,
-                Objective::MinProb,
-            )
-            .expect("checkable")
+            Query::over(black_box(&explored.mdp))
+                .objective(Objective::MinProb)
+                .target(black_box(&target))
+                .horizon(12)
+                .run()
+                .expect("checkable")
         })
     });
     group.bench_function("unbounded_reach_min", |b| {
         b.iter(|| {
-            reach_prob(
-                black_box(&explored.mdp),
-                black_box(&target),
-                Objective::MinProb,
-                IterOptions::default(),
-            )
-            .expect("checkable")
+            Query::over(black_box(&explored.mdp))
+                .objective(Objective::MinProb)
+                .target(black_box(&target))
+                .run()
+                .expect("checkable")
         })
     });
     group.bench_function("max_expected_time", |b| {
         b.iter(|| {
-            max_expected_cost(
-                black_box(&explored.mdp),
-                black_box(&target),
-                IterOptions::default(),
-            )
-            .expect("checkable")
+            Query::over(black_box(&explored.mdp))
+                .objective(QueryObjective::MaxCost)
+                .target(black_box(&target))
+                .run()
+                .expect("checkable")
         })
     });
     group.finish();

@@ -13,10 +13,14 @@
 //! 2. **Speedup ratios** (CSR over seed engine, for exploration and value
 //!    iteration) must not regress by more than the tolerance. Ratios within
 //!    one run compare the same machine against itself, so they transfer
-//!    across hosts in a way absolute seconds do not.
+//!    across hosts in a way absolute seconds do not. The SCC block's
+//!    `update_ratio` (SCC-ordered updates over Jacobi updates, smaller is
+//!    better) is gated the same way, one-sided, and its component counts
+//!    are structural so they must match exactly.
 //! 3. **Telemetry sanity**: the current artifact must carry a `telemetry`
-//!    block proving the instrumentation fired (sweeps, explored states and
-//!    Monte-Carlo trials all positive).
+//!    block proving the instrumentation fired (sweeps, explored states,
+//!    Monte-Carlo trials and the `mdp.scc.*` condensation counters all
+//!    positive).
 //!
 //! Exit code 0 = pass, 1 = regression or malformed artifact.
 
@@ -51,6 +55,19 @@ impl Gate {
         if current < floor {
             self.fail(format!(
                 "{what}: {current:.3} regressed more than {}% below baseline {baseline:.3}",
+                self.tolerance_pct
+            ));
+        }
+    }
+
+    /// Ratio metrics where smaller is better: fail when `current` rises
+    /// more than `tolerance_pct` above `baseline`.
+    fn check_ratio_le(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        let ceiling = baseline * (1.0 + self.tolerance_pct / 100.0);
+        if current > ceiling {
+            self.fail(format!(
+                "{what}: {current:.3} regressed more than {}% above baseline {baseline:.3}",
                 self.tolerance_pct
             ));
         }
@@ -150,6 +167,29 @@ fn run() -> Result<Vec<String>, Box<dyn Error>> {
                 _ => gate.fail(format!("n={n} {family}.speedup: missing")),
             }
         }
+        // The condensation is structural: component counts must reproduce
+        // exactly, and the SCC solver must keep doing less work than
+        // Jacobi (one-sided tolerance on the update ratio).
+        for metric in ["components", "nontrivial_components"] {
+            let base = ring
+                .path(&["scc", metric])
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            match ring_metric(&current, n, &["scc", metric]) {
+                Some(cur) => gate.check_exact(&format!("n={n} scc.{metric}"), base, cur),
+                None => gate.fail(format!("n={n} scc.{metric}: missing from current artifact")),
+            }
+        }
+        let base = ring.path(&["scc", "update_ratio"]).and_then(Json::as_f64);
+        let cur = ring_metric(&current, n, &["scc", "update_ratio"]);
+        match (base, cur) {
+            (Some(b), Some(c)) => gate.check_ratio_le(&format!("n={n} scc.update_ratio"), b, c),
+            _ => gate.fail(format!("n={n} scc.update_ratio: missing")),
+        }
+        gate.check_positive(
+            &format!("n={n} scc.saved_updates"),
+            ring_metric(&current, n, &["scc", "saved_updates"]),
+        );
     }
 
     gate.check_positive(
@@ -163,6 +203,14 @@ fn run() -> Result<Vec<String>, Box<dyn Error>> {
     gate.check_positive(
         "telemetry sim.mc.trials",
         telemetry_counter(&current, "sim.mc.trials"),
+    );
+    gate.check_positive(
+        "telemetry mdp.scc.runs",
+        telemetry_counter(&current, "mdp.scc.runs"),
+    );
+    gate.check_positive(
+        "telemetry mdp.scc.components",
+        telemetry_counter(&current, "mdp.scc.components"),
     );
     gate.check_positive(
         "telemetry_overhead.enabled_over_disabled",

@@ -18,7 +18,8 @@ use std::time::Instant;
 use pa_core::Automaton;
 use pa_lehmann_rabin::{regions, round_cost, sims, LrProtocol, RoundConfig, RoundMdp, UserModel};
 use pa_mdp::{
-    par_explore, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective,
+    par_explore, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective, Query,
+    QueryObjective, Solver,
 };
 use pa_sim::MonteCarlo;
 use pa_telemetry::TelemetrySnapshot;
@@ -103,6 +104,31 @@ fn throughput(units: f64, baseline_seconds: f64, csr_seconds: f64) -> Throughput
     }
 }
 
+/// SCC-condensed solve vs plain Jacobi on the same converged unbounded
+/// reachability query. Update counts are deterministic (same model, same
+/// tolerance), so they gate regressions exactly; the seconds are wall
+/// clock and only indicative.
+#[derive(Debug, Clone, Serialize)]
+pub struct SccBench {
+    /// Strongly connected components of the choice graph.
+    pub components: u64,
+    /// Components with an internal cycle (size > 1 or a self-loop).
+    pub nontrivial_components: u64,
+    /// State updates the plain Jacobi solver performed to converge.
+    pub jacobi_updates: u64,
+    /// State updates the SCC-ordered solver performed on the same query.
+    pub scc_updates: u64,
+    /// `jacobi_updates - scc_updates` (saturating).
+    pub saved_updates: u64,
+    /// `scc_updates / jacobi_updates`; < 1.0 means the condensed order
+    /// does strictly less work.
+    pub update_ratio: f64,
+    /// Wall-clock seconds of the Jacobi solve.
+    pub jacobi_seconds: f64,
+    /// Wall-clock seconds of the SCC-ordered solve.
+    pub scc_seconds: f64,
+}
+
 /// One ring size's measurements.
 #[derive(Debug, Clone, Serialize)]
 pub struct RingBench {
@@ -122,6 +148,8 @@ pub struct RingBench {
     pub explore_states_per_sec: Throughput,
     /// Value-iteration throughput in sweeps/sec.
     pub vi_sweeps_per_sec: Throughput,
+    /// SCC-condensed vs Jacobi solver comparison on the unbounded query.
+    pub scc: SccBench,
 }
 
 /// Machine identification recorded alongside the numbers.
@@ -297,6 +325,48 @@ pub fn bench_ring(n: usize, limit: usize) -> Result<RingBench, MdpError> {
         jacobi[start]
     );
 
+    // SCC-condensed vs Jacobi, this time with a *converging* tolerance so
+    // the update counts reflect real solves rather than the fixed timing
+    // budget above.
+    let scc_opts = IterOptions::default();
+    let t0 = Instant::now();
+    let ja = Query::csr(&csr)
+        .objective(QueryObjective::MaxProb)
+        .target(&target)
+        .solver(Solver::Jacobi)
+        .options(scc_opts)
+        .run()?;
+    let scc_jacobi_seconds = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let sc = Query::csr(&csr)
+        .objective(QueryObjective::MaxProb)
+        .target(&target)
+        .solver(Solver::SccOrdered)
+        .options(scc_opts)
+        .run()?;
+    let scc_seconds = t0.elapsed().as_secs_f64();
+
+    assert!(
+        (ja.value(start) - sc.value(start)).abs() < 1e-9,
+        "solvers disagree: {} vs {}",
+        ja.value(start),
+        sc.value(start)
+    );
+    let scc = SccBench {
+        components: sc.stats.components,
+        nontrivial_components: sc.stats.nontrivial_components,
+        jacobi_updates: ja.stats.state_updates,
+        scc_updates: sc.stats.state_updates,
+        saved_updates: ja
+            .stats
+            .state_updates
+            .saturating_sub(sc.stats.state_updates),
+        update_ratio: sc.stats.state_updates as f64 / ja.stats.state_updates.max(1) as f64,
+        jacobi_seconds: scc_jacobi_seconds,
+        scc_seconds,
+    };
+
     Ok(RingBench {
         n,
         states,
@@ -306,6 +376,7 @@ pub fn bench_ring(n: usize, limit: usize) -> Result<RingBench, MdpError> {
         csr_build_seconds: csr_build,
         explore_states_per_sec: throughput(states as f64, explore_baseline, explore_csr),
         vi_sweeps_per_sec: throughput(sweeps as f64, vi_baseline, vi_csr),
+        scc,
     })
 }
 
@@ -327,6 +398,14 @@ pub fn telemetry_probe() -> Result<TelemetrySnapshot, Box<dyn std::error::Error>
             max_sweeps: 10_000,
         };
         csr.reach_prob(&target, Objective::MinProb, opts, None)?;
+        // One SCC-ordered solve so the `mdp.scc.*` counters show up in the
+        // snapshot the CI gate inspects.
+        Query::csr(&csr)
+            .objective(QueryObjective::MinProb)
+            .target(&target)
+            .solver(Solver::SccOrdered)
+            .options(opts)
+            .run()?;
 
         let sim = sims::LrSim::new(3, sims::RoundRobin)?.with_start(sims::all_trying(3)?);
         let mc = MonteCarlo::new(2_000, 42, 60);
@@ -400,6 +479,10 @@ pub fn bench_ring_best_of(n: usize, limit: usize, repeats: usize) -> Result<Ring
             let csr = b.csr_seconds.min(x.csr_seconds);
             *b = throughput(units, baseline, csr);
         }
+        // Update counts are deterministic across repeats; only the wall
+        // clock needs the noise filter.
+        best.scc.jacobi_seconds = best.scc.jacobi_seconds.min(next.scc.jacobi_seconds);
+        best.scc.scc_seconds = best.scc.scc_seconds.min(next.scc.scc_seconds);
     }
     Ok(best)
 }
@@ -423,7 +506,7 @@ pub fn bench_report_sized(
     eprintln!("running telemetry probe…");
     let telemetry = telemetry_probe()?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v2".to_string(),
+        schema: "pa-bench/mdp-throughput/v3".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
@@ -516,6 +599,17 @@ mod tests {
         assert!(b.explore_states_per_sec.csr_per_sec > 0.0);
         assert!(b.vi_sweeps_per_sec.baseline_per_sec > 0.0);
         assert!(b.sweeps_timed >= 4);
+        // The condensed order must do strictly less work than Jacobi on
+        // the ring model — this is the claim BENCH_mdp.json ships.
+        assert!(b.scc.components > 0);
+        assert!(
+            b.scc.scc_updates < b.scc.jacobi_updates,
+            "scc {} vs jacobi {}",
+            b.scc.scc_updates,
+            b.scc.jacobi_updates
+        );
+        assert!(b.scc.saved_updates > 0);
+        assert!(b.scc.update_ratio < 1.0);
     }
 
     #[test]

@@ -17,12 +17,30 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v2")
+        Some("pa-bench/mdp-throughput/v3")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
         Some(1)
     );
+
+    // The SCC block carries the work-reduction evidence: the condensed
+    // order must do strictly less than whole-graph Jacobi on the ring.
+    let ring_metric = |keys: &[&str]| {
+        doc.get("rings")
+            .and_then(Json::as_array)
+            .and_then(|rs| rs.first())
+            .and_then(|r| r.path(keys))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("ring metric {keys:?} missing"))
+    };
+    assert!(ring_metric(&["scc", "components"]) > 0.0);
+    assert!(
+        ring_metric(&["scc", "scc_updates"]) < ring_metric(&["scc", "jacobi_updates"]),
+        "SCC order must save updates"
+    );
+    assert!(ring_metric(&["scc", "update_ratio"]) < 1.0);
+    assert!(ring_metric(&["scc", "saved_updates"]) > 0.0);
 
     // The probe drove every instrumented crate: exploration, value
     // iteration, round expansion, Monte-Carlo and RNG-stream creation all
@@ -41,6 +59,8 @@ fn bench_report_emits_a_valid_telemetry_block() {
     assert!(counter("mdp.vi.sweeps") > 0.0);
     assert!(counter("mdp.vi.runs") >= 1.0);
     assert!(counter("mdp.explore.states") > 0.0);
+    assert!(counter("mdp.scc.runs") >= 1.0);
+    assert!(counter("mdp.scc.components") > 0.0);
     assert!(counter("lr.round.expansions") > 0.0);
     assert_eq!(counter("sim.mc.trials"), 2000.0);
     assert!(counter("sim.mc.rng_draws") > 0.0);
@@ -106,9 +126,9 @@ fn bench_report_emits_a_valid_telemetry_block() {
     );
 }
 
-fn gate_artifact(states: u64, speedup: f64, sweeps: u64) -> String {
+fn gate_artifact(states: u64, speedup: f64, sweeps: u64, update_ratio: f64) -> String {
     format!(
-        r#"{{"schema":"pa-bench/mdp-throughput/v2","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}}}}"#
+        r#"{{"schema":"pa-bench/mdp-throughput/v3","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}},"scc":{{"components":188,"nontrivial_components":103,"jacobi_updates":3752,"scc_updates":1591,"saved_updates":2161,"update_ratio":{update_ratio}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}},{{"name":"mdp.scc.runs","value":1}},{{"name":"mdp.scc.components","value":188}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}}}}"#
     )
 }
 
@@ -132,14 +152,14 @@ fn run_gate(baseline: &str, current: &str, tolerance: &str) -> bool {
 
 #[test]
 fn compare_bench_passes_identical_artifacts() {
-    let artifact = gate_artifact(536, 2.0, 640);
+    let artifact = gate_artifact(536, 2.0, 640, 0.424);
     assert!(run_gate(&artifact, &artifact, "20"));
 }
 
 #[test]
 fn compare_bench_tolerates_small_speedup_drift() {
-    let baseline = gate_artifact(536, 2.0, 640);
-    let current = gate_artifact(536, 1.7, 640);
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = gate_artifact(536, 1.7, 640, 0.45);
     assert!(
         run_gate(&baseline, &current, "20"),
         "15% drift is within 20%"
@@ -148,22 +168,32 @@ fn compare_bench_tolerates_small_speedup_drift() {
 
 #[test]
 fn compare_bench_fails_speedup_regression() {
-    let baseline = gate_artifact(536, 2.0, 640);
-    let current = gate_artifact(536, 1.5, 640);
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = gate_artifact(536, 1.5, 640, 0.424);
     assert!(!run_gate(&baseline, &current, "20"), "25% drop must fail");
 }
 
 #[test]
+fn compare_bench_fails_update_ratio_regression() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = gate_artifact(536, 2.0, 640, 0.60);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "SCC doing 42% more relative work must fail"
+    );
+}
+
+#[test]
 fn compare_bench_fails_structural_drift() {
-    let baseline = gate_artifact(536, 2.0, 640);
-    let current = gate_artifact(537, 2.0, 640);
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = gate_artifact(537, 2.0, 640, 0.424);
     assert!(!run_gate(&baseline, &current, "20"));
 }
 
 #[test]
 fn compare_bench_fails_dead_telemetry() {
-    let baseline = gate_artifact(536, 2.0, 640);
-    let current = gate_artifact(536, 2.0, 0);
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = gate_artifact(536, 2.0, 0, 0.424);
     assert!(
         !run_gate(&baseline, &current, "20"),
         "zero sweeps = dead probe"

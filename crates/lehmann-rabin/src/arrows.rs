@@ -3,9 +3,7 @@
 //! model.
 
 use pa_core::{Arrow, ArrowCheck, Derivation, SetExpr};
-use pa_mdp::{
-    cost_bounded_reach, max_expected_cost, min_expected_cost, par_explore, IterOptions, Objective,
-};
+use pa_mdp::{par_explore, ExpectedCost, Objective, QueryObjective};
 use pa_prob::{Prob, ProbInterval};
 
 use crate::{regions, round_cost, time_to_budget, Config, LrError, RoundMdp};
@@ -211,7 +209,13 @@ pub fn check_arrow_with_limit(
     let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let budget = time_to_budget(arrow.time());
-    let values = cost_bounded_reach(&explored.mdp, &target, budget, Objective::MinProb)?;
+    let values = explored
+        .query()
+        .objective(Objective::MinProb)
+        .target(target)
+        .horizon(budget)
+        .run()?
+        .values;
     let mut worst = f64::INFINITY;
     let mut worst_state = None;
     for &i in explored.mdp.initial_states() {
@@ -262,7 +266,14 @@ pub fn max_expected_time(
         .with_absorb(move |c| to_for_absorb(c));
     let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
-    let expected = max_expected_cost(&explored.mdp, &target, IterOptions::default())?;
+    let analysis = explored
+        .query()
+        .objective(QueryObjective::MaxCost)
+        .target(target)
+        .run()?;
+    let expected = ExpectedCost {
+        values: analysis.values,
+    };
     let worst = expected.max_over(explored.mdp.initial_states().iter().copied())?;
     Ok(worst + 1.0)
 }
@@ -299,7 +310,14 @@ pub fn min_expected_time(
         .with_absorb(move |c| to_for_absorb(c));
     let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
-    let expected = min_expected_cost(&explored.mdp, &target, IterOptions::default())?;
+    let analysis = explored
+        .query()
+        .objective(QueryObjective::MinCost)
+        .target(target)
+        .run()?;
+    let expected = ExpectedCost {
+        values: analysis.values,
+    };
     let worst = expected.max_over(explored.mdp.initial_states().iter().copied())?;
     Ok(worst + 1.0)
 }

@@ -18,7 +18,7 @@
 //! adversary can still surely prevent progress.
 
 use pa_core::{Automaton, Step};
-use pa_mdp::{cost_bounded_reach, cost_bounded_reach_levels, par_explore, Objective};
+use pa_mdp::{cost_bounded_reach_levels, par_explore, Objective};
 use pa_prob::FiniteDist;
 
 use crate::{
@@ -397,7 +397,13 @@ pub fn check_lemma(n: usize, spec: &LemmaSpec, limit: usize) -> Result<LemmaChec
             limit,
         )?;
         let target = explored.target_where(|fs| (spec.goal)(&fs.round.config, i));
-        let values = cost_bounded_reach(&explored.mdp, &target, budget, Objective::MinProb)?;
+        let values = explored
+            .query()
+            .objective(Objective::MinProb)
+            .target(target)
+            .horizon(budget)
+            .run()?
+            .values;
         for &s in explored.mdp.initial_states() {
             if values[s] < min_prob {
                 min_prob = values[s];

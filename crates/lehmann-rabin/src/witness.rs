@@ -11,7 +11,7 @@
 //! that forces repeated flip retries in the composed `T —13→ C` claim.
 
 use pa_core::Arrow;
-use pa_mdp::{cost_bounded_reach_with_policy, par_explore, Objective};
+use pa_mdp::{par_explore, Objective};
 
 use crate::{
     reachable_configs, round_cost, set_pred, time_to_budget, Config, LrError, RoundAction, RoundMdp,
@@ -82,8 +82,17 @@ pub fn worst_case_witness(mdp: &RoundMdp, arrow: &Arrow, limit: usize) -> Result
     let explored = par_explore(&model, round_cost, limit)?;
     let target = explored.target_where(|rs| to(&rs.config));
     let budget = time_to_budget(arrow.time());
-    let (values, policy) =
-        cost_bounded_reach_with_policy(&explored.mdp, &target, budget, Objective::MinProb)?;
+    let analysis = explored
+        .query()
+        .objective(Objective::MinProb)
+        .target(target.clone())
+        .horizon(budget)
+        .with_policy()
+        .run()?;
+    let values = analysis.values;
+    let policy = analysis
+        .policy
+        .expect("with_policy() query returns a policy");
 
     let &worst_start = explored
         .mdp

@@ -44,6 +44,25 @@ use crate::{ExplicitMdp, IterOptions, MdpError, Objective};
 /// this size, thread spawn/join costs more than the sweep itself.
 const PAR_MIN_STATES: usize = 4096;
 
+/// Work counters accumulated by one quantitative solve, reported through
+/// [`crate::Analysis::stats`]. The update counts are what the SCC-ordered
+/// solver is designed to shrink: a global Jacobi sweep recomputes every
+/// state until the slowest one converges, while the SCC-ordered path
+/// touches each component only as long as *it* needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Value-iteration sweeps performed (global sweeps for the Jacobi
+    /// solver, per-block sweeps for the SCC-ordered solver).
+    pub sweeps: u64,
+    /// Individual state-value computations performed.
+    pub state_updates: u64,
+    /// Strongly connected components of the condensation (0 for the
+    /// Jacobi solver, which never builds one).
+    pub components: u64,
+    /// Components that contained a cycle and needed local iteration.
+    pub nontrivial_components: u64,
+}
+
 /// Resolves an optional worker-count override: explicit argument, then the
 /// `PA_MDP_WORKERS` environment variable, then available parallelism.
 pub fn resolve_workers(workers: Option<usize>) -> usize {
@@ -169,11 +188,11 @@ impl CsrMdp {
 
     /// Whether a state has no choices.
     #[inline]
-    fn is_terminal(&self, s: usize) -> bool {
+    pub(crate) fn is_terminal(&self, s: usize) -> bool {
         self.choice_offsets[s] == self.choice_offsets[s + 1]
     }
 
-    fn check_target(&self, target: &[bool]) -> Result<(), MdpError> {
+    pub(crate) fn check_target(&self, target: &[bool]) -> Result<(), MdpError> {
         if target.len() != self.num_states() {
             return Err(MdpError::TargetLengthMismatch {
                 got: target.len(),
@@ -187,7 +206,7 @@ impl CsrMdp {
     /// accumulated in transition order (the floating-point operation order
     /// every engine in this crate agrees on).
     #[inline]
-    fn choice_value(&self, c: usize, source: &[f64]) -> f64 {
+    pub(crate) fn choice_value(&self, c: usize, source: &[f64]) -> f64 {
         let mut val = 0.0f64;
         for i in self.trans_range(c) {
             val += self.probs[i] * source[self.targets[i] as usize];
@@ -279,6 +298,24 @@ impl CsrMdp {
         options: IterOptions,
         workers: Option<usize>,
     ) -> Result<Vec<f64>, MdpError> {
+        self.reach_prob_stats(
+            target,
+            objective,
+            options,
+            workers,
+            &mut SolveStats::default(),
+        )
+    }
+
+    /// [`CsrMdp::reach_prob`] with work counters accumulated into `stats`.
+    pub(crate) fn reach_prob_stats(
+        &self,
+        target: &[bool],
+        objective: Objective,
+        options: IterOptions,
+        workers: Option<usize>,
+        stats: &mut SolveStats,
+    ) -> Result<Vec<f64>, MdpError> {
         let _span = pa_telemetry::span("mdp.vi.reach_prob_seconds");
         self.check_target(target)?;
         let zero = match objective {
@@ -313,6 +350,8 @@ impl CsrMdp {
                 best
             });
             sweep_span.finish();
+            stats.sweeps += 1;
+            stats.state_updates += n as u64;
             if pa_telemetry::enabled() {
                 pa_telemetry::counter("mdp.vi.sweeps").inc();
                 pa_telemetry::series("mdp.vi.residual").push(delta);
@@ -329,76 +368,108 @@ impl CsrMdp {
     /// the zero-cost subgraph given the previous level `level_prev`, as a
     /// parallel Jacobi iteration. See [`crate::cost_bounded_reach_levels`]
     /// for semantics (including the `4n + 8` sweep cap).
-    pub(crate) fn solve_level(
+    ///
+    /// The level's values end up in `values`; `scratch` is the second
+    /// Jacobi buffer. Both are reused across calls (cleared and resized
+    /// here), so a `budget`-level induction allocates two vectors total
+    /// instead of one per level.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn solve_level_into(
         &self,
         target: &[bool],
         level_prev: &[f64],
         objective: Objective,
         workers: usize,
-        decisions: Option<&mut Vec<Option<u32>>>,
-    ) -> Vec<f64> {
+        values: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+        stats: &mut SolveStats,
+    ) {
         let n = self.num_states();
-        let mut cur = vec![0.0f64; n];
+        values.clear();
+        values.resize(n, 0.0);
         for s in 0..n {
             if target[s] {
-                cur[s] = 1.0;
+                values[s] = 1.0;
             }
         }
-        let mut prev = cur.clone();
+        scratch.clear();
+        scratch.extend_from_slice(values);
         let level_sweeps =
             pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.level_sweeps"));
         let max_sweeps = 4 * n + 8;
-        for _ in 0..max_sweeps {
+        let update = |s: usize, prev: &[f64]| {
+            if target[s] || self.is_terminal(s) {
+                return prev[s];
+            }
+            let mut best = objective.start();
+            for c in self.choice_range(s) {
+                let source = if self.costs[c] == 1 { level_prev } else { prev };
+                let val = self.choice_value(c, source);
+                if objective.better(val, best) {
+                    best = val;
+                }
+            }
+            best
+        };
+        // Alternate write/read roles between the two buffers; after sweep
+        // `k` the newest iterate is in `values` iff `k` is odd.
+        let mut done = 0usize;
+        for k in 0..max_sweeps {
             if let Some(c) = &level_sweeps {
                 c.inc();
             }
-            let delta = jacobi_sweep(&mut cur, &prev, workers, |s, prev| {
-                if target[s] || self.is_terminal(s) {
-                    return prev[s];
-                }
-                let mut best = objective.start();
-                for c in self.choice_range(s) {
-                    let source = if self.costs[c] == 1 { level_prev } else { prev };
-                    let val = self.choice_value(c, source);
-                    if objective.better(val, best) {
-                        best = val;
-                    }
-                }
-                best
-            });
-            std::mem::swap(&mut cur, &mut prev);
+            stats.sweeps += 1;
+            stats.state_updates += n as u64;
+            let delta = if k % 2 == 0 {
+                jacobi_sweep(values, scratch, workers, update)
+            } else {
+                jacobi_sweep(scratch, values, workers, update)
+            };
+            done = k + 1;
             if delta <= 1e-14 {
                 break;
             }
         }
-        let cur = prev;
-        if let Some(dec) = decisions {
-            dec.clear();
-            dec.resize(n, None);
-            for s in 0..n {
-                if target[s] || self.is_terminal(s) {
-                    continue;
-                }
-                let mut best = objective.start();
-                let mut best_i = 0u32;
-                for (i, c) in self.choice_range(s).enumerate() {
-                    let source = if self.costs[c] == 1 { level_prev } else { &cur };
-                    let val = self.choice_value(c, source);
-                    if objective.better(val, best) {
-                        best = val;
-                        best_i = i as u32;
-                    }
-                }
-                dec[s] = Some(best_i);
-            }
+        if done.is_multiple_of(2) {
+            std::mem::swap(values, scratch);
         }
-        cur
     }
 
-    /// Target-length plus cost-domain validation for bounded analyses.
-    pub(crate) fn check_target_and_costs(&self, target: &[bool]) -> Result<(), MdpError> {
-        self.check_target(target)?;
-        self.validate_costs()
+    /// Extracts the optimal per-state choice of one budget level, given the
+    /// converged level `values` and the previous level `level_prev`.
+    /// Solver-independent: both the Jacobi and the SCC-ordered level solves
+    /// feed their fixpoints through this.
+    pub(crate) fn extract_level_decisions(
+        &self,
+        target: &[bool],
+        level_prev: &[f64],
+        values: &[f64],
+        objective: Objective,
+        dec: &mut Vec<Option<u32>>,
+    ) {
+        let n = self.num_states();
+        dec.clear();
+        dec.resize(n, None);
+        for s in 0..n {
+            if target[s] || self.is_terminal(s) {
+                continue;
+            }
+            let mut best = objective.start();
+            let mut best_i = 0u32;
+            for (i, c) in self.choice_range(s).enumerate() {
+                let source = if self.costs[c] == 1 {
+                    level_prev
+                } else {
+                    values
+                };
+                let val = self.choice_value(c, source);
+                if objective.better(val, best) {
+                    best = val;
+                    best_i = i as u32;
+                }
+            }
+            dec[s] = Some(best_i);
+        }
     }
 
     fn validate_costs(&self) -> Result<(), MdpError> {
@@ -428,22 +499,86 @@ impl CsrMdp {
         workers: Option<usize>,
         mut on_level: impl FnMut(u32, &[f64]),
     ) -> Result<Vec<f64>, MdpError> {
+        self.bounded_levels_engine(
+            target,
+            budget,
+            objective,
+            workers,
+            false,
+            None,
+            &mut |k, v| on_level(k, v),
+            &mut SolveStats::default(),
+        )
+    }
+
+    /// The shared cost-bounded backward-induction loop: rotates three
+    /// reused buffers (previous level, current level, Jacobi scratch)
+    /// through every budget level instead of materializing one vector per
+    /// level, optionally extracting the optimal cost-indexed policy along
+    /// the way. `use_scc` routes each level through the SCC-ordered solver
+    /// over the zero-cost condensation (computed once and reused across
+    /// all levels).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn bounded_levels_engine(
+        &self,
+        target: &[bool],
+        budget: u32,
+        objective: Objective,
+        workers: Option<usize>,
+        use_scc: bool,
+        mut policy: Option<&mut Vec<Vec<Option<u32>>>>,
+        on_level: &mut dyn FnMut(u32, &[f64]),
+        stats: &mut SolveStats,
+    ) -> Result<Vec<f64>, MdpError> {
         self.check_target(target)?;
         self.validate_costs()?;
         let workers = resolve_workers(workers);
         let _span = pa_telemetry::span("mdp.vi.cost_bounded_seconds");
         let levels = pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.levels"));
-        let zeros = vec![0.0; self.num_states()];
-        let mut cur = self.solve_level(target, &zeros, objective, workers, None);
-        on_level(0, &cur);
-        for k in 1..=budget {
-            cur = self.solve_level(target, &cur, objective, workers, None);
+        let n = self.num_states();
+        let scc = use_scc.then(|| self.zero_cost_scc());
+        if let Some(scc) = &scc {
+            CsrMdp::record_scc_shape(scc);
+            stats.components = scc.num_components() as u64;
+            stats.nontrivial_components = scc.num_nontrivial() as u64;
+        }
+        let mut level_prev = vec![0.0f64; n];
+        let mut cur: Vec<f64> = Vec::new();
+        let mut scratch: Vec<f64> = Vec::new();
+        if pa_telemetry::enabled() {
+            // High-water value-buffer footprint of the whole induction:
+            // three reused f64 vectors, independent of the budget.
+            pa_telemetry::gauge("mdp.vi.level_buffer_bytes")
+                .set_max((3 * n * std::mem::size_of::<f64>()) as i64);
+        }
+        for k in 0..=budget {
+            match &scc {
+                Some(scc) => {
+                    self.solve_level_scc(scc, target, &level_prev, objective, &mut cur, stats)
+                }
+                None => self.solve_level_into(
+                    target,
+                    &level_prev,
+                    objective,
+                    workers,
+                    &mut cur,
+                    &mut scratch,
+                    stats,
+                ),
+            }
+            if let Some(policy) = policy.as_deref_mut() {
+                let mut dec = Vec::new();
+                self.extract_level_decisions(target, &level_prev, &cur, objective, &mut dec);
+                policy.push(dec);
+            }
             on_level(k, &cur);
+            std::mem::swap(&mut level_prev, &mut cur);
         }
         if let Some(c) = levels {
             c.add(u64::from(budget) + 1);
         }
-        Ok(cur)
+        // The final level ended up in `level_prev` after the last swap.
+        Ok(level_prev)
     }
 
     /// Worst-case expected accumulated cost; semantics match
@@ -454,10 +589,33 @@ impl CsrMdp {
         options: IterOptions,
         workers: Option<usize>,
     ) -> Result<Vec<f64>, MdpError> {
+        self.max_expected_cost_solver(target, options, workers, false, &mut SolveStats::default())
+    }
+
+    /// [`CsrMdp::max_expected_cost`] with solver selection and work
+    /// counters: `use_scc` routes both the qualitative precomputation's
+    /// value iteration and the expected-cost iteration through the
+    /// SCC-ordered solver.
+    pub(crate) fn max_expected_cost_solver(
+        &self,
+        target: &[bool],
+        options: IterOptions,
+        workers: Option<usize>,
+        use_scc: bool,
+        stats: &mut SolveStats,
+    ) -> Result<Vec<f64>, MdpError> {
         self.check_target(target)?;
-        let min_reach = self.reach_prob(target, Objective::MinProb, options, workers)?;
+        let min_reach = if use_scc {
+            self.reach_prob_scc(target, Objective::MinProb, options, stats)?
+        } else {
+            self.reach_prob_stats(target, Objective::MinProb, options, workers, stats)?
+        };
         let proper: Vec<bool> = min_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
-        self.expected_cost_iterate(target, &proper, Objective::MaxProb, options, workers)
+        if use_scc {
+            Ok(self.expected_cost_scc(target, &proper, Objective::MaxProb, options, stats))
+        } else {
+            self.expected_cost_iterate(target, &proper, Objective::MaxProb, options, workers, stats)
+        }
     }
 
     /// Best-case expected accumulated cost; semantics match
@@ -468,13 +626,41 @@ impl CsrMdp {
         options: IterOptions,
         workers: Option<usize>,
     ) -> Result<Vec<f64>, MdpError> {
+        self.min_expected_cost_solver(target, options, workers, false, &mut SolveStats::default())
+    }
+
+    /// [`CsrMdp::min_expected_cost`] with solver selection and work
+    /// counters, as for [`CsrMdp::max_expected_cost_solver`].
+    pub(crate) fn min_expected_cost_solver(
+        &self,
+        target: &[bool],
+        options: IterOptions,
+        workers: Option<usize>,
+        use_scc: bool,
+        stats: &mut SolveStats,
+    ) -> Result<Vec<f64>, MdpError> {
         self.check_target(target)?;
         if self.has_zero_cost_cycle(target)? {
             return Err(MdpError::DivergentExpectation { state: 0 });
         }
-        let max_reach = self.reach_prob(target, Objective::MaxProb, options, workers)?;
+        let max_reach = if use_scc {
+            self.reach_prob_scc(target, Objective::MaxProb, options, stats)?
+        } else {
+            self.reach_prob_stats(target, Objective::MaxProb, options, workers, stats)?
+        };
         let feasible: Vec<bool> = max_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
-        self.expected_cost_iterate(target, &feasible, Objective::MinProb, options, workers)
+        if use_scc {
+            Ok(self.expected_cost_scc(target, &feasible, Objective::MinProb, options, stats))
+        } else {
+            self.expected_cost_iterate(
+                target,
+                &feasible,
+                Objective::MinProb,
+                options,
+                workers,
+                stats,
+            )
+        }
     }
 
     /// Shared expected-cost Jacobi iteration. `live[s]` marks states whose
@@ -489,6 +675,7 @@ impl CsrMdp {
         objective: Objective,
         options: IterOptions,
         workers: Option<usize>,
+        stats: &mut SolveStats,
     ) -> Result<Vec<f64>, MdpError> {
         let n = self.num_states();
         let workers = resolve_workers(workers);
@@ -499,6 +686,8 @@ impl CsrMdp {
             if let Some(c) = &ec_sweeps {
                 c.inc();
             }
+            stats.sweeps += 1;
+            stats.state_updates += n as u64;
             let delta = jacobi_sweep(&mut cur, &prev, workers, |s, prev| {
                 if target[s] || !live[s] || self.is_terminal(s) {
                     return prev[s];

@@ -40,6 +40,33 @@ pub enum MdpError {
     },
     /// The model has no initial states.
     NoInitialStates,
+    /// A [`crate::Query`] was built with an unsupported combination of
+    /// settings (for example a time horizon on an expected-cost objective).
+    InvalidQuery {
+        /// What was wrong with the query.
+        reason: String,
+    },
+    /// A [`crate::Query`] failed while running; `stage` names the analysis
+    /// phase and `source` carries the underlying error (also exposed via
+    /// [`std::error::Error::source`]).
+    Query {
+        /// The query stage that failed (e.g. `"target"`, `"solve"`).
+        stage: &'static str,
+        /// The underlying error.
+        source: Box<MdpError>,
+    },
+}
+
+impl MdpError {
+    /// Unwraps [`MdpError::Query`] wrappers down to the root cause. The
+    /// deprecated free-function wrappers use this so pre-`Query` callers
+    /// keep matching the concrete variants they always received.
+    pub fn into_root(self) -> MdpError {
+        match self {
+            MdpError::Query { source, .. } => source.into_root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for MdpError {
@@ -62,11 +89,22 @@ impl fmt::Display for MdpError {
                 "worst-case expected cost diverges from state {state} (target not reached almost surely)"
             ),
             MdpError::NoInitialStates => write!(f, "model has no initial states"),
+            MdpError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            MdpError::Query { stage, source } => {
+                write!(f, "query failed during {stage}: {source}")
+            }
         }
     }
 }
 
-impl Error for MdpError {}
+impl Error for MdpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MdpError::Query { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -90,9 +128,36 @@ mod tests {
             },
             MdpError::DivergentExpectation { state: 7 },
             MdpError::NoInitialStates,
+            MdpError::InvalidQuery {
+                reason: "horizon on a cost objective".into(),
+            },
+            MdpError::Query {
+                stage: "solve",
+                source: Box::new(MdpError::NoInitialStates),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn query_error_exposes_source_chain_and_root() {
+        let root = MdpError::TargetLengthMismatch {
+            got: 2,
+            expected: 3,
+        };
+        let wrapped = MdpError::Query {
+            stage: "target",
+            source: Box::new(MdpError::Query {
+                stage: "solve",
+                source: Box::new(root.clone()),
+            }),
+        };
+        // std::error::Error::source walks one level at a time...
+        let level1 = wrapped.source().expect("outer source");
+        assert!(level1.source().is_some(), "inner Query keeps its source");
+        // ...and into_root unwraps the whole chain.
+        assert_eq!(wrapped.into_root(), root);
     }
 }

@@ -53,13 +53,27 @@ impl ExpectedCost {
 /// # Errors
 ///
 /// Returns [`MdpError::TargetLengthMismatch`] for a malformed target.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pa_mdp::Query with .objective(QueryObjective::MaxCost)"
+)]
 pub fn max_expected_cost(
     mdp: &ExplicitMdp,
     target: &[bool],
     options: IterOptions,
 ) -> Result<ExpectedCost, MdpError> {
-    let values = CsrMdp::from_explicit(mdp).max_expected_cost(target, options, None)?;
-    Ok(ExpectedCost { values })
+    // Pinned to the Jacobi solver so outputs stay bitwise identical to the
+    // pre-`Query` implementation regardless of the process default.
+    let analysis = crate::Query::over(mdp)
+        .objective(crate::QueryObjective::MaxCost)
+        .target(target)
+        .options(options)
+        .solver(crate::Solver::Jacobi)
+        .run()
+        .map_err(MdpError::into_root)?;
+    Ok(ExpectedCost {
+        values: analysis.values,
+    })
 }
 
 /// Detects a cycle in the zero-cost transition subgraph (states connected
@@ -103,6 +117,7 @@ pub fn min_expected_cost(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deliberately pins the legacy wrapper's behaviour
 mod tests {
     use super::*;
     use crate::Choice;

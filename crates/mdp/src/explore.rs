@@ -42,8 +42,26 @@ pub struct Explored<S> {
 
 impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
     /// Builds a dense boolean target vector from a state predicate.
+    ///
+    /// This is the bridge between the two target conventions in this crate:
+    /// analyses take dense `&[bool]` masks (states are anonymous indices
+    /// there), while exploration-level code thinks in predicates over
+    /// concrete states. [`Explored::query_where`] composes the two
+    /// directly; [`crate::Query::target`] also accepts index lists.
     pub fn target_where(&self, pred: impl FnMut(&S) -> bool) -> Vec<bool> {
         self.states.iter().map(pred).collect()
+    }
+
+    /// Starts a [`crate::Query`] over the explored model (flattening it to
+    /// CSR once).
+    pub fn query(&self) -> crate::Query<'static> {
+        crate::Query::over(&self.mdp)
+    }
+
+    /// Starts a [`crate::Query`] targeting the states that satisfy `pred`.
+    pub fn query_where(&self, pred: impl FnMut(&S) -> bool) -> crate::Query<'static> {
+        let target = self.target_where(pred);
+        self.query().target(target)
     }
 
     /// Indices of states satisfying a predicate.

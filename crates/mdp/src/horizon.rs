@@ -11,7 +11,7 @@
 //! dependent deterministic adversaries, so backward induction quantifies
 //! over the paper's full adversary class (substitution 2 in DESIGN.md).
 
-use crate::{CsrMdp, ExplicitMdp, MdpError};
+use crate::{CsrMdp, ExplicitMdp, MdpError, Query, Solver};
 
 /// Whether the adversary minimizes or maximizes the objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,13 +91,26 @@ pub fn cost_bounded_reach_levels(
 /// # Errors
 ///
 /// Same as [`cost_bounded_reach_levels`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use pa_mdp::Query with .objective(..).target(..).horizon(budget)"
+)]
 pub fn cost_bounded_reach(
     mdp: &ExplicitMdp,
     target: &[bool],
     budget: u32,
     objective: Objective,
 ) -> Result<Vec<f64>, MdpError> {
-    cost_bounded_reach_levels(mdp, target, budget, objective, |_, _| {})
+    // Pinned to the Jacobi solver so outputs stay bitwise identical to the
+    // pre-`Query` implementation regardless of the process default.
+    let analysis = Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .horizon(budget)
+        .solver(Solver::Jacobi)
+        .run()
+        .map_err(MdpError::into_root)?;
+    Ok(analysis.values)
 }
 
 /// Like [`cost_bounded_reach`] but also extracts the optimal cost-indexed
@@ -106,29 +119,32 @@ pub fn cost_bounded_reach(
 /// # Errors
 ///
 /// Same as [`cost_bounded_reach_levels`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use pa_mdp::Query with .horizon(budget).with_policy()"
+)]
 pub fn cost_bounded_reach_with_policy(
     mdp: &ExplicitMdp,
     target: &[bool],
     budget: u32,
     objective: Objective,
 ) -> Result<(Vec<f64>, BoundedPolicy), MdpError> {
-    let csr = CsrMdp::from_explicit(mdp);
-    csr.check_target_and_costs(target)?;
-    let workers = crate::csr::resolve_workers(None);
-    let zeros = vec![0.0; csr.num_states()];
-    let mut decision = Vec::with_capacity(budget as usize + 1);
-    let mut dec0 = Vec::new();
-    let mut cur = csr.solve_level(target, &zeros, objective, workers, Some(&mut dec0));
-    decision.push(dec0);
-    for _ in 1..=budget {
-        let mut dec = Vec::new();
-        cur = csr.solve_level(target, &cur, objective, workers, Some(&mut dec));
-        decision.push(dec);
-    }
-    Ok((cur, BoundedPolicy { decision }))
+    let analysis = Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .horizon(budget)
+        .with_policy()
+        .solver(Solver::Jacobi)
+        .run()
+        .map_err(MdpError::into_root)?;
+    let policy = analysis
+        .policy
+        .expect("with_policy() query returns a policy");
+    Ok((analysis.values, policy))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deliberately pins the legacy wrappers' behaviour
 mod tests {
     use super::*;
     use crate::Choice;

@@ -20,14 +20,26 @@
 //! * [`cost_bounded_reach_with_policy`] — extracts the optimal adversary as
 //!   a cost-indexed policy, so the worst case can be replayed and inspected.
 //!
+//! Since 0.2.0 these analyses share one entry point: [`Query`], a builder
+//! unifying objective ([`QueryObjective`]), target (mask, index list, or
+//! predicate), optional time horizon, solver, tolerance, worker count, and
+//! policy extraction behind a single [`Query::run`] returning a typed
+//! [`Analysis`]. The free functions above remain as thin deprecated
+//! wrappers over it.
+//!
 //! All quantitative analyses run on a compressed-sparse-row engine
 //! ([`CsrMdp`]): the nested model is flattened once into contiguous arrays
 //! and swept with double-buffered Jacobi value iteration, parallelized
 //! across disjoint state chunks with results that are bit-for-bit
-//! identical for every worker count. [`par_explore`] parallelizes state-
-//! space exploration the same way (level-synchronized, deterministic
-//! merge). The [`mod@reference`] module retains nested-model oracles — both a
-//! Jacobi twin (bitwise comparison) and the original Gauss–Seidel engine
+//! identical for every worker count. Alternatively,
+//! [`Solver::SccOrdered`] condenses the choice graph into strongly
+//! connected components first ([`SccDecomposition`]) and solves them in
+//! reverse topological order — far fewer state updates on the layered
+//! round models this workspace targets (see the `query` module docs for
+//! selection guidance). [`par_explore`] parallelizes state-space
+//! exploration the same way (level-synchronized, deterministic merge). The
+//! [`mod@reference`] module retains nested-model oracles — both a Jacobi
+//! twin (bitwise comparison) and the original Gauss–Seidel engine
 //! (tolerance comparison, benchmark baseline) — used by the property
 //! tests.
 //!
@@ -35,7 +47,7 @@
 //!
 //! ```
 //! use pa_core::TableAutomaton;
-//! use pa_mdp::{cost_bounded_reach, explore, Objective};
+//! use pa_mdp::{explore, QueryObjective};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A process that wins a coin flip once per time unit.
@@ -44,10 +56,13 @@
 //!     .step("try", "flip", [("won", 0.5), ("try", 0.5)])?
 //!     .build()?;
 //! let e = explore(&m, |_, _| 1, 10_000)?;
-//! let target = e.target_where(|s| *s == "won");
-//! let v = cost_bounded_reach(&e.mdp, &target, 3, Objective::MinProb)?;
+//! let analysis = e
+//!     .query_where(|s| *s == "won")
+//!     .objective(QueryObjective::MinProb)
+//!     .horizon(3)
+//!     .run()?;
 //! let start = e.mdp.initial_states()[0];
-//! assert!((v[start] - 0.875).abs() < 1e-12);
+//! assert!((analysis.values[start] - 0.875).abs() < 1e-12);
 //! # Ok(())
 //! # }
 //! ```
@@ -62,19 +77,30 @@ mod explore;
 pub mod fxhash;
 mod horizon;
 mod model;
+pub mod query;
 pub mod reference;
+mod scc;
 mod value_iter;
 
-pub use csr::{resolve_workers, CsrMdp};
+pub use csr::{resolve_workers, CsrMdp, SolveStats};
 pub use error::MdpError;
-pub use expected::{has_zero_cost_cycle, max_expected_cost, min_expected_cost, ExpectedCost};
+pub use expected::{has_zero_cost_cycle, min_expected_cost, ExpectedCost};
 pub use explore::{
     check_invariant, explore, par_explore, par_explore_workers, Explored, InvariantResult,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use horizon::{
-    cost_bounded_reach, cost_bounded_reach_levels, cost_bounded_reach_with_policy, BoundedPolicy,
-    Objective,
-};
+pub use horizon::{cost_bounded_reach_levels, BoundedPolicy, Objective};
 pub use model::{Choice, ExplicitMdp};
-pub use value_iter::{prob0_max, prob0_min, reach_prob, IterOptions};
+pub use query::{
+    default_solver, set_default_solver, Analysis, IntoTarget, Query, QueryObjective, Solver,
+};
+pub use scc::SccDecomposition;
+pub use value_iter::{prob0_max, prob0_min, IterOptions};
+
+// The deprecated pre-`Query` entry points keep their original paths.
+#[allow(deprecated)]
+pub use expected::max_expected_cost;
+#[allow(deprecated)]
+pub use horizon::{cost_bounded_reach, cost_bounded_reach_with_policy};
+#[allow(deprecated)]
+pub use value_iter::reach_prob;

@@ -55,16 +55,30 @@ pub fn prob0_min(mdp: &ExplicitMdp, target: &[bool]) -> Result<Vec<bool>, MdpErr
 /// # Errors
 ///
 /// Returns [`MdpError::TargetLengthMismatch`] for a malformed target.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pa_mdp::Query with .objective(..).target(..) (no horizon)"
+)]
 pub fn reach_prob(
     mdp: &ExplicitMdp,
     target: &[bool],
     objective: Objective,
     options: IterOptions,
 ) -> Result<Vec<f64>, MdpError> {
-    CsrMdp::from_explicit(mdp).reach_prob(target, objective, options, None)
+    // Pinned to the Jacobi solver so outputs stay bitwise identical to the
+    // pre-`Query` implementation regardless of the process default.
+    let analysis = crate::Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .options(options)
+        .solver(crate::Solver::Jacobi)
+        .run()
+        .map_err(MdpError::into_root)?;
+    Ok(analysis.values)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deliberately pins the legacy wrapper's behaviour
 mod tests {
     use super::*;
     use crate::Choice;

@@ -9,6 +9,10 @@
 //! * [`par_explore_workers`] reproduces the serial [`explore`] exactly —
 //!   same states in the same order, same choices, same limit errors.
 
+// These properties deliberately pin the deprecated pre-`Query` wrappers:
+// they must keep returning exactly what they always did.
+#![allow(deprecated)]
+
 use pa_core::{Automaton, Step};
 use pa_mdp::{
     cost_bounded_reach, explore, max_expected_cost, min_expected_cost, par_explore_workers,

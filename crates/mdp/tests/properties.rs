@@ -1,6 +1,10 @@
 //! Property-based tests for the MDP analysis algorithms on randomly
 //! generated models.
 
+// These properties deliberately pin the deprecated pre-`Query` wrappers:
+// they must keep returning exactly what they always did.
+#![allow(deprecated)]
+
 use pa_mdp::{
     cost_bounded_reach, max_expected_cost, prob0_max, prob0_min, reach_prob, Choice, ExplicitMdp,
     IterOptions, Objective,

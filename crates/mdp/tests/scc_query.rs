@@ -1,0 +1,394 @@
+//! Equivalence contracts of the SCC-ordered solver and the `Query` API:
+//!
+//! * on models whose relevant graph is **acyclic** (a DAG for unbounded
+//!   queries; a zero-cost-acyclic "DAG of rounds" for horizon queries —
+//!   cost-1 edges may still form cycles), `Solver::SccOrdered` is
+//!   **bit-for-bit** identical to `Solver::Jacobi`: every component is
+//!   trivial, so each state is computed once from exact successor values —
+//!   the same floating-point expression, in the same transition order, the
+//!   converged Jacobi sweep evaluates;
+//! * on models with nontrivial SCCs (e.g. the ring-rotation family, where
+//!   probabilistic steps fall back into earlier states), the two solvers
+//!   agree within iteration tolerance (≤ 1e-10 here);
+//! * the deprecated free-function wrappers reproduce their pre-`Query`
+//!   outputs exactly;
+//! * on a layered round model the SCC-ordered solve performs strictly
+//!   fewer state updates than the global Jacobi schedule.
+
+// The wrapper-parity tests call the deprecated functions on purpose.
+#![allow(deprecated)]
+
+use pa_mdp::{
+    cost_bounded_reach, cost_bounded_reach_with_policy, max_expected_cost, reach_prob, reference,
+    Choice, CsrMdp, ExplicitMdp, IterOptions, Objective, Query, QueryObjective, Solver,
+};
+use proptest::prelude::*;
+
+fn lcg(seed: u64) -> impl FnMut() -> usize {
+    let mut x = seed;
+    move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    }
+}
+
+/// A random **DAG** model: every edge goes strictly forward, costs are
+/// 0/1, distributions are deterministic or fair two-point.
+fn random_dag() -> impl Strategy<Value = ExplicitMdp> {
+    (3usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut next = lcg(seed);
+        let mut choices = Vec::with_capacity(n);
+        for s in 0..n - 1 {
+            let mut cs = Vec::new();
+            for _ in 0..=next() % 2 {
+                let cost = (next() % 2) as u32;
+                let a = s + 1 + next() % (n - s - 1);
+                let b = s + 1 + next() % (n - s - 1);
+                cs.push(if a == b {
+                    Choice::to(cost, a)
+                } else {
+                    Choice::dist(cost, vec![(a, 0.5), (b, 0.5)])
+                });
+            }
+            choices.push(cs);
+        }
+        choices.push(Vec::new());
+        ExplicitMdp::new(choices, vec![0]).expect("valid model")
+    })
+}
+
+/// A random **DAG of rounds**: the zero-cost subgraph only moves forward,
+/// but cost-1 choices may jump anywhere — including backwards, forming
+/// cycles through round boundaries (the ring-rotation shape).
+fn random_round_dag() -> impl Strategy<Value = ExplicitMdp> {
+    (3usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut next = lcg(seed);
+        let mut choices = Vec::with_capacity(n);
+        for s in 0..n - 1 {
+            let mut cs = Vec::new();
+            for _ in 0..=next() % 2 {
+                let cost = (next() % 2) as u32;
+                let (a, b) = if cost == 0 {
+                    // Zero-cost edges stay strictly forward.
+                    (s + 1 + next() % (n - s - 1), s + 1 + next() % (n - s - 1))
+                } else {
+                    // Round boundaries may rotate back.
+                    (next() % n, next() % n)
+                };
+                cs.push(if a == b {
+                    Choice::to(cost, a)
+                } else {
+                    Choice::dist(cost, vec![(a, 0.5), (b, 0.5)])
+                });
+            }
+            choices.push(cs);
+        }
+        choices.push(Vec::new());
+        ExplicitMdp::new(choices, vec![0]).expect("valid model")
+    })
+}
+
+/// A fully random model: cycles anywhere, zero-cost loops included.
+fn random_cyclic() -> impl Strategy<Value = ExplicitMdp> {
+    (2usize..9, any::<u64>()).prop_map(|(n, seed)| {
+        let mut next = lcg(seed);
+        let mut choices = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut cs = Vec::new();
+            for _ in 0..next() % 3 {
+                let cost = (next() % 2) as u32;
+                let a = next() % n;
+                let b = next() % n;
+                cs.push(if a == b {
+                    Choice::to(cost, a)
+                } else {
+                    Choice::dist(cost, vec![(a, 0.5), (b, 0.5)])
+                });
+            }
+            choices.push(cs);
+        }
+        ExplicitMdp::new(choices, vec![0]).expect("valid model")
+    })
+}
+
+fn target_last(m: &ExplicitMdp) -> Vec<bool> {
+    (0..m.num_states())
+        .map(|s| s == m.num_states() - 1)
+        .collect()
+}
+
+fn assert_bitwise(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: state {i}: {x} vs {y} differ in bits"
+        );
+    }
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.is_infinite() || y.is_infinite() {
+            assert_eq!(x, y, "{what}: state {i}");
+        } else {
+            assert!((x - y).abs() <= tol, "{what}: state {i}: {x} vs {y}");
+        }
+    }
+}
+
+proptest! {
+    /// Unbounded reachability on DAGs: SCC-ordered == Jacobi, bitwise,
+    /// and both match the nested-model oracle.
+    #[test]
+    fn scc_unbounded_reach_is_bitwise_on_dags(m in random_dag()) {
+        let target = target_last(&m);
+        let opts = IterOptions::default();
+        for objective in [Objective::MinProb, Objective::MaxProb] {
+            let jacobi = Query::over(&m)
+                .objective(objective)
+                .target(&target)
+                .options(opts)
+                .solver(Solver::Jacobi)
+                .run()
+                .unwrap();
+            let scc = Query::over(&m)
+                .objective(objective)
+                .target(&target)
+                .options(opts)
+                .solver(Solver::SccOrdered)
+                .run()
+                .unwrap();
+            assert_bitwise(&jacobi.values, &scc.values, "reach");
+            let oracle = reference::reach_prob_jacobi(&m, &target, objective, opts).unwrap();
+            assert_bitwise(&oracle, &scc.values, "reach vs oracle");
+        }
+    }
+
+    /// Horizon queries on DAG-of-rounds models (zero-cost subgraph
+    /// acyclic, cost-1 cycles allowed): bitwise across solvers, and the
+    /// extracted policies pick identical choices.
+    #[test]
+    fn scc_horizon_is_bitwise_on_round_dags(m in random_round_dag(), budget in 0u32..6) {
+        let target = target_last(&m);
+        for objective in [Objective::MinProb, Objective::MaxProb] {
+            let jacobi = Query::over(&m)
+                .objective(objective)
+                .target(&target)
+                .horizon(budget)
+                .with_policy()
+                .solver(Solver::Jacobi)
+                .run()
+                .unwrap();
+            let scc = Query::over(&m)
+                .objective(objective)
+                .target(&target)
+                .horizon(budget)
+                .with_policy()
+                .solver(Solver::SccOrdered)
+                .run()
+                .unwrap();
+            assert_bitwise(&jacobi.values, &scc.values, "horizon");
+            let pj = jacobi.policy.unwrap();
+            let ps = scc.policy.unwrap();
+            prop_assert_eq!(pj.decision, ps.decision);
+        }
+    }
+
+    /// Models with nontrivial SCCs: solvers agree within 1e-10 on
+    /// reachability and on expected cost (infinities must coincide).
+    #[test]
+    fn scc_agrees_within_tolerance_on_cyclic_models(m in random_cyclic()) {
+        let target = target_last(&m);
+        let opts = IterOptions::default();
+        for objective in [QueryObjective::MinProb, QueryObjective::MaxProb] {
+            let jacobi = Query::over(&m)
+                .objective(objective)
+                .target(&target)
+                .options(opts)
+                .solver(Solver::Jacobi)
+                .run()
+                .unwrap();
+            let scc = Query::over(&m)
+                .objective(objective)
+                .target(&target)
+                .options(opts)
+                .solver(Solver::SccOrdered)
+                .run()
+                .unwrap();
+            assert_close(&jacobi.values, &scc.values, 1e-10, "cyclic reach");
+        }
+        let jacobi = Query::over(&m)
+            .objective(QueryObjective::MaxCost)
+            .target(&target)
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        let scc = Query::over(&m)
+            .objective(QueryObjective::MaxCost)
+            .target(&target)
+            .solver(Solver::SccOrdered)
+            .run()
+            .unwrap();
+        assert_close(&jacobi.values, &scc.values, 1e-7, "cyclic expected cost");
+    }
+
+    /// The condensation's solve-order invariant on arbitrary models: every
+    /// cross-component edge points to an already-solved component, and the
+    /// component arrays partition the state space.
+    #[test]
+    fn condensation_is_reverse_topological(m in random_cyclic()) {
+        let csr = CsrMdp::from_explicit(&m);
+        let scc = csr.scc();
+        let mut seen = vec![false; csr.num_states()];
+        for c in 0..scc.num_components() {
+            for &s in scc.component(c) {
+                prop_assert!(!seen[s as usize]);
+                seen[s as usize] = true;
+                prop_assert_eq!(scc.component_of(s as usize), c);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+        for s in 0..csr.num_states() {
+            for c in csr.choice_range(s) {
+                for i in csr.trans_range(c) {
+                    let (t, p) = csr.transition(i);
+                    if p > 0.0 && scc.component_of(t) != scc.component_of(s) {
+                        prop_assert!(scc.component_of(t) < scc.component_of(s));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The deprecated wrappers reproduce their pre-`Query` outputs: same
+    /// bits as an explicit Jacobi-pinned `Query`, which in turn matches
+    /// the nested-model oracles.
+    #[test]
+    fn deprecated_wrappers_match_query_bitwise(m in random_cyclic(), budget in 0u32..5) {
+        let target = target_last(&m);
+        let opts = IterOptions::default();
+
+        let legacy = cost_bounded_reach(&m, &target, budget, Objective::MinProb).unwrap();
+        let query = Query::over(&m)
+            .objective(QueryObjective::MinProb)
+            .target(&target)
+            .horizon(budget)
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        assert_bitwise(&legacy, &query.values, "cost_bounded_reach");
+        let oracle =
+            reference::cost_bounded_reach_jacobi(&m, &target, budget, Objective::MinProb).unwrap();
+        assert_bitwise(&legacy, &oracle, "cost_bounded_reach vs oracle");
+
+        let legacy = reach_prob(&m, &target, Objective::MaxProb, opts).unwrap();
+        let query = Query::over(&m)
+            .objective(QueryObjective::MaxProb)
+            .target(&target)
+            .options(opts)
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        assert_bitwise(&legacy, &query.values, "reach_prob");
+
+        let legacy = max_expected_cost(&m, &target, opts).unwrap();
+        let query = Query::over(&m)
+            .objective(QueryObjective::MaxCost)
+            .target(&target)
+            .options(opts)
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        assert_bitwise(&legacy.values, &query.values, "max_expected_cost");
+
+        let (legacy, lp) =
+            cost_bounded_reach_with_policy(&m, &target, budget, Objective::MaxProb).unwrap();
+        let query = Query::over(&m)
+            .objective(QueryObjective::MaxProb)
+            .target(&target)
+            .horizon(budget)
+            .with_policy()
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        assert_bitwise(&legacy, &query.values, "cost_bounded_reach_with_policy");
+        prop_assert_eq!(lp.decision, query.policy.unwrap().decision);
+    }
+}
+
+/// A layered round model in the shape of the Lehmann–Rabin round MDPs:
+/// `levels` rounds, each with `width` intra-round states chained by
+/// zero-cost steps, a probabilistic cost-1 round boundary that advances or
+/// repeats the round, and a final target state.
+fn layered_rounds(levels: usize, width: usize) -> ExplicitMdp {
+    let id = |l: usize, w: usize| l * width + w;
+    let n = levels * width + 1;
+    let mut choices = vec![Vec::new(); n];
+    for l in 0..levels {
+        for w in 0..width - 1 {
+            choices[id(l, w)].push(Choice::to(0, id(l, w + 1)));
+        }
+        let next = if l + 1 == levels { n - 1 } else { id(l + 1, 0) };
+        // Round boundary: advance with 1/2, repeat the round otherwise.
+        choices[id(l, width - 1)].push(Choice::dist(1, vec![(next, 0.5), (id(l, 0), 0.5)]));
+    }
+    ExplicitMdp::new(choices, vec![0]).expect("valid layered model")
+}
+
+#[test]
+fn scc_saves_state_updates_on_layered_round_models() {
+    let m = layered_rounds(12, 6);
+    let target = target_last(&m);
+    let jacobi = Query::over(&m)
+        .objective(QueryObjective::MaxProb)
+        .target(&target)
+        .solver(Solver::Jacobi)
+        .workers(1)
+        .run()
+        .unwrap();
+    let scc = Query::over(&m)
+        .objective(QueryObjective::MaxProb)
+        .target(&target)
+        .solver(Solver::SccOrdered)
+        .run()
+        .unwrap();
+    assert_close(&jacobi.values, &scc.values, 1e-10, "layered reach");
+    assert!(scc.stats.components > 0, "condensation recorded");
+    assert!(
+        scc.stats.state_updates < jacobi.stats.state_updates,
+        "SCC ordering must perform strictly fewer updates: {} vs {}",
+        scc.stats.state_updates,
+        jacobi.stats.state_updates
+    );
+}
+
+#[test]
+fn scc_horizon_reuses_one_condensation_across_levels() {
+    let m = layered_rounds(6, 4);
+    let target = target_last(&m);
+    let a = Query::over(&m)
+        .objective(QueryObjective::MinProb)
+        .target(&target)
+        .horizon(20)
+        .solver(Solver::SccOrdered)
+        .run()
+        .unwrap();
+    let b = Query::over(&m)
+        .objective(QueryObjective::MinProb)
+        .target(&target)
+        .horizon(20)
+        .solver(Solver::Jacobi)
+        .run()
+        .unwrap();
+    // Zero-cost subgraph of a round model is acyclic: bitwise agreement.
+    assert_bitwise(&b.values, &a.values, "layered horizon");
+    assert_eq!(
+        a.stats.nontrivial_components, 0,
+        "round models are zero-cost acyclic"
+    );
+    assert!(a.stats.state_updates < b.stats.state_updates);
+}

@@ -100,7 +100,7 @@ fn exact_curve_lower_bounds_simulated_cdf() {
 #[test]
 fn extracted_worst_case_policy_reproduces_its_value() {
     use rand::RngExt;
-    use timebounds::mdp::cost_bounded_reach_with_policy;
+    use timebounds::mdp::Query;
     use timebounds::prob::rng::SplitMix64;
 
     let all_trying = sims::all_trying(3).unwrap();
@@ -110,8 +110,17 @@ fn extracted_worst_case_policy_reproduces_its_value() {
     let explored = explore(&mdp, round_cost, 10_000_000).unwrap();
     let target = explored.target_where(|rs| regions::in_c(&rs.config));
     let budget = 12u32; // time 13
-    let (values, policy) =
-        cost_bounded_reach_with_policy(&explored.mdp, &target, budget, Objective::MinProb).unwrap();
+    let analysis = Query::over(&explored.mdp)
+        .objective(Objective::MinProb)
+        .target(&target)
+        .horizon(budget)
+        .with_policy()
+        .run()
+        .unwrap();
+    let values = analysis.values;
+    let policy = analysis
+        .policy
+        .expect("with_policy() query returns a policy");
     let start = explored.mdp.initial_states()[0];
 
     // Sample trajectories following the policy.

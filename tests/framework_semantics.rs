@@ -6,7 +6,7 @@ use timebounds::core::{
     schema, Adversary, Automaton, EventSchema, Eventually, ExecTree, FirstEnabled, FnAdversary,
     Fragment, Patient, ReachWithin, TableAutomaton, TimedAction, TimedState,
 };
-use timebounds::mdp::{cost_bounded_reach, explore, reach_prob, IterOptions, Objective};
+use timebounds::mdp::{explore, Objective};
 
 type M = TableAutomaton<&'static str, &'static str>;
 
@@ -33,8 +33,13 @@ fn exec_tree_and_mdp_agree_on_bounded_reachability() {
             .value();
 
         let e = explore(&m, |_, _| 1, 1000).unwrap();
-        let target = e.target_where(|s| *s == "won");
-        let v = cost_bounded_reach(&e.mdp, &target, k as u32, Objective::MinProb).unwrap();
+        let v = e
+            .query_where(|s| *s == "won")
+            .objective(Objective::MinProb)
+            .horizon(k as u32)
+            .run()
+            .unwrap()
+            .values;
         let mdp_prob = v[e.mdp.initial_states()[0]];
 
         assert!(
@@ -88,11 +93,19 @@ fn patient_construction_matches_cost_encoding() {
 fn unbounded_reach_is_the_limit_of_bounded() {
     let m = retry_machine();
     let e = explore(&m, |_, _| 1, 1000).unwrap();
-    let target = e.target_where(|s| *s == "won");
-    let unbounded = reach_prob(&e.mdp, &target, Objective::MinProb, IterOptions::default())
-        .unwrap()[e.mdp.initial_states()[0]];
-    let bounded_50 = cost_bounded_reach(&e.mdp, &target, 50, Objective::MinProb).unwrap()
-        [e.mdp.initial_states()[0]];
+    let unbounded = e
+        .query_where(|s| *s == "won")
+        .objective(Objective::MinProb)
+        .run()
+        .unwrap()
+        .values[e.mdp.initial_states()[0]];
+    let bounded_50 = e
+        .query_where(|s| *s == "won")
+        .objective(Objective::MinProb)
+        .horizon(50)
+        .run()
+        .unwrap()
+        .values[e.mdp.initial_states()[0]];
     assert!((unbounded - 1.0).abs() < 1e-9);
     assert!(
         unbounded >= bounded_50 - 1e-9,
