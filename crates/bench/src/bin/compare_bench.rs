@@ -19,8 +19,12 @@
 //!    are structural so they must match exactly.
 //! 3. **Telemetry sanity**: the current artifact must carry a `telemetry`
 //!    block proving the instrumentation fired (sweeps, explored states,
-//!    Monte-Carlo trials and the `mdp.scc.*` condensation counters all
-//!    positive).
+//!    Monte-Carlo trials, the `mdp.scc.*` condensation counters and the
+//!    `faults.*` injection counters all positive).
+//! 4. **Fault-subsystem invariants** (schema v4): the survival-cell
+//!    tallies reproduce exactly, the zero-fault column is bitwise equal to
+//!    the fault-free checker, and every tagged crash state is a certified
+//!    absorbing self-loop.
 //!
 //! Exit code 0 = pass, 1 = regression or malformed artifact.
 
@@ -78,6 +82,15 @@ impl Gate {
         match value {
             Some(v) if v > 0.0 => {}
             Some(v) => self.fail(format!("{what}: expected > 0, got {v}")),
+            None => self.fail(format!("{what}: missing from the artifact")),
+        }
+    }
+
+    fn check_true(&mut self, what: &str, value: Option<bool>) {
+        self.checks += 1;
+        match value {
+            Some(true) => {}
+            Some(false) => self.fail(format!("{what}: expected true, got false")),
             None => self.fail(format!("{what}: missing from the artifact")),
         }
     }
@@ -218,6 +231,53 @@ fn run() -> Result<Vec<String>, Box<dyn Error>> {
             .path(&["telemetry_overhead", "enabled_over_disabled"])
             .and_then(Json::as_f64),
     );
+
+    // Fault-subsystem block (schema v4): the survival-cell tallies are
+    // deterministic so they gate exactly; the two structural invariants
+    // (zero-fault bitwise identity, certified-absorbing crash states) must
+    // hold outright in the current artifact.
+    for metric in ["holds", "degraded", "fails"] {
+        let base = baseline
+            .path(&["faults", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["faults", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("faults.{metric}"), base, cur),
+            None => gate.fail(format!("faults.{metric}: missing from current artifact")),
+        }
+    }
+    gate.check_true(
+        "faults.zero_fault_bitwise_equal",
+        current
+            .path(&["faults", "zero_fault_bitwise_equal"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_positive(
+        "faults.crash_tagged_choices",
+        current
+            .path(&["faults", "crash_tagged_choices"])
+            .and_then(Json::as_f64),
+    );
+    gate.check_exact(
+        "faults.crash_absorbing_violations",
+        0.0,
+        current
+            .path(&["faults", "crash_absorbing_violations"])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+    for counter in [
+        "faults.crashes_injected",
+        "faults.restarts",
+        "faults.obligations_dropped",
+        "faults.envelope_violations",
+        "mdp.tag.tagged_choices",
+    ] {
+        gate.check_positive(
+            &format!("telemetry {counter}"),
+            telemetry_counter(&current, counter),
+        );
+    }
 
     println!(
         "compare_bench: {} checks, {} failures (tolerance {}%)",

@@ -76,6 +76,16 @@ fn main() -> Result<(), Box<dyn Error>> {
             report.telemetry.counter("sim.mc.trials").unwrap_or(0),
             report.telemetry_overhead.enabled_over_disabled,
         );
+        println!(
+            "faults: survival cells {} holds / {} degraded / {} fails; \
+             zero-fault bitwise equal: {}; crash self-loops tagged: {} ({} violations)",
+            report.faults.holds,
+            report.faults.degraded,
+            report.faults.fails,
+            report.faults.zero_fault_bitwise_equal,
+            report.faults.crash_tagged_choices,
+            report.faults.crash_absorbing_violations,
+        );
         return Ok(());
     }
     let full = args.iter().any(|a| a == "--full");
@@ -179,6 +189,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         sections.push((
             "E13 — real threads with try-locks",
             experiments::concurrent_impl(&[3, 5, 8], trials)?,
+        ));
+    }
+    if want(&["e15"]) {
+        println!("running E15 (fault survival map)…");
+        let mut rows = experiments::survival(3)?;
+        if full {
+            for n in 4..=5 {
+                rows.extend(experiments::survival(n)?);
+            }
+        }
+        sections.push((
+            "E15 — claim survival under crash-stop / crash-restart / obligation-drop",
+            rows,
         ));
     }
 

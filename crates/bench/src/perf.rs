@@ -10,13 +10,25 @@
 //! Sweep throughput is measured by running value iteration with a
 //! *negative* epsilon, which disables early convergence exit in both
 //! engines so that exactly `max_sweeps` full sweeps execute.
+//!
+//! Since schema v4 the report also carries a [`FaultsBench`] block: the
+//! `n = 3` claim survival map from `pa-faults` plus the structural
+//! invariants (zero-fault bitwise identity, certified-absorbing crash
+//! states) that `compare_bench` gates.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use pa_core::Automaton;
-use pa_lehmann_rabin::{regions, round_cost, sims, LrProtocol, RoundConfig, RoundMdp, UserModel};
+use pa_faults::{
+    faulty_round_cost, survival_map, FaultEvent, FaultKind, FaultPlan, FaultyRoundMdp, Survival,
+    SurvivalMap, TAG_CRASH,
+};
+use pa_lehmann_rabin::{
+    check_arrow_with_limit, paper, regions, round_cost, sims, LrProtocol, RoundConfig, RoundMdp,
+    UserModel,
+};
 use pa_mdp::{
     par_explore, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective, Query,
     QueryObjective, Solver,
@@ -187,6 +199,87 @@ pub struct TelemetryOverhead {
     pub enabled_over_disabled: f64,
 }
 
+/// The fault-subsystem block of `BENCH_mdp.json`: the `n = 3` claim
+/// survival map plus the two structural invariants the `pa-faults` crate
+/// guarantees — the zero-fault column is bitwise equal to the fault-free
+/// checker, and total-crash states are certified absorbing self-loops.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultsBench {
+    /// The `n = 3` survival map over the default fault grid.
+    pub map: SurvivalMap,
+    /// Cells classified [`Survival::Holds`].
+    pub holds: u64,
+    /// Cells classified [`Survival::Degraded`].
+    pub degraded: u64,
+    /// Cells classified [`Survival::Fails`].
+    pub fails: u64,
+    /// Whether every zero-fault cell is bitwise equal (`f64::to_bits`) to
+    /// the fault-free `check_arrow` result for the same arrow. Must be
+    /// `true`; gated by `compare_bench`.
+    pub zero_fault_bitwise_equal: bool,
+    /// `EndRound` self-loop choices tagged [`TAG_CRASH`] in a total-crash
+    /// exploration — the absorbing-state audit surface. Must be positive.
+    pub crash_tagged_choices: u64,
+    /// Tagged choices that are *not* deterministic self-loops. Must be 0.
+    pub crash_absorbing_violations: u64,
+}
+
+/// Builds the [`FaultsBench`] block: survival map, zero-fault bitwise
+/// identity check, and the total-crash absorbing-structure audit, all on
+/// the `n = 3` ring.
+pub fn faults_bench(limit: usize) -> Result<FaultsBench, Box<dyn std::error::Error>> {
+    let cfg = RoundConfig::new(3)?;
+    let map = survival_map(3, limit)?;
+
+    let (mut holds, mut degraded, mut fails) = (0u64, 0u64, 0u64);
+    for cell in map.rows.iter().flat_map(|r| &r.cells) {
+        match cell.survival {
+            Survival::Holds => holds += 1,
+            Survival::Degraded => degraded += 1,
+            Survival::Fails => fails += 1,
+        }
+    }
+
+    let mdp = RoundMdp::new(cfg);
+    let mut zero_fault_bitwise_equal = true;
+    for (arrow, _why) in paper::all_arrows() {
+        let plain = check_arrow_with_limit(&mdp, &arrow, limit)?;
+        let none = map
+            .cell(&arrow.to_string(), "none")
+            .ok_or("survival map is missing its zero-fault column")?;
+        if plain.measured.lo().value().to_bits() != none.measured.to_bits() {
+            zero_fault_bitwise_equal = false;
+        }
+    }
+
+    // Crash every process at round 2 and certify that the resulting dead
+    // states are exactly deterministic `EndRound` self-loops — the
+    // absorbing structure both solvers rely on.
+    let total_crash = FaultPlan::new(
+        (0..3)
+            .map(|process| FaultEvent {
+                round: 2,
+                process,
+                kind: FaultKind::CrashStop,
+            })
+            .collect(),
+    )?;
+    let wrapped = FaultyRoundMdp::new(cfg, total_crash)?;
+    let explored = par_explore(&wrapped, faulty_round_cost, limit)?;
+    let tags = wrapped.crash_tags(&explored);
+    let violations = pa_mdp::tagged_absorbing_violations(&explored.mdp, &tags, TAG_CRASH);
+
+    Ok(FaultsBench {
+        map,
+        holds,
+        degraded,
+        fails,
+        zero_fault_bitwise_equal,
+        crash_tagged_choices: tags.count(TAG_CRASH) as u64,
+        crash_absorbing_violations: violations.len() as u64,
+    })
+}
+
 /// The whole `BENCH_mdp.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -208,6 +301,9 @@ pub struct BenchReport {
     pub telemetry: TelemetrySnapshot,
     /// The disabled-registry overhead microcheck.
     pub telemetry_overhead: TelemetryOverhead,
+    /// The fault-subsystem block: the `n = 3` claim survival map and the
+    /// structural invariants `compare_bench` gates.
+    pub faults: FaultsBench,
 }
 
 fn read_cpu_model() -> String {
@@ -410,6 +506,34 @@ pub fn telemetry_probe() -> Result<TelemetrySnapshot, Box<dyn std::error::Error>
         let sim = sims::LrSim::new(3, sims::RoundRobin)?.with_start(sims::all_trying(3)?);
         let mc = MonteCarlo::new(2_000, 42, 60);
         mc.hitting_prob_within(&sim, |s| regions::in_c(&s.config), 13)?;
+
+        // One faulted exploration exercising all three fault kinds — a
+        // crash-restart, an obligation drop, then a total crash-stop (so
+        // dead states exist for the crash-tag audit) — to land the
+        // `faults.*` and `mdp.tag.*` counters in the snapshot the CI gate
+        // inspects.
+        let mut events = vec![
+            FaultEvent {
+                round: 2,
+                process: 0,
+                kind: FaultKind::CrashRestart { downtime: 1 },
+            },
+            FaultEvent {
+                round: 3,
+                process: 1,
+                kind: FaultKind::DropObligation,
+            },
+        ];
+        events.extend((0..3).map(|process| FaultEvent {
+            round: 5,
+            process,
+            kind: FaultKind::CrashStop,
+        }));
+        let plan = FaultPlan::new(events)?;
+        let faulty = FaultyRoundMdp::new(RoundConfig::new(3)?, plan)?;
+        let fexplored = par_explore(&faulty, faulty_round_cost, 1_000_000)?;
+        faulty.crash_tags(&fexplored);
+
         Ok(pa_telemetry::snapshot())
     })();
     pa_telemetry::set_enabled(false);
@@ -505,14 +629,17 @@ pub fn bench_report_sized(
     let overhead = telemetry_overhead(4)?;
     eprintln!("running telemetry probe…");
     let telemetry = telemetry_probe()?;
+    eprintln!("building fault survival map…");
+    let faults = faults_bench(5_000_000)?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v3".to_string(),
+        schema: "pa-bench/mdp-throughput/v4".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
         rings,
         telemetry,
         telemetry_overhead: overhead,
+        faults,
     })
 }
 
@@ -610,6 +737,16 @@ mod tests {
         );
         assert!(b.scc.saved_updates > 0);
         assert!(b.scc.update_ratio < 1.0);
+    }
+
+    #[test]
+    fn faults_bench_certifies_its_invariants() {
+        let f = faults_bench(5_000_000).unwrap();
+        assert_eq!(f.map.n, 3);
+        assert_eq!(f.holds + f.degraded + f.fails, 20, "5 arrows × 4 columns");
+        assert!(f.zero_fault_bitwise_equal);
+        assert!(f.crash_tagged_choices > 0);
+        assert_eq!(f.crash_absorbing_violations, 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v3")
+        Some("pa-bench/mdp-throughput/v4")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
@@ -65,6 +65,36 @@ fn bench_report_emits_a_valid_telemetry_block() {
     assert_eq!(counter("sim.mc.trials"), 2000.0);
     assert!(counter("sim.mc.rng_draws") > 0.0);
     assert!(counter("prob.rng.streams") > 0.0);
+    assert!(counter("faults.crashes_injected") > 0.0);
+    assert!(counter("faults.restarts") > 0.0);
+    assert!(counter("faults.obligations_dropped") > 0.0);
+    assert!(counter("faults.envelope_violations") > 0.0);
+    assert!(counter("mdp.tag.tagged_choices") > 0.0);
+
+    // The faults block carries its two structural invariants plus a full
+    // survival map (5 arrows × the 4-column default grid).
+    assert_eq!(
+        doc.path(&["faults", "zero_fault_bitwise_equal"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let fault_metric = |name: &str| {
+        doc.path(&["faults", name])
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("faults.{name} missing"))
+    };
+    assert_eq!(
+        fault_metric("holds") + fault_metric("degraded") + fault_metric("fails"),
+        20.0
+    );
+    assert!(fault_metric("crash_tagged_choices") > 0.0);
+    assert_eq!(fault_metric("crash_absorbing_violations"), 0.0);
+    assert_eq!(
+        doc.path(&["faults", "map", "rows"])
+            .and_then(Json::as_array)
+            .map(<[_]>::len),
+        Some(5)
+    );
 
     // Residual trajectory and rounds-to-fire histogram made it through.
     let residuals = doc
@@ -128,7 +158,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
 fn gate_artifact(states: u64, speedup: f64, sweeps: u64, update_ratio: f64) -> String {
     format!(
-        r#"{{"schema":"pa-bench/mdp-throughput/v3","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}},"scc":{{"components":188,"nontrivial_components":103,"jacobi_updates":3752,"scc_updates":1591,"saved_updates":2161,"update_ratio":{update_ratio}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}},{{"name":"mdp.scc.runs","value":1}},{{"name":"mdp.scc.components","value":188}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}}}}"#
+        r#"{{"schema":"pa-bench/mdp-throughput/v4","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}},"scc":{{"components":188,"nontrivial_components":103,"jacobi_updates":3752,"scc_updates":1591,"saved_updates":2161,"update_ratio":{update_ratio}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}},{{"name":"mdp.scc.runs","value":1}},{{"name":"mdp.scc.components","value":188}},{{"name":"faults.crashes_injected","value":4}},{{"name":"faults.restarts","value":2}},{{"name":"faults.obligations_dropped","value":3}},{{"name":"faults.envelope_violations","value":1}},{{"name":"mdp.tag.tagged_choices","value":8}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}},"faults":{{"holds":16,"degraded":0,"fails":4,"zero_fault_bitwise_equal":true,"crash_tagged_choices":8,"crash_absorbing_violations":0}}}}"#
     )
 }
 
@@ -197,5 +227,40 @@ fn compare_bench_fails_dead_telemetry() {
     assert!(
         !run_gate(&baseline, &current, "20"),
         "zero sweeps = dead probe"
+    );
+}
+
+#[test]
+fn compare_bench_fails_broken_zero_fault_identity() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = baseline.replace(
+        r#""zero_fault_bitwise_equal":true"#,
+        r#""zero_fault_bitwise_equal":false"#,
+    );
+    assert_ne!(baseline, current, "the replace must hit");
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn compare_bench_fails_absorbing_violations() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = baseline.replace(
+        r#""crash_absorbing_violations":0"#,
+        r#""crash_absorbing_violations":2"#,
+    );
+    assert_ne!(baseline, current, "the replace must hit");
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn compare_bench_fails_survival_tally_drift() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = baseline
+        .replace(r#""holds":16"#, r#""holds":15"#)
+        .replace(r#""fails":4"#, r#""fails":5"#);
+    assert_ne!(baseline, current, "the replace must hit");
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "a claim flipping from Holds to Fails must fail the gate"
     );
 }

@@ -167,6 +167,68 @@ where
     }
 }
 
+/// An adversary combinator that suppresses steps a fault layer forbids:
+/// the inner adversary's choice passes through untouched when its action is
+/// permitted in the current state; otherwise the wrapper deterministically
+/// falls back to the *first* enabled step that is permitted, and halts when
+/// every enabled step is suppressed (a fully crashed system).
+///
+/// The permit predicate sees the fragment's last state and a candidate
+/// action; fault layers (e.g. `pa-faults`) derive it from a fault schedule
+/// — "process 1 is crashed at this state's time, so its actions are
+/// forbidden". With an always-true predicate the wrapper is the identity:
+/// the inner adversary's choices are returned bit-for-bit, which is the
+/// zero-fault contract the property tests pin.
+///
+/// Determinism (Definition 2.2 requires it) is preserved: both the inner
+/// choice and the fallback scan are deterministic functions of the
+/// fragment.
+#[derive(Debug, Clone)]
+pub struct FaultFilter<A, P> {
+    inner: A,
+    permit: P,
+}
+
+impl<A, P> FaultFilter<A, P> {
+    /// Wraps `inner`, suppressing steps whose action `permit` rejects.
+    pub fn new(inner: A, permit: P) -> FaultFilter<A, P> {
+        FaultFilter { inner, permit }
+    }
+
+    /// Gives access to the wrapped adversary.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Returns the wrapped adversary.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<M, A, P> Adversary<M> for FaultFilter<A, P>
+where
+    M: Automaton,
+    A: Adversary<M>,
+    P: Fn(&M::State, &M::Action) -> bool,
+{
+    fn choose(
+        &self,
+        automaton: &M,
+        fragment: &Fragment<M::State, M::Action>,
+    ) -> Option<Step<M::State, M::Action>> {
+        let state = fragment.lstate();
+        let step = self.inner.choose(automaton, fragment)?;
+        if (self.permit)(state, &step.action) {
+            return Some(step);
+        }
+        automaton
+            .steps(state)
+            .into_iter()
+            .find(|s| (self.permit)(state, &s.action))
+    }
+}
+
 /// Validates an adversary's choice against the automaton: the chosen step
 /// must be one of the enabled steps of the fragment's last state.
 ///
@@ -262,6 +324,34 @@ mod tests {
         });
         let r = validated_choice(&m, &adv, &Fragment::initial(0));
         assert!(matches!(r, Err(CoreError::DisabledStep { .. })));
+    }
+
+    #[test]
+    fn fault_filter_with_permissive_predicate_is_identity() {
+        let m = branching();
+        let frag = Fragment::initial(0);
+        let plain = FirstEnabled.choose(&m, &frag).unwrap();
+        let wrapped = FaultFilter::new(FirstEnabled, |_: &u8, _: &char| true)
+            .choose(&m, &frag)
+            .unwrap();
+        assert_eq!(plain, wrapped);
+    }
+
+    #[test]
+    fn fault_filter_falls_back_to_first_permitted_step() {
+        let m = branching();
+        let frag = Fragment::initial(0);
+        // FirstEnabled would pick 'a'; the fault layer forbids it.
+        let adv = FaultFilter::new(FirstEnabled, |_: &u8, a: &char| *a != 'a');
+        let step = adv.choose(&m, &frag).unwrap();
+        assert_eq!(step.action, 'b');
+    }
+
+    #[test]
+    fn fault_filter_halts_when_everything_is_suppressed() {
+        let m = branching();
+        let adv = FaultFilter::new(FirstEnabled, |_: &u8, _: &char| false);
+        assert!(adv.choose(&m, &Fragment::initial(0)).is_none());
     }
 
     #[test]

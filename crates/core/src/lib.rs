@@ -57,7 +57,9 @@ mod recurrence;
 pub mod schema;
 mod timed;
 
-pub use adversary::{validated_choice, Adversary, FirstEnabled, FnAdversary, Halt, IndexAdversary};
+pub use adversary::{
+    validated_choice, Adversary, FaultFilter, FirstEnabled, FnAdversary, Halt, IndexAdversary,
+};
 pub use arrow::{Arrow, SetExpr};
 pub use automaton::{Automaton, Step, TableAutomaton, TableAutomatonBuilder};
 pub use checker::ArrowCheck;
@@ -72,4 +74,6 @@ pub use first_next::{
 };
 pub use measure::{rectangle_partition_mass, Rectangle};
 pub use recurrence::{geometric_bound, solve_expected_time, Branch};
-pub use timed::{Patient, ReachWithin, Timed, TimedAction, TimedState};
+pub use timed::{
+    check_unit_time_envelope, EnvelopeVerdict, Patient, ReachWithin, Timed, TimedAction, TimedState,
+};

@@ -186,6 +186,101 @@ where
     }
 }
 
+/// Per-process outcome of a `Unit-Time` envelope audit
+/// ([`check_unit_time_envelope`]). Positions are indices into the audited
+/// fragment's state sequence (`0` = first state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeVerdict {
+    /// The process was never left ready-and-unscheduled for more than one
+    /// time unit: the adversary honoured the `Unit-Time` obligation.
+    Served,
+    /// The process was ready and live, yet more than one time unit passed
+    /// without it being scheduled — an envelope violation by a live
+    /// process's scheduler. `at` is the state index where the violation
+    /// became observable.
+    Starved {
+        /// State index at which the overdue obligation was detected.
+        at: usize,
+    },
+    /// The process crashed while it still had a pending obligation: the
+    /// obligation is *waived*, not violated. Distinguishing this from
+    /// [`EnvelopeVerdict::Starved`] is what makes fault schemas auditable —
+    /// a crashed process is not evidence of a cheating adversary. `at` is
+    /// the state index where the crash took effect.
+    Crashed {
+        /// State index at which the pending obligation was waived.
+        at: usize,
+    },
+}
+
+/// Audits a timed execution fragment against the `Unit-Time` adversary
+/// schema: every process that is ready (per `ready`) must be scheduled
+/// (per `process_of`) within one time unit, unless it crashes first (per
+/// `crashed`), which waives the pending obligation instead of violating
+/// it.
+///
+/// Obligations re-arm: a process that steps and is ready again starts a
+/// new one-time-unit window; a process that restarts after a crash does
+/// too. The first starvation or waiver per process is reported; a process
+/// with neither is [`EnvelopeVerdict::Served`].
+///
+/// This is a pure audit over one fragment — the exhaustive counterpart
+/// (quantifying over all adversaries at once) is the round-MDP
+/// construction, where the obligation set lives in the state.
+pub fn check_unit_time_envelope<S: Timed, A>(
+    fragment: &crate::Fragment<S, A>,
+    num_processes: usize,
+    process_of: impl Fn(&A) -> Option<usize>,
+    ready: impl Fn(&S, usize) -> bool,
+    crashed: impl Fn(&S, usize) -> bool,
+) -> Vec<EnvelopeVerdict> {
+    let mut verdicts = vec![EnvelopeVerdict::Served; num_processes];
+    // For each process, the time its current obligation window opened.
+    let mut due_since: Vec<Option<f64>> = vec![None; num_processes];
+
+    let first = fragment.fstate();
+    for (i, due) in due_since.iter_mut().enumerate() {
+        if ready(first, i) && !crashed(first, i) {
+            *due = Some(first.time());
+        }
+    }
+
+    for (idx, (action, state)) in fragment.transitions().enumerate() {
+        let at = idx + 1; // state index of the transition's target
+        if let Some(i) = process_of(action) {
+            if i < num_processes {
+                due_since[i] = None; // obligation discharged by this step
+            }
+        }
+        let now = state.time();
+        for i in 0..num_processes {
+            if crashed(state, i) {
+                // A crash waives whatever was pending.
+                if due_since[i].take().is_some() && verdicts[i] == EnvelopeVerdict::Served {
+                    verdicts[i] = EnvelopeVerdict::Crashed { at };
+                }
+                continue;
+            }
+            match due_since[i] {
+                Some(since) => {
+                    if now - since > 1.0 + 1e-9 {
+                        if verdicts[i] == EnvelopeVerdict::Served {
+                            verdicts[i] = EnvelopeVerdict::Starved { at };
+                        }
+                        due_since[i] = None; // report each overdue window once
+                    }
+                }
+                None => {
+                    if ready(state, i) {
+                        due_since[i] = Some(now);
+                    }
+                }
+            }
+        }
+    }
+    verdicts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +317,100 @@ mod tests {
                 })
             },
         )
+    }
+
+    /// Hand-built timed state for envelope audits: explicit time, per-
+    /// process readiness and crash flags.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Snap {
+        t: f64,
+        ready: [bool; 2],
+        down: [bool; 2],
+    }
+
+    impl Timed for Snap {
+        fn time(&self) -> f64 {
+            self.t
+        }
+    }
+
+    fn audit(frag: &Fragment<Snap, Option<usize>>) -> Vec<EnvelopeVerdict> {
+        check_unit_time_envelope(
+            frag,
+            2,
+            |a: &Option<usize>| *a,
+            |s: &Snap, i| s.ready[i],
+            |s: &Snap, i| s.down[i],
+        )
+    }
+
+    #[test]
+    fn envelope_served_when_every_ready_process_steps_in_time() {
+        let up = |t: f64| Snap {
+            t,
+            ready: [true, true],
+            down: [false, false],
+        };
+        let mut frag = Fragment::initial(up(0.0));
+        frag.push(Some(0), up(0.0));
+        frag.push(Some(1), up(0.0));
+        frag.push(None, up(1.0)); // tick
+        frag.push(Some(0), up(1.0));
+        frag.push(Some(1), up(1.0));
+        assert_eq!(
+            audit(&frag),
+            vec![EnvelopeVerdict::Served, EnvelopeVerdict::Served]
+        );
+    }
+
+    #[test]
+    fn envelope_flags_a_starved_live_process() {
+        let up = |t: f64| Snap {
+            t,
+            ready: [true, true],
+            down: [false, false],
+        };
+        let mut frag = Fragment::initial(up(0.0));
+        frag.push(Some(0), up(0.0));
+        frag.push(None, up(1.0));
+        frag.push(Some(0), up(1.0));
+        frag.push(None, up(2.0)); // process 1 now overdue (ready since 0)
+        let v = audit(&frag);
+        assert_eq!(v[0], EnvelopeVerdict::Served);
+        assert_eq!(v[1], EnvelopeVerdict::Starved { at: 4 });
+    }
+
+    #[test]
+    fn envelope_waives_obligations_of_crashed_processes() {
+        let snap = |t: f64, down1: bool| Snap {
+            t,
+            ready: [true, true],
+            down: [false, down1],
+        };
+        let mut frag = Fragment::initial(snap(0.0, false));
+        frag.push(Some(0), snap(0.0, true)); // process 1 crashes here
+        frag.push(None, snap(1.0, true));
+        frag.push(Some(0), snap(1.0, true));
+        frag.push(None, snap(2.0, true)); // would be starvation if live
+        let v = audit(&frag);
+        assert_eq!(v[0], EnvelopeVerdict::Served);
+        assert_eq!(v[1], EnvelopeVerdict::Crashed { at: 1 });
+    }
+
+    #[test]
+    fn envelope_rearms_after_a_discharged_obligation() {
+        let up = |t: f64| Snap {
+            t,
+            ready: [true, false],
+            down: [false, false],
+        };
+        let mut frag = Fragment::initial(up(0.0));
+        frag.push(Some(0), up(0.5));
+        // Ready again, then left unscheduled past one full unit.
+        frag.push(None, up(1.0));
+        frag.push(None, up(2.0)); // window re-opened at 0.5, overdue at 2.0
+        let v = audit(&frag);
+        assert_eq!(v[0], EnvelopeVerdict::Starved { at: 3 });
     }
 
     #[test]

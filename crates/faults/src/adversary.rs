@@ -1,0 +1,138 @@
+//! Fragment-level fault wrapping: turn any [`pa_core::Adversary`] into one
+//! that never schedules a crashed process, via the core
+//! [`FaultFilter`] combinator.
+//!
+//! This is the checker-side counterpart of the MDP-side
+//! [`crate::FaultyRoundMdp`]: where the round model bakes faults into the
+//! state space, [`faulty_adversary`] leaves the automaton untouched and
+//! instead filters the adversary's choices against a [`FaultPlan`], using
+//! the patient construction's clock ([`pa_core::Timed`]) to decide which
+//! round a choice falls in. Round `k` covers the time interval `(k−1, k]`,
+//! and a fault scheduled for round `r` is in force from time `r−1`
+//! onward — matching the round model's "events strike at round starts".
+
+use pa_core::{Adversary, Automaton, FaultFilter, Timed};
+
+use crate::FaultPlan;
+
+/// The 1-based round that patient time `t` falls in: round `k` covers
+/// `(k−1, k]`, and time 0 belongs to round 1.
+pub fn round_of_time(t: f64) -> u32 {
+    if t <= 0.0 {
+        1
+    } else {
+        t.ceil().max(1.0) as u32
+    }
+}
+
+/// Wraps `inner` so it never schedules a process that `plan` has crashed
+/// at the fragment's current time. `process_of` maps an action to the
+/// process performing it (`None` for global actions like time ticks,
+/// which are always permitted).
+///
+/// Per the [`FaultFilter`] contract, if the wrapped adversary proposes a
+/// crashed process's action, the filter falls back to the first permitted
+/// step of the current state, halting only when every enabled action
+/// belongs to crashed processes — crashes suppress behaviour, they never
+/// invent it.
+pub fn faulty_adversary<M, A, F>(
+    inner: A,
+    plan: FaultPlan,
+    process_of: F,
+) -> FaultFilter<A, impl Fn(&M::State, &M::Action) -> bool>
+where
+    M: Automaton,
+    M::State: Timed,
+    A: Adversary<M>,
+    F: Fn(&M::Action) -> Option<usize>,
+{
+    FaultFilter::new(
+        inner,
+        move |state: &M::State, action: &M::Action| match process_of(action) {
+            Some(p) => !plan.down_at(p, round_of_time(state.time())),
+            None => true,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+    use pa_core::{FirstEnabled, Fragment, Patient, TableAutomaton, TimedAction};
+
+    /// Two processes that can each take one `work` step, under the patient
+    /// construction so states carry time.
+    fn timed_pair() -> Patient<TableAutomaton<u8, &'static str>> {
+        let m = TableAutomaton::builder()
+            .start(0)
+            .det_step(0, "p0-work", 1)
+            .det_step(0, "p1-work", 2)
+            .det_step(1, "p1-work", 3)
+            .det_step(2, "p0-work", 3)
+            .build()
+            .unwrap();
+        Patient::new(m)
+    }
+
+    fn process_of(a: &TimedAction<&'static str>) -> Option<usize> {
+        match a {
+            TimedAction::Base(name) => name
+                .strip_prefix('p')?
+                .chars()
+                .next()?
+                .to_digit(10)
+                .map(|d| d as usize),
+            TimedAction::Tick => None,
+        }
+    }
+
+    #[test]
+    fn crashed_process_is_never_scheduled() {
+        let m = timed_pair();
+        let plan = FaultPlan::single(1, 0, FaultKind::CrashStop).unwrap();
+        let adv = faulty_adversary::<Patient<TableAutomaton<u8, &'static str>>, _, _>(
+            FirstEnabled,
+            plan,
+            process_of,
+        );
+        let start = m.start_states().remove(0);
+        let frag = Fragment::initial(start);
+        // FirstEnabled would pick p0-work; the filter must divert to p1.
+        let step = adv.choose(&m, &frag).expect("p1 and Tick remain");
+        assert!(!matches!(step.action, TimedAction::Base(a) if a.starts_with("p0")));
+    }
+
+    #[test]
+    fn empty_plan_is_an_identity_wrapper() {
+        let m = timed_pair();
+        let adv = faulty_adversary::<Patient<TableAutomaton<u8, &'static str>>, _, _>(
+            FirstEnabled,
+            FaultPlan::none(),
+            process_of,
+        );
+        let start = m.start_states().remove(0);
+        let frag = Fragment::initial(start.clone());
+        let filtered = adv.choose(&m, &frag).expect("steps exist");
+        let plain = FirstEnabled.choose(&m, &frag).expect("steps exist");
+        assert_eq!(filtered.action, plain.action);
+    }
+
+    #[test]
+    fn restart_lifts_the_suppression() {
+        let plan = FaultPlan::single(1, 0, FaultKind::CrashRestart { downtime: 2 }).unwrap();
+        // Down during rounds 1 and 2, live from round 3 (time > 2).
+        assert!(plan.down_at(0, round_of_time(0.0)));
+        assert!(plan.down_at(0, round_of_time(1.5)));
+        assert!(!plan.down_at(0, round_of_time(2.5)));
+    }
+
+    #[test]
+    fn round_of_time_matches_the_interval_convention() {
+        assert_eq!(round_of_time(0.0), 1);
+        assert_eq!(round_of_time(0.5), 1);
+        assert_eq!(round_of_time(1.0), 1);
+        assert_eq!(round_of_time(1.1), 2);
+        assert_eq!(round_of_time(13.0), 13);
+    }
+}

@@ -1,0 +1,301 @@
+//! Claim survival maps: re-evaluate every paper arrow `U —t→_p U'` under
+//! a grid of fault configurations and classify each combination as
+//! [`Survival::Holds`] (the claimed probability still holds),
+//! [`Survival::Degraded`] (some weaker positive probability survives), or
+//! [`Survival::Fails`] (an adversary can drive the probability to zero).
+//!
+//! The zero-fault column is computed through the *same* wrapped pipeline
+//! with [`FaultPlan::none`], which is a strict identity — so it is bitwise
+//! equal to the fault-free [`pa_lehmann_rabin::check_arrow`] results, a
+//! property the regression tests pin down.
+
+use pa_core::{Arrow, ArrowCheck, SetExpr};
+use pa_lehmann_rabin::{paper, reachable_configs, regions, time_to_budget, Config, RoundConfig};
+use pa_mdp::{par_explore, Objective};
+use pa_prob::{Prob, ProbInterval};
+use serde::Serialize;
+
+use crate::{faulty_round_cost, FaultError, FaultKind, FaultPlan, FaultyRoundMdp};
+
+/// Default cap on explored states for survival analyses, matching
+/// [`pa_lehmann_rabin::DEFAULT_STATE_LIMIT`].
+pub const DEFAULT_STATE_LIMIT: usize = pa_lehmann_rabin::DEFAULT_STATE_LIMIT;
+
+/// How an arrow claim fares under a fault configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Survival {
+    /// The claimed probability bound still holds.
+    Holds,
+    /// The claim fails at its stated probability, but a positive
+    /// probability of success survives under every adversary.
+    Degraded,
+    /// Some adversary reduces the success probability to zero.
+    Fails,
+}
+
+/// One cell of a survival map: an arrow under one fault configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurvivalCell {
+    /// Name of the fault configuration (a column of the map).
+    pub fault: String,
+    /// The classification.
+    pub survival: Survival,
+    /// The measured worst-case probability of the arrow's claim.
+    pub measured: f64,
+}
+
+/// One row of a survival map: an arrow across all fault configurations.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurvivalRow {
+    /// The arrow, rendered (`U —t→_p U'`).
+    pub arrow: String,
+    /// The claimed probability, for reference.
+    pub claimed: f64,
+    /// Cells, in grid column order.
+    pub cells: Vec<SurvivalCell>,
+}
+
+/// The claim survival map of a ring: the five paper arrows re-evaluated
+/// under a grid of fault configurations.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurvivalMap {
+    /// Ring size.
+    pub n: usize,
+    /// Column names, in order (the first is always the zero-fault column).
+    pub faults: Vec<String>,
+    /// One row per paper arrow, in chain order.
+    pub rows: Vec<SurvivalRow>,
+}
+
+impl SurvivalMap {
+    /// Looks up a cell by arrow rendering and fault name.
+    pub fn cell(&self, arrow: &str, fault: &str) -> Option<&SurvivalCell> {
+        self.rows
+            .iter()
+            .find(|r| r.arrow == arrow)?
+            .cells
+            .iter()
+            .find(|c| c.fault == fault)
+    }
+}
+
+/// Classifies a measured worst-case probability against a claimed bound.
+pub fn classify(measured: f64, claimed: f64) -> Survival {
+    if measured >= claimed - 1e-12 {
+        Survival::Holds
+    } else if measured > 1e-12 {
+        Survival::Degraded
+    } else {
+        Survival::Fails
+    }
+}
+
+/// Resolves a region atom to its fault-aware predicate (the `_under`
+/// family, which requires progress witnesses to be live).
+///
+/// # Errors
+///
+/// [`pa_lehmann_rabin::LrError::UnknownRegion`] for unknown atoms.
+pub fn region_pred_under(atom: &str) -> Result<fn(&Config, u32) -> bool, FaultError> {
+    match atom {
+        "T" => Ok(regions::in_t_under),
+        "C" => Ok(regions::in_c_under),
+        "RT" => Ok(regions::in_rt_under),
+        "F" => Ok(regions::in_f_under),
+        "G" => Ok(regions::in_g_under),
+        "P" => Ok(regions::in_p_under),
+        other => Err(FaultError::Lr(pa_lehmann_rabin::LrError::UnknownRegion(
+            other.to_string(),
+        ))),
+    }
+}
+
+/// Resolves a [`SetExpr`] to a fault-aware union predicate.
+///
+/// # Errors
+///
+/// Same as [`region_pred_under`].
+pub fn set_pred_under(
+    set: &SetExpr,
+) -> Result<impl Fn(&Config, u32) -> bool + Send + Sync, FaultError> {
+    let preds: Vec<fn(&Config, u32) -> bool> = set
+        .atoms()
+        .map(region_pred_under)
+        .collect::<Result<_, _>>()?;
+    Ok(move |c: &Config, crashed: u32| preds.iter().any(|p| p(c, crashed)))
+}
+
+/// Exactly checks an arrow claim on the fault-wrapped round model: for
+/// every reachable configuration in `U` (judged under the faults already
+/// struck at round 1), the minimal probability over all round adversaries
+/// of reaching `U'` — membership judged under the faults in force on
+/// arrival — within time `t` must be at least `p`.
+///
+/// Mirrors [`pa_lehmann_rabin::check_arrow_with_limit`]; with
+/// [`FaultPlan::none`] the result is bitwise identical to it.
+///
+/// # Errors
+///
+/// Region, plan-validation, exploration, and analysis errors.
+pub fn check_arrow_under(
+    cfg: RoundConfig,
+    arrow: &Arrow,
+    plan: &FaultPlan,
+    limit: usize,
+) -> Result<ArrowCheck, FaultError> {
+    let from = set_pred_under(arrow.from())?;
+    let to = set_pred_under(arrow.to())?;
+    let n = cfg.n;
+    // The crash mask already in force when the clock starts.
+    let mask0 = plan
+        .events_at(1)
+        .iter()
+        .filter(|e| !matches!(e.kind, FaultKind::DropObligation))
+        .fold(0u32, |m, e| m | (1 << e.process));
+    let starts: Vec<Config> = reachable_configs(n, limit)?
+        .into_iter()
+        .filter(|c| from(c, mask0))
+        .collect();
+    if starts.is_empty() {
+        return Ok(ArrowCheck {
+            arrow: arrow.clone(),
+            measured: ProbInterval::exact(Prob::ONE),
+            worst_state: None,
+            states_checked: 0,
+        });
+    }
+    let states_checked = starts.len();
+    let to_for_absorb = set_pred_under(arrow.to())?;
+    let model = FaultyRoundMdp::new(cfg, plan.clone())?
+        .with_starts(starts)
+        .with_absorb(move |s| to_for_absorb(&s.inner.config, s.crashed_mask(n)));
+    let explored = par_explore(&model, faulty_round_cost, limit)?;
+    let target = explored.target_where(|s| to(&s.inner.config, s.crashed_mask(n)));
+    let budget = time_to_budget(arrow.time());
+    let values = explored
+        .query()
+        .objective(Objective::MinProb)
+        .target(target)
+        .horizon(budget)
+        .run()?
+        .values;
+    let mut worst = f64::INFINITY;
+    let mut worst_state = None;
+    for &i in explored.mdp.initial_states() {
+        if values[i] < worst {
+            worst = values[i];
+            worst_state = Some(explored.states[i].to_string());
+        }
+    }
+    Ok(ArrowCheck {
+        arrow: arrow.clone(),
+        measured: ProbInterval::exact(Prob::clamped(worst)),
+        worst_state,
+        states_checked,
+    })
+}
+
+/// The default fault grid: the zero-fault identity column plus one
+/// representative of each fault kind, all striking process 0 at the start
+/// of round 2 (late enough that round 1 behaves normally, early enough to
+/// disturb every arrow's window).
+pub fn default_grid() -> Vec<(String, FaultPlan)> {
+    vec![
+        ("none".to_string(), FaultPlan::none()),
+        (
+            "crash-stop r2 p0".to_string(),
+            FaultPlan::single(2, 0, FaultKind::CrashStop).expect("valid scripted event"),
+        ),
+        (
+            "crash-restart r2 p0 d2".to_string(),
+            FaultPlan::single(2, 0, FaultKind::CrashRestart { downtime: 2 })
+                .expect("valid scripted event"),
+        ),
+        (
+            "drop r2 p0".to_string(),
+            FaultPlan::single(2, 0, FaultKind::DropObligation).expect("valid scripted event"),
+        ),
+    ]
+}
+
+/// Builds the claim survival map of a ring of `n`: every paper arrow
+/// under every configuration of [`default_grid`].
+///
+/// # Errors
+///
+/// Propagates [`check_arrow_under`] errors.
+pub fn survival_map(n: usize, limit: usize) -> Result<SurvivalMap, FaultError> {
+    survival_map_with_grid(n, limit, &default_grid())
+}
+
+/// [`survival_map`] over an explicit fault grid.
+///
+/// # Errors
+///
+/// Propagates [`check_arrow_under`] errors.
+pub fn survival_map_with_grid(
+    n: usize,
+    limit: usize,
+    grid: &[(String, FaultPlan)],
+) -> Result<SurvivalMap, FaultError> {
+    let cfg = RoundConfig::new(n)?;
+    let mut rows = Vec::new();
+    for (arrow, _why) in paper::all_arrows() {
+        let claimed = arrow.prob().value();
+        let mut cells = Vec::new();
+        for (name, plan) in grid {
+            let check = check_arrow_under(cfg, &arrow, plan, limit)?;
+            let measured = check.measured.lo().value();
+            cells.push(SurvivalCell {
+                fault: name.clone(),
+                survival: classify(measured, claimed),
+                measured,
+            });
+        }
+        rows.push(SurvivalRow {
+            arrow: arrow.to_string(),
+            claimed,
+            cells,
+        });
+    }
+    Ok(SurvivalMap {
+        n,
+        faults: grid.iter().map(|(name, _)| name.clone()).collect(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_brackets_the_three_outcomes() {
+        assert_eq!(classify(0.5, 0.5), Survival::Holds);
+        assert_eq!(classify(0.5 + 1e-15, 0.5), Survival::Holds);
+        assert_eq!(classify(0.25, 0.5), Survival::Degraded);
+        assert_eq!(classify(0.0, 0.5), Survival::Fails);
+    }
+
+    #[test]
+    fn region_resolver_knows_all_atoms() {
+        for atom in ["T", "C", "RT", "F", "G", "P"] {
+            assert!(region_pred_under(atom).is_ok());
+        }
+        assert!(region_pred_under("X").is_err());
+    }
+
+    #[test]
+    fn default_grid_leads_with_the_identity_column() {
+        let grid = default_grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].0, "none");
+        assert!(grid[0].1.is_empty());
+        let kinds: Vec<FaultKind> = grid[1..].iter().map(|(_, p)| p.events()[0].kind).collect();
+        assert!(kinds.contains(&FaultKind::CrashStop));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, FaultKind::CrashRestart { .. })));
+        assert!(kinds.contains(&FaultKind::DropObligation));
+    }
+}

@@ -83,6 +83,133 @@ pub fn good_processes(c: &Config) -> Vec<usize> {
     (0..c.n()).filter(|&i| is_good(c, i)).collect()
 }
 
+// ---------------------------------------------------------------------------
+// Fault-aware region calculus.
+//
+// Under fault injection the region predicates must distinguish live from
+// crashed processes (`crashed` is a bitmask, bit `i` = process `i` is
+// down). Two principles govern the variants below:
+//
+// * *Progress witnesses must be live.* `T`, `C`, `F`, `P` assert that some
+//   process is about to make (or has made) progress; a crashed process in
+//   that program counter will never move again, so it cannot witness the
+//   region. This is what makes survival maps honest: an arrow into `C`
+//   must be satisfied by a live process entering its critical section.
+// * *Obstacles need not be live.* A crashed philosopher still *holds* the
+//   forks it held (crash-stop does not release resources), so a crashed
+//   `S`/`D` neighbour keeps potentially controlling a resource forever —
+//   it blocks `first(flipᵢ, …)` progress exactly like a live one, only
+//   without ever releasing. A crashed `W`, by contrast, will never grab:
+//   it stops being a threat the moment it crashes.
+
+/// Whether process `i` is live under the crash mask.
+#[inline]
+pub fn is_live(crashed: u32, i: usize) -> bool {
+    crashed & (1u32 << i) == 0
+}
+
+/// Fault-aware `T`: some *live* process is trying.
+pub fn in_t_under(c: &Config, crashed: u32) -> bool {
+    c.procs()
+        .iter()
+        .enumerate()
+        .any(|(i, p)| is_live(crashed, i) && p.pc.in_trying())
+}
+
+/// Fault-aware `C`: some *live* process is critical.
+pub fn in_c_under(c: &Config, crashed: u32) -> bool {
+    c.procs()
+        .iter()
+        .enumerate()
+        .any(|(i, p)| is_live(crashed, i) && p.pc == Pc::C)
+}
+
+/// Fault-aware `P`: some *live* process is pre-critical.
+pub fn in_p_under(c: &Config, crashed: u32) -> bool {
+    c.procs()
+        .iter()
+        .enumerate()
+        .any(|(i, p)| is_live(crashed, i) && p.pc == Pc::P)
+}
+
+/// Fault-aware `RT`: a live process is trying, and *every* process — live
+/// or crashed — is in `{E_R, R} ∪ T`. A crashed critical process still
+/// holds both forks, so it keeps its neighbours blocked; that is exactly
+/// the situation `RT` is meant to exclude.
+pub fn in_rt_under(c: &Config, crashed: u32) -> bool {
+    in_t_under(c, crashed)
+        && c.procs()
+            .iter()
+            .all(|p| matches!(p.pc, Pc::Er | Pc::R) || p.pc.in_trying())
+}
+
+/// Fault-aware `F`: a state of fault-aware `RT` where some *live* process
+/// is ready to flip.
+pub fn in_f_under(c: &Config, crashed: u32) -> bool {
+    in_rt_under(c, crashed)
+        && c.procs()
+            .iter()
+            .enumerate()
+            .any(|(i, p)| is_live(crashed, i) && p.pc == Pc::F)
+}
+
+/// Fault-aware potential control: a live process potentially controls its
+/// `side` resource as usual (`{W, S, D}` pointing that way); a *crashed*
+/// process only blocks what it actually holds (`{S, D}` pointing that way
+/// — a crashed `W` never grabs the fork, a crashed holder never releases
+/// it).
+pub fn potentially_controls_under(c: &Config, i: usize, side: Side, crashed: u32) -> bool {
+    let p = c.proc(i);
+    if p.side != side {
+        return false;
+    }
+    if is_live(crashed, i) {
+        matches!(p.pc, Pc::W | Pc::S | Pc::D)
+    } else {
+        matches!(p.pc, Pc::S | Pc::D)
+    }
+}
+
+/// Fault-aware good process: `i` must be live and committed, and its
+/// second resource must not be potentially controlled (fault-aware) by the
+/// neighbour on that side. A crashed neighbour that merely *waits* no
+/// longer contends, so crashes can create good processes; a crashed
+/// neighbour that *holds* blocks forever, so crashes can also destroy
+/// them permanently.
+pub fn is_good_under(c: &Config, i: usize, crashed: u32) -> bool {
+    let n = c.n();
+    let p = c.proc(i);
+    if !is_live(crashed, i) || !matches!(p.pc, Pc::W | Pc::S) {
+        return false;
+    }
+    // The neighbour on the second-resource side is benign if it is in the
+    // paper's benign set, or if it is a crashed waiter (it will never grab
+    // the fork it was waiting for).
+    let benign = |j: usize, away: Side| {
+        let r = c.proc(j);
+        matches!(r.pc, Pc::Er | Pc::R | Pc::F)
+            || (matches!(r.pc, Pc::W | Pc::S | Pc::D) && r.side == away)
+            || (!is_live(crashed, j) && r.pc == Pc::W)
+    };
+    match p.side {
+        Side::Left => benign((i + 1) % n, Side::Right),
+        Side::Right => benign((i + n - 1) % n, Side::Left),
+    }
+}
+
+/// Fault-aware `G`: a state of fault-aware `RT` containing a fault-aware
+/// good process.
+pub fn in_g_under(c: &Config, crashed: u32) -> bool {
+    in_rt_under(c, crashed) && (0..c.n()).any(|i| is_good_under(c, i, crashed))
+}
+
+/// The fault-aware good processes of a configuration.
+pub fn good_processes_under(c: &Config, crashed: u32) -> Vec<usize> {
+    (0..c.n())
+        .filter(|&i| is_good_under(c, i, crashed))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +316,74 @@ mod tests {
         let c = cfg(&[(Pc::W, L), (Pc::F, L), (Pc::C, L)]);
         assert!(is_good(&c, 0));
         assert!(!in_g(&c));
+    }
+
+    #[test]
+    fn zero_crash_mask_reduces_to_the_plain_calculus() {
+        // Enumerate a structured family of configurations; with an empty
+        // crash mask every `_under` predicate must agree with its plain
+        // counterpart bit for bit.
+        let pcs = [Pc::F, Pc::W, Pc::S, Pc::D, Pc::P, Pc::C, Pc::Er, Pc::R];
+        for &a in &pcs {
+            for &b in &pcs {
+                for &c3 in &pcs {
+                    for side in [L, R] {
+                        let c = cfg(&[(a, side), (b, L), (c3, R)]);
+                        assert_eq!(in_t(&c), in_t_under(&c, 0));
+                        assert_eq!(in_c(&c), in_c_under(&c, 0));
+                        assert_eq!(in_p(&c), in_p_under(&c, 0));
+                        assert_eq!(in_rt(&c), in_rt_under(&c, 0));
+                        assert_eq!(in_f(&c), in_f_under(&c, 0));
+                        assert_eq!(in_g(&c), in_g_under(&c, 0), "{c:?}");
+                        for i in 0..3 {
+                            assert_eq!(is_good(&c, i), is_good_under(&c, i, 0));
+                            for s in [L, R] {
+                                assert_eq!(
+                                    potentially_controls(&c, i, s),
+                                    potentially_controls_under(&c, i, s, 0)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_processes_cannot_witness_progress_regions() {
+        // Only process 0 is trying; crash it and T empties.
+        let c = cfg(&[(Pc::F, L), (Pc::R, L), (Pc::R, L)]);
+        assert!(in_t_under(&c, 0));
+        assert!(!in_t_under(&c, 0b001));
+        assert!(!in_f_under(&c, 0b001));
+        // Only process 1 is critical; crash it and C empties.
+        let c = cfg(&[(Pc::W, L), (Pc::C, L), (Pc::R, L)]);
+        assert!(in_c_under(&c, 0));
+        assert!(!in_c_under(&c, 0b010));
+    }
+
+    #[test]
+    fn crashed_waiter_stops_contending_but_crashed_holder_blocks_forever() {
+        // X₀ = W←, X₁ = W←: process 1 contends for Res_0 → 0 not good.
+        let c = cfg(&[(Pc::W, L), (Pc::W, L), (Pc::R, L)]);
+        assert!(!is_good_under(&c, 0, 0));
+        // Crash the waiting neighbour: it will never grab Res_0 → 0 good.
+        assert!(is_good_under(&c, 0, 0b010));
+        // But a crashed *holder* (S←) keeps the fork forever → 0 not good.
+        let c = cfg(&[(Pc::W, L), (Pc::S, L), (Pc::R, L)]);
+        assert!(!is_good_under(&c, 0, 0b010));
+        assert!(!potentially_controls_under(&c, 0, L, 0b001), "crashed W");
+        assert!(potentially_controls_under(&c, 1, L, 0b010), "crashed S");
+    }
+
+    #[test]
+    fn crashing_the_only_good_process_destroys_g() {
+        let c = cfg(&[(Pc::W, L), (Pc::F, L), (Pc::R, L)]);
+        assert!(in_g_under(&c, 0));
+        assert_eq!(good_processes_under(&c, 0), vec![0]);
+        assert!(!is_good_under(&c, 0, 0b001), "good process must be live");
+        assert!(!in_g_under(&c, 0b011), "no live good process remains");
     }
 
     #[test]

@@ -1,15 +1,11 @@
 //! Property-based tests for the Lehmann–Rabin protocol semantics.
 
-// These properties deliberately pin the deprecated pre-`Query` wrappers:
-// they must keep returning exactly what they always did.
-#![allow(deprecated)]
-
 use pa_core::{Automaton, Step};
 use pa_lehmann_rabin::{
     lemma_6_1_invariant, regions, Config, LrAction, LrProtocol, Pc, ProcState, RoundConfig,
     RoundMdp, Side, UserModel,
 };
-use pa_mdp::{cost_bounded_reach, explore, Objective};
+use pa_mdp::{explore, Objective, Query};
 use pa_prob::rng::SplitMix64;
 use proptest::prelude::*;
 use rand::RngExt;
@@ -242,8 +238,20 @@ proptest! {
         let ta = ea.target_where(regions::in_c);
         let tb = eb.target_where(regions::in_c);
         for objective in [Objective::MinProb, Objective::MaxProb] {
-            let va = cost_bounded_reach(&ea.mdp, &ta, budget, objective).unwrap();
-            let vb = cost_bounded_reach(&eb.mdp, &tb, budget, objective).unwrap();
+            let va = Query::over(&ea.mdp)
+                .objective(objective)
+                .target(&ta)
+                .horizon(budget)
+                .run()
+                .unwrap()
+                .values;
+            let vb = Query::over(&eb.mdp)
+                .objective(objective)
+                .target(&tb)
+                .horizon(budget)
+                .run()
+                .unwrap()
+                .values;
             let sa = ea.mdp.initial_states()[0];
             let sb = eb.mdp.initial_states()[0];
             prop_assert!(

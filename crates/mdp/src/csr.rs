@@ -289,8 +289,8 @@ impl CsrMdp {
 
     /// Unbounded reachability `P^opt[eventually reach target]` by
     /// qualitative precomputation plus parallel Jacobi value iteration.
-    /// Semantics match [`crate::reach_prob`]; `workers` as in
-    /// [`resolve_workers`].
+    /// Semantics match an unbounded reachability [`crate::Query`];
+    /// `workers` as in [`resolve_workers`].
     pub fn reach_prob(
         &self,
         target: &[bool],
@@ -581,8 +581,8 @@ impl CsrMdp {
         Ok(level_prev)
     }
 
-    /// Worst-case expected accumulated cost; semantics match
-    /// [`crate::max_expected_cost`].
+    /// Worst-case expected accumulated cost; semantics match a `MaxCost`
+    /// [`crate::Query`].
     pub fn max_expected_cost(
         &self,
         target: &[bool],

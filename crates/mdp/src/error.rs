@@ -58,9 +58,9 @@ pub enum MdpError {
 }
 
 impl MdpError {
-    /// Unwraps [`MdpError::Query`] wrappers down to the root cause. The
-    /// deprecated free-function wrappers use this so pre-`Query` callers
-    /// keep matching the concrete variants they always received.
+    /// Unwraps [`MdpError::Query`] wrappers down to the root cause, for
+    /// callers that want to match the concrete variant (e.g.
+    /// [`MdpError::BadDistribution`]) rather than the query stage.
     pub fn into_root(self) -> MdpError {
         match self {
             MdpError::Query { source, .. } => source.into_root(),

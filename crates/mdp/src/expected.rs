@@ -1,5 +1,6 @@
 //! Expected accumulated cost until the target is reached — worst case
-//! ([`max_expected_cost`]) and best case ([`min_expected_cost`]).
+//! (`Query` with [`crate::QueryObjective::MaxCost`]) and best case
+//! ([`min_expected_cost`]).
 //!
 //! The worst case is the quantity the paper bounds in Section 6.2: the
 //! maximal (over adversaries) expected time to reach the critical region.
@@ -50,32 +51,6 @@ impl ExpectedCost {
 /// surely, every policy is proper, and value iteration converges to the
 /// optimum). States failing the precondition get `f64::INFINITY`.
 ///
-/// # Errors
-///
-/// Returns [`MdpError::TargetLengthMismatch`] for a malformed target.
-#[deprecated(
-    since = "0.2.0",
-    note = "use pa_mdp::Query with .objective(QueryObjective::MaxCost)"
-)]
-pub fn max_expected_cost(
-    mdp: &ExplicitMdp,
-    target: &[bool],
-    options: IterOptions,
-) -> Result<ExpectedCost, MdpError> {
-    // Pinned to the Jacobi solver so outputs stay bitwise identical to the
-    // pre-`Query` implementation regardless of the process default.
-    let analysis = crate::Query::over(mdp)
-        .objective(crate::QueryObjective::MaxCost)
-        .target(target)
-        .options(options)
-        .solver(crate::Solver::Jacobi)
-        .run()
-        .map_err(MdpError::into_root)?;
-    Ok(ExpectedCost {
-        values: analysis.values,
-    })
-}
-
 /// Detects a cycle in the zero-cost transition subgraph (states connected
 /// by choices with `cost == 0`, excluding `target` states).
 ///
@@ -117,10 +92,27 @@ pub fn min_expected_cost(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // deliberately pins the legacy wrapper's behaviour
 mod tests {
     use super::*;
-    use crate::Choice;
+    use crate::{Choice, Query, QueryObjective};
+
+    /// Worst-case expected cost via the `Query` builder (the migration
+    /// target of the removed pre-`Query` free function).
+    fn max_expected_cost(
+        mdp: &ExplicitMdp,
+        target: &[bool],
+        options: IterOptions,
+    ) -> Result<ExpectedCost, MdpError> {
+        let analysis = Query::over(mdp)
+            .objective(QueryObjective::MaxCost)
+            .target(target)
+            .options(options)
+            .run()
+            .map_err(MdpError::into_root)?;
+        Ok(ExpectedCost {
+            values: analysis.values,
+        })
+    }
 
     /// Geometric trial with success probability 1/2 per unit of time:
     /// expected time 2.

@@ -11,7 +11,7 @@
 //! dependent deterministic adversaries, so backward induction quantifies
 //! over the paper's full adversary class (substitution 2 in DESIGN.md).
 
-use crate::{CsrMdp, ExplicitMdp, MdpError, Query, Solver};
+use crate::{CsrMdp, ExplicitMdp, MdpError};
 
 /// Whether the adversary minimizes or maximizes the objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,68 +86,46 @@ pub fn cost_bounded_reach_levels(
     CsrMdp::from_explicit(mdp).cost_bounded_reach_levels(target, budget, objective, None, on_level)
 }
 
-/// Computes `P^opt[reach target with total cost ≤ budget]` for every state.
-///
-/// # Errors
-///
-/// Same as [`cost_bounded_reach_levels`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use pa_mdp::Query with .objective(..).target(..).horizon(budget)"
-)]
-pub fn cost_bounded_reach(
-    mdp: &ExplicitMdp,
-    target: &[bool],
-    budget: u32,
-    objective: Objective,
-) -> Result<Vec<f64>, MdpError> {
-    // Pinned to the Jacobi solver so outputs stay bitwise identical to the
-    // pre-`Query` implementation regardless of the process default.
-    let analysis = Query::over(mdp)
-        .objective(objective)
-        .target(target)
-        .horizon(budget)
-        .solver(Solver::Jacobi)
-        .run()
-        .map_err(MdpError::into_root)?;
-    Ok(analysis.values)
-}
-
-/// Like [`cost_bounded_reach`] but also extracts the optimal cost-indexed
-/// policy — the concrete worst-case (or best-case) adversary.
-///
-/// # Errors
-///
-/// Same as [`cost_bounded_reach_levels`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use pa_mdp::Query with .horizon(budget).with_policy()"
-)]
-pub fn cost_bounded_reach_with_policy(
-    mdp: &ExplicitMdp,
-    target: &[bool],
-    budget: u32,
-    objective: Objective,
-) -> Result<(Vec<f64>, BoundedPolicy), MdpError> {
-    let analysis = Query::over(mdp)
-        .objective(objective)
-        .target(target)
-        .horizon(budget)
-        .with_policy()
-        .solver(Solver::Jacobi)
-        .run()
-        .map_err(MdpError::into_root)?;
-    let policy = analysis
-        .policy
-        .expect("with_policy() query returns a policy");
-    Ok((analysis.values, policy))
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // deliberately pins the legacy wrappers' behaviour
 mod tests {
     use super::*;
-    use crate::Choice;
+    use crate::{Choice, Query};
+
+    /// Bounded reachability via the `Query` builder (the migration target
+    /// of the removed pre-`Query` free function).
+    fn cost_bounded_reach(
+        mdp: &ExplicitMdp,
+        target: &[bool],
+        budget: u32,
+        objective: Objective,
+    ) -> Result<Vec<f64>, MdpError> {
+        Ok(Query::over(mdp)
+            .objective(objective)
+            .target(target)
+            .horizon(budget)
+            .run()
+            .map_err(MdpError::into_root)?
+            .values)
+    }
+
+    fn cost_bounded_reach_with_policy(
+        mdp: &ExplicitMdp,
+        target: &[bool],
+        budget: u32,
+        objective: Objective,
+    ) -> Result<(Vec<f64>, BoundedPolicy), MdpError> {
+        let analysis = Query::over(mdp)
+            .objective(objective)
+            .target(target)
+            .horizon(budget)
+            .with_policy()
+            .run()
+            .map_err(MdpError::into_root)?;
+        let policy = analysis
+            .policy
+            .expect("with_policy() query returns a policy");
+        Ok((analysis.values, policy))
+    }
 
     /// Geometric trial: each round, flip a coin; heads wins.
     /// State 0 = trying, 1 = won.

@@ -8,24 +8,22 @@
 //! * [`explore`] — build an [`ExplicitMdp`] from any implicit
 //!   [`pa_core::Automaton`], assigning each transition a time cost
 //!   (0 = scheduling step inside a time unit, 1 = time-unit boundary).
-//! * [`cost_bounded_reach`] — backward induction for
-//!   `P^min/max[reach target within time t]`, the exact semantics of
-//!   Definition 3.1 under the round-based timed model.
-//! * [`reach_prob`] — unbounded reachability with qualitative
-//!   precomputation ([`prob0_max`], [`prob0_min`]).
-//! * [`max_expected_cost`] — worst-case expected time to the target
-//!   (Section 6.2's quantity).
+//! * [`Query`] — the single analysis entry point: a builder unifying
+//!   objective ([`QueryObjective`]: bounded/unbounded reachability per
+//!   Definition 3.1, worst/best-case expected time per Section 6.2),
+//!   target (mask, index list, or predicate), optional time horizon,
+//!   solver, tolerance, worker count, and policy extraction behind a
+//!   single [`Query::run`] returning a typed [`Analysis`].
 //! * [`check_invariant`] — exhaustive invariant checking with shortest
 //!   witness paths (Lemma 6.1).
-//! * [`cost_bounded_reach_with_policy`] — extracts the optimal adversary as
-//!   a cost-indexed policy, so the worst case can be replayed and inspected.
+//! * [`tag_choices`] — annotate explored choices (e.g. fault-injected
+//!   crash self-loops) so absorbing structure can be audited before
+//!   solving ([`tagged_absorbing_violations`]).
 //!
-//! Since 0.2.0 these analyses share one entry point: [`Query`], a builder
-//! unifying objective ([`QueryObjective`]), target (mask, index list, or
-//! predicate), optional time horizon, solver, tolerance, worker count, and
-//! policy extraction behind a single [`Query::run`] returning a typed
-//! [`Analysis`]. The free functions above remain as thin deprecated
-//! wrappers over it.
+//! The pre-`Query` free functions (`cost_bounded_reach`, `reach_prob`,
+//! `max_expected_cost`, `cost_bounded_reach_with_policy`) were removed
+//! after their deprecation cycle; every analysis now goes through
+//! [`Query`].
 //!
 //! All quantitative analyses run on a compressed-sparse-row engine
 //! ([`CsrMdp`]): the nested model is flattened once into contiguous arrays
@@ -80,6 +78,7 @@ mod model;
 pub mod query;
 pub mod reference;
 mod scc;
+mod tag;
 mod value_iter;
 
 pub use csr::{resolve_workers, CsrMdp, SolveStats};
@@ -95,12 +94,5 @@ pub use query::{
     default_solver, set_default_solver, Analysis, IntoTarget, Query, QueryObjective, Solver,
 };
 pub use scc::SccDecomposition;
+pub use tag::{tag_choices, tagged_absorbing_violations, ChoiceTags, TAG_NONE};
 pub use value_iter::{prob0_max, prob0_min, IterOptions};
-
-// The deprecated pre-`Query` entry points keep their original paths.
-#[allow(deprecated)]
-pub use expected::max_expected_cost;
-#[allow(deprecated)]
-pub use horizon::{cost_bounded_reach, cost_bounded_reach_with_policy};
-#[allow(deprecated)]
-pub use value_iter::reach_prob;

@@ -1,10 +1,10 @@
 //! The unified quantitative-analysis entry point: [`Query`].
 //!
 //! The crate's original surface grew one free function per analysis —
-//! `cost_bounded_reach`, `reach_prob`, `max_expected_cost`,
-//! `cost_bounded_reach_with_policy` — each with its own signature for the
-//! same knobs (objective, tolerance, workers, target). [`Query`] folds
-//! them into one builder:
+//! bounded/unbounded reachability, expected cost, policy extraction —
+//! each with its own signature for the same knobs (objective, tolerance,
+//! workers, target). Those free functions are gone; [`Query`] folds every
+//! analysis into one builder:
 //!
 //! ```
 //! use pa_mdp::{Choice, ExplicitMdp, Query, QueryObjective};
@@ -87,8 +87,8 @@ pub enum Solver {
 static DEFAULT_SOLVER: AtomicU8 = AtomicU8::new(0);
 
 /// Sets the process-wide default solver for queries that do not pick one
-/// explicitly. The deprecated legacy wrappers pin [`Solver::Jacobi`] and
-/// are unaffected, so pre-`Query` callers keep their exact outputs.
+/// explicitly. Callers that owe bitwise-stable outputs (oracle tests, the
+/// bench baselines) pin [`Solver::Jacobi`] per query and are unaffected.
 pub fn set_default_solver(solver: Solver) {
     let v = match solver {
         Solver::Jacobi => 0,

@@ -123,7 +123,7 @@ fn solve_level_jacobi(
 }
 
 /// Nested-representation Jacobi cost-bounded reachability: the bitwise
-/// oracle for [`crate::cost_bounded_reach`].
+/// oracle for horizon queries (`Query` with a Jacobi solver).
 pub fn cost_bounded_reach_jacobi(
     mdp: &ExplicitMdp,
     target: &[bool],
@@ -153,7 +153,7 @@ pub fn cost_bounded_reach_jacobi(
 }
 
 /// Nested-representation Jacobi expected cost: the bitwise oracle for
-/// [`crate::max_expected_cost`] / [`crate::min_expected_cost`] values.
+/// `MaxCost` queries / [`crate::min_expected_cost`] values.
 /// `live` is the proper/feasible mask (see the CSR engine); pass the same
 /// mask the engine computes.
 fn expected_cost_jacobi(
@@ -210,8 +210,8 @@ fn expected_cost_jacobi(
     prev
 }
 
-/// Nested Jacobi worst-case expected cost (bitwise oracle for
-/// [`crate::max_expected_cost`]).
+/// Nested Jacobi worst-case expected cost (bitwise oracle for `MaxCost`
+/// queries under a Jacobi solver).
 pub fn max_expected_cost_jacobi(
     mdp: &ExplicitMdp,
     target: &[bool],
@@ -253,8 +253,8 @@ pub fn min_expected_cost_jacobi(
 
 /// The pre-CSR in-place Gauss–Seidel unbounded reachability, unchanged
 /// from the original implementation. Converges to the same fixpoint as
-/// [`crate::reach_prob`] (tolerance-compared in property tests); serves as
-/// the benchmark baseline.
+/// [`crate::CsrMdp::reach_prob`] (tolerance-compared in property tests);
+/// serves as the benchmark baseline.
 pub fn reach_prob_gauss_seidel(
     mdp: &ExplicitMdp,
     target: &[bool],

@@ -9,7 +9,7 @@
 //! [`crate::CsrMdp`] can invoke the engine directly and amortize the
 //! flattening across analyses.
 
-use crate::{CsrMdp, ExplicitMdp, MdpError, Objective};
+use crate::{CsrMdp, ExplicitMdp, MdpError};
 
 /// Numerical options for value iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,36 +52,30 @@ pub fn prob0_min(mdp: &ExplicitMdp, target: &[bool]) -> Result<Vec<bool>, MdpErr
 /// A terminal non-target state has value 0 under both objectives (for
 /// `MinProb` also because the adversary may simply stop scheduling).
 ///
-/// # Errors
-///
-/// Returns [`MdpError::TargetLengthMismatch`] for a malformed target.
-#[deprecated(
-    since = "0.2.0",
-    note = "use pa_mdp::Query with .objective(..).target(..) (no horizon)"
-)]
-pub fn reach_prob(
-    mdp: &ExplicitMdp,
-    target: &[bool],
-    objective: Objective,
-    options: IterOptions,
-) -> Result<Vec<f64>, MdpError> {
-    // Pinned to the Jacobi solver so outputs stay bitwise identical to the
-    // pre-`Query` implementation regardless of the process default.
-    let analysis = crate::Query::over(mdp)
-        .objective(objective)
-        .target(target)
-        .options(options)
-        .solver(crate::Solver::Jacobi)
-        .run()
-        .map_err(MdpError::into_root)?;
-    Ok(analysis.values)
-}
-
+// Unbounded reachability itself is exposed through `crate::Query` (no
+// horizon); only the qualitative precomputations above remain free
+// functions.
 #[cfg(test)]
-#[allow(deprecated)] // deliberately pins the legacy wrapper's behaviour
 mod tests {
     use super::*;
-    use crate::Choice;
+    use crate::{Choice, Objective, Query};
+
+    /// Unbounded reachability via the `Query` builder (the migration target
+    /// of the removed pre-`Query` free function).
+    fn reach_prob(
+        mdp: &ExplicitMdp,
+        target: &[bool],
+        objective: Objective,
+        options: IterOptions,
+    ) -> Result<Vec<f64>, MdpError> {
+        Ok(Query::over(mdp)
+            .objective(objective)
+            .target(target)
+            .options(options)
+            .run()
+            .map_err(MdpError::into_root)?
+            .values)
+    }
 
     /// 0: choice A stays in a loop {0,1}; choice B moves towards target 2
     /// with probability 1/2, else back to 0.

@@ -9,17 +9,63 @@
 //! * [`par_explore_workers`] reproduces the serial [`explore`] exactly —
 //!   same states in the same order, same choices, same limit errors.
 
-// These properties deliberately pin the deprecated pre-`Query` wrappers:
-// they must keep returning exactly what they always did.
-#![allow(deprecated)]
-
 use pa_core::{Automaton, Step};
 use pa_mdp::{
-    cost_bounded_reach, explore, max_expected_cost, min_expected_cost, par_explore_workers,
-    reach_prob, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective,
+    explore, min_expected_cost, par_explore_workers, reference, Choice, CsrMdp, ExpectedCost,
+    ExplicitMdp, IterOptions, MdpError, Objective, Query, QueryObjective, Solver,
 };
 use pa_prob::FiniteDist;
 use proptest::prelude::*;
+
+// The nested-model oracles pin the *Jacobi* trajectory, so the `Query`
+// calls below pin `Solver::Jacobi` explicitly — bitwise comparison is only
+// owed against the matching solver, independent of the process default.
+
+fn reach_prob(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    objective: Objective,
+    options: IterOptions,
+) -> Result<Vec<f64>, MdpError> {
+    Ok(Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .options(options)
+        .solver(Solver::Jacobi)
+        .run()?
+        .values)
+}
+
+fn cost_bounded_reach(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    budget: u32,
+    objective: Objective,
+) -> Result<Vec<f64>, MdpError> {
+    Ok(Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .horizon(budget)
+        .solver(Solver::Jacobi)
+        .run()?
+        .values)
+}
+
+fn max_expected_cost(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    options: IterOptions,
+) -> Result<ExpectedCost, MdpError> {
+    let analysis = Query::over(mdp)
+        .objective(QueryObjective::MaxCost)
+        .target(target)
+        .options(options)
+        .solver(Solver::Jacobi)
+        .run()?;
+    Ok(ExpectedCost {
+        values: analysis.values,
+    })
+}
 
 /// Strategy: a random MDP with up to 8 states, up to 2 choices per state,
 /// cost-0/1 transitions, and fair two-point distributions.

@@ -1,15 +1,58 @@
 //! Property-based tests for the MDP analysis algorithms on randomly
 //! generated models.
 
-// These properties deliberately pin the deprecated pre-`Query` wrappers:
-// they must keep returning exactly what they always did.
-#![allow(deprecated)]
-
 use pa_mdp::{
-    cost_bounded_reach, max_expected_cost, prob0_max, prob0_min, reach_prob, Choice, ExplicitMdp,
-    IterOptions, Objective,
+    prob0_max, prob0_min, Choice, ExpectedCost, ExplicitMdp, IterOptions, MdpError, Objective,
+    Query, QueryObjective,
 };
 use proptest::prelude::*;
+
+/// Bounded reachability through the `Query` builder (the pre-`Query` free
+/// function was removed after its deprecation cycle).
+fn cost_bounded_reach(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    budget: u32,
+    objective: Objective,
+) -> Result<Vec<f64>, MdpError> {
+    Ok(Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .horizon(budget)
+        .run()?
+        .values)
+}
+
+/// Unbounded reachability through the `Query` builder.
+fn reach_prob(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    objective: Objective,
+    options: IterOptions,
+) -> Result<Vec<f64>, MdpError> {
+    Ok(Query::over(mdp)
+        .objective(objective)
+        .target(target)
+        .options(options)
+        .run()?
+        .values)
+}
+
+/// Worst-case expected cost through the `Query` builder.
+fn max_expected_cost(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    options: IterOptions,
+) -> Result<ExpectedCost, MdpError> {
+    let analysis = Query::over(mdp)
+        .objective(QueryObjective::MaxCost)
+        .target(target)
+        .options(options)
+        .run()?;
+    Ok(ExpectedCost {
+        values: analysis.values,
+    })
+}
 
 /// Strategy: a random MDP with `n` states, up to `c` choices per state,
 /// cost-0/1 transitions, and fair two-point distributions.

@@ -10,17 +10,13 @@
 //! * on models with nontrivial SCCs (e.g. the ring-rotation family, where
 //!   probabilistic steps fall back into earlier states), the two solvers
 //!   agree within iteration tolerance (≤ 1e-10 here);
-//! * the deprecated free-function wrappers reproduce their pre-`Query`
-//!   outputs exactly;
+//! * Jacobi-pinned `Query` runs match the nested-model oracles bitwise
+//!   (the contract the removed pre-`Query` wrappers used to pin);
 //! * on a layered round model the SCC-ordered solve performs strictly
 //!   fewer state updates than the global Jacobi schedule.
 
-// The wrapper-parity tests call the deprecated functions on purpose.
-#![allow(deprecated)]
-
 use pa_mdp::{
-    cost_bounded_reach, cost_bounded_reach_with_policy, max_expected_cost, reach_prob, reference,
-    Choice, CsrMdp, ExplicitMdp, IterOptions, Objective, Query, QueryObjective, Solver,
+    reference, Choice, CsrMdp, ExplicitMdp, IterOptions, Objective, Query, QueryObjective, Solver,
 };
 use proptest::prelude::*;
 
@@ -264,50 +260,47 @@ proptest! {
         }
     }
 
-    /// The deprecated wrappers reproduce their pre-`Query` outputs: same
-    /// bits as an explicit Jacobi-pinned `Query`, which in turn matches
-    /// the nested-model oracles.
+    /// A Jacobi-pinned `Query` reproduces the nested-model oracles bitwise
+    /// on arbitrary cyclic models — the exact contract the removed
+    /// pre-`Query` wrappers used to pin, now stated directly against the
+    /// builder. Policy extraction must not perturb the values.
     #[test]
-    fn deprecated_wrappers_match_query_bitwise(m in random_cyclic(), budget in 0u32..5) {
+    fn jacobi_query_matches_oracles_bitwise(m in random_cyclic(), budget in 0u32..5) {
         let target = target_last(&m);
         let opts = IterOptions::default();
 
-        let legacy = cost_bounded_reach(&m, &target, budget, Objective::MinProb).unwrap();
-        let query = Query::over(&m)
+        let bounded = Query::over(&m)
             .objective(QueryObjective::MinProb)
             .target(&target)
             .horizon(budget)
             .solver(Solver::Jacobi)
             .run()
             .unwrap();
-        assert_bitwise(&legacy, &query.values, "cost_bounded_reach");
         let oracle =
             reference::cost_bounded_reach_jacobi(&m, &target, budget, Objective::MinProb).unwrap();
-        assert_bitwise(&legacy, &oracle, "cost_bounded_reach vs oracle");
+        assert_bitwise(&bounded.values, &oracle, "bounded reach vs oracle");
 
-        let legacy = reach_prob(&m, &target, Objective::MaxProb, opts).unwrap();
-        let query = Query::over(&m)
+        let unbounded = Query::over(&m)
             .objective(QueryObjective::MaxProb)
             .target(&target)
             .options(opts)
             .solver(Solver::Jacobi)
             .run()
             .unwrap();
-        assert_bitwise(&legacy, &query.values, "reach_prob");
+        let oracle = reference::reach_prob_jacobi(&m, &target, Objective::MaxProb, opts).unwrap();
+        assert_bitwise(&unbounded.values, &oracle, "unbounded reach vs oracle");
 
-        let legacy = max_expected_cost(&m, &target, opts).unwrap();
-        let query = Query::over(&m)
+        let cost = Query::over(&m)
             .objective(QueryObjective::MaxCost)
             .target(&target)
             .options(opts)
             .solver(Solver::Jacobi)
             .run()
             .unwrap();
-        assert_bitwise(&legacy.values, &query.values, "max_expected_cost");
+        let oracle = reference::max_expected_cost_jacobi(&m, &target, opts).unwrap();
+        assert_bitwise(&cost.values, &oracle, "max expected cost vs oracle");
 
-        let (legacy, lp) =
-            cost_bounded_reach_with_policy(&m, &target, budget, Objective::MaxProb).unwrap();
-        let query = Query::over(&m)
+        let with_policy = Query::over(&m)
             .objective(QueryObjective::MaxProb)
             .target(&target)
             .horizon(budget)
@@ -315,8 +308,15 @@ proptest! {
             .solver(Solver::Jacobi)
             .run()
             .unwrap();
-        assert_bitwise(&legacy, &query.values, "cost_bounded_reach_with_policy");
-        prop_assert_eq!(lp.decision, query.policy.unwrap().decision);
+        let plain = Query::over(&m)
+            .objective(QueryObjective::MaxProb)
+            .target(&target)
+            .horizon(budget)
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        assert_bitwise(&with_policy.values, &plain.values, "policy extraction");
+        prop_assert!(with_policy.policy.is_some());
     }
 }
 

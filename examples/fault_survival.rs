@@ -1,0 +1,87 @@
+//! Fault-injection smoke: which Lehmann–Rabin claims survive crashes?
+//!
+//! Replays the composed `T —13→_{1/8} C` claim (Theorem 3.4) through the
+//! fault-wrapped pipeline and asserts the two structural guarantees the
+//! `pa-faults` subsystem makes:
+//!
+//! 1. Under `FaultPlan::none()` the wrapped checker is a strict identity —
+//!    the measured worst-case probability is *bitwise* equal to the
+//!    fault-free `check_arrow` result.
+//! 2. Under a scripted crash-restart the measured probability stays inside
+//!    the recorded envelope `[0, fault-free]` — faults suppress behaviour,
+//!    they never invent it.
+//!
+//! It then prints the full claim survival map for a ring of 3. Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_survival [n]
+//! ```
+
+use std::error::Error;
+
+use timebounds::faults::{
+    check_arrow_under, survival_map, FaultKind, FaultPlan, Survival, DEFAULT_STATE_LIMIT,
+};
+use timebounds::lehmann_rabin::{check_arrow, paper, RoundConfig, RoundMdp};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(3);
+    let cfg = RoundConfig::new(n)?;
+    let composed = paper::arrow_t_to_c();
+
+    // 1. Zero-fault identity on the composed claim.
+    let plain = check_arrow(&RoundMdp::new(cfg), &composed)?;
+    let wrapped = check_arrow_under(cfg, &composed, &FaultPlan::none(), DEFAULT_STATE_LIMIT)?;
+    let p0 = plain.measured.lo().value();
+    let w0 = wrapped.measured.lo().value();
+    assert_eq!(
+        p0.to_bits(),
+        w0.to_bits(),
+        "zero-fault wrapping must be a bitwise identity"
+    );
+    println!("{composed} fault-free:            min p = {p0:.6} (zero-fault column bitwise equal)");
+
+    // 2. A scripted crash-restart stays within the recorded envelope.
+    let crash = FaultPlan::single(2, 0, FaultKind::CrashRestart { downtime: 2 })?;
+    let faulted = check_arrow_under(cfg, &composed, &crash, DEFAULT_STATE_LIMIT)?;
+    let f = faulted.measured.lo().value();
+    assert!(
+        (0.0..=p0).contains(&f),
+        "faulted probability {f} escaped the envelope [0, {p0}]"
+    );
+    println!("{composed} crash-restart r2 p0 d2: min p = {f:.6} (within envelope [0, {p0:.6}])\n");
+
+    // 3. The survival map of the five axiom arrows.
+    let map = survival_map(n, DEFAULT_STATE_LIMIT)?;
+    println!("claim survival map, ring of {n}:\n");
+    print!("{:<24}", "arrow");
+    for fault in &map.faults {
+        print!(" {fault:>24}");
+    }
+    println!();
+    for row in &map.rows {
+        print!("{:<24}", row.arrow);
+        for cell in &row.cells {
+            print!(
+                " {:>24}",
+                format!("{:?} ({:.4})", cell.survival, cell.measured)
+            );
+        }
+        println!();
+    }
+
+    let zero_fault_ok = map
+        .rows
+        .iter()
+        .all(|r| r.cells[0].survival == Survival::Holds);
+    if zero_fault_ok {
+        println!("\nall zero-fault claims hold for n = {n}");
+        Ok(())
+    } else {
+        Err("a zero-fault claim failed to reproduce".into())
+    }
+}

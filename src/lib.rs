@@ -13,6 +13,9 @@
 //! * [`sim`] — Monte-Carlo simulation substrate for statistical estimation.
 //! * [`lehmann_rabin`] — the Lehmann–Rabin Dining Philosophers case study
 //!   (Sections 5–6 and the appendix).
+//! * [`faults`] — fault-injection layer (crash-stop, crash-restart,
+//!   obligation-drop) and the claim survival maps that chart which paper
+//!   claims survive which faults.
 //!
 //! # Quick start
 //!
@@ -30,6 +33,7 @@
 //! ```
 
 pub use pa_core as core;
+pub use pa_faults as faults;
 pub use pa_lehmann_rabin as lehmann_rabin;
 pub use pa_mdp as mdp;
 pub use pa_prob as prob;
