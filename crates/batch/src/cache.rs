@@ -1,0 +1,292 @@
+//! The shared model cache: explored fault-wrapped round models built once
+//! per `(ring size, fault plan)` key and reused by every job that queries
+//! them.
+//!
+//! # Why sharing is sound
+//!
+//! The per-analysis pipelines (`check_arrow_under`, `max_expected_time`)
+//! each build a model whose starts are the analysis's *from*-set and whose
+//! *to*-set is absorbing. The cache instead builds one [`SharedModel`] per
+//! key with **every** reachable configuration as a start and **no**
+//! absorption, then lets each query pick its own start subset and target
+//! mask:
+//!
+//! * Bounded reachability clamps target states to their value (1) at every
+//!   budget level, so a target state's outgoing transitions — the only
+//!   thing absorption removes — never influence any value. Every state of
+//!   the per-analysis model appears in the shared model with an identical
+//!   successor distribution, so per-state value arithmetic is the same
+//!   f64 operations in the same order: the results are bitwise equal,
+//!   which the cross-check tests pin.
+//! * Expected-cost analyses clamp target states to 0 the same way; states
+//!   from which an adversary avoids the target get `∞`, and
+//!   [`pa_mdp::ExpectedCost::max_over`] only faults on *queried* infinite
+//!   states, so reading just the analysis's start subset is safe.
+//!
+//! # Concurrency and determinism
+//!
+//! Each cache slot is a `OnceLock`: the first job to need a key builds it
+//! while any racing jobs block on the same slot, so a model is built
+//! exactly once per key no matter how the scheduler interleaves jobs.
+//! Misses therefore equal the number of distinct keys demanded and hits
+//! equal `accesses − misses` — both independent of worker count, which the
+//! determinism tests (and the `compare_bench` gate on the v5 `batch`
+//! block) rely on.
+//!
+//! Build work runs inside the cache's own [`TelemetryScope`] (entered
+//! *nested* over the building job's scope), so exploration metrics are
+//! attributed to the cache rather than to whichever job happened to get
+//! there first — keeping per-job scoped metrics deterministic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pa_faults::{faulty_round_cost, FaultKind, FaultPlan, FaultyRoundMdp, FaultyRoundState};
+use pa_lehmann_rabin::{reachable_configs, Config, RoundConfig};
+use pa_mdp::{par_explore, CsrMdp, Explored};
+use pa_telemetry::TelemetryScope;
+
+/// A fault-wrapped round model explored from **all** reachable
+/// configurations, with no absorption — valid for every arrow and
+/// expected-time query on its `(n, plan)` key (see the module docs).
+pub struct SharedModel {
+    /// Ring size.
+    pub n: usize,
+    /// The crash mask already in force when the clock starts (round-1
+    /// non-drop events), the same mask `check_arrow_under` filters
+    /// from-sets with.
+    pub mask0: u32,
+    /// The explored model: states, index, and the explicit MDP.
+    pub explored: Explored<FaultyRoundState>,
+    /// The CSR flattening, built once so queries skip re-flattening.
+    pub csr: CsrMdp,
+}
+
+impl SharedModel {
+    /// Initial-state indices whose start configuration satisfies `pred`
+    /// (judged under [`SharedModel::mask0`], mirroring the from-set filter
+    /// of `check_arrow_under`). Order follows the initial-state order,
+    /// which is the reachable-configuration order — so worst-state
+    /// tie-breaking matches the unshared pipeline.
+    pub fn starts_where(&self, mut pred: impl FnMut(&Config, u32) -> bool) -> Vec<usize> {
+        self.explored
+            .mdp
+            .initial_states()
+            .iter()
+            .copied()
+            .filter(|&i| pred(&self.explored.states[i].inner.config, self.mask0))
+            .collect()
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+
+/// Cumulative access counts of one cache map.
+#[derive(Debug, Default)]
+struct MapStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The keyed model cache shared by every job of a batch run.
+pub struct ModelCache {
+    configs: Mutex<HashMap<usize, Slot<Vec<Config>>>>,
+    models: Mutex<HashMap<(usize, FaultPlan), Slot<SharedModel>>>,
+    config_stats: MapStats,
+    model_stats: MapStats,
+    scope: TelemetryScope,
+}
+
+impl Default for ModelCache {
+    fn default() -> ModelCache {
+        ModelCache::new()
+    }
+}
+
+fn get_or_build<K: Clone + Eq + std::hash::Hash, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    stats: &MapStats,
+    scope: &TelemetryScope,
+    key: &K,
+    hit_metric: &'static str,
+    miss_metric: &'static str,
+    build: impl FnOnce() -> Result<T, String>,
+) -> Result<Arc<T>, String> {
+    let slot: Slot<T> = map
+        .lock()
+        .expect("cache map poisoned")
+        .entry(key.clone())
+        .or_default()
+        .clone();
+    let mut built = false;
+    let result = slot.get_or_init(|| {
+        built = true;
+        stats.misses.fetch_add(1, Ordering::Relaxed);
+        // Attribute build work (exploration, CSR flattening) to the
+        // cache's scope, nested over the triggering job's scope.
+        let _in_cache = scope.enter();
+        pa_telemetry::counter(miss_metric).inc();
+        let _span = pa_telemetry::span("batch.cache.build_seconds");
+        build().map(Arc::new)
+    });
+    if !built {
+        stats.hits.fetch_add(1, Ordering::Relaxed);
+        let _in_cache = scope.enter();
+        pa_telemetry::counter(hit_metric).inc();
+    }
+    result.clone()
+}
+
+impl ModelCache {
+    /// An empty cache with its own `"cache"` telemetry scope.
+    pub fn new() -> ModelCache {
+        ModelCache {
+            configs: Mutex::new(HashMap::new()),
+            models: Mutex::new(HashMap::new()),
+            config_stats: MapStats::default(),
+            model_stats: MapStats::default(),
+            scope: TelemetryScope::new("cache"),
+        }
+    }
+
+    /// The reachable user-model configurations of a ring of `n`, explored
+    /// once per ring size.
+    ///
+    /// # Errors
+    ///
+    /// Stringified ring-validation or exploration errors (shared verbatim
+    /// with every waiter of the slot).
+    pub fn reachable(&self, n: usize, limit: usize) -> Result<Arc<Vec<Config>>, String> {
+        get_or_build(
+            &self.configs,
+            &self.config_stats,
+            &self.scope,
+            &n,
+            "batch.cache.config_hits",
+            "batch.cache.config_misses",
+            || reachable_configs(n, limit).map_err(|e| e.to_string()),
+        )
+    }
+
+    /// The shared model of `(n, plan)`, built on first demand.
+    ///
+    /// # Errors
+    ///
+    /// Stringified plan-validation or exploration errors.
+    pub fn model(
+        &self,
+        n: usize,
+        plan: &FaultPlan,
+        limit: usize,
+    ) -> Result<Arc<SharedModel>, String> {
+        let key = (n, plan.clone());
+        get_or_build(
+            &self.models,
+            &self.model_stats,
+            &self.scope,
+            &key,
+            "batch.cache.model_hits",
+            "batch.cache.model_misses",
+            || {
+                let configs = self.reachable(n, limit)?;
+                let cfg = RoundConfig::new(n).map_err(|e| e.to_string())?;
+                let mask0 = plan
+                    .events_at(1)
+                    .iter()
+                    .filter(|e| !matches!(e.kind, FaultKind::DropObligation))
+                    .fold(0u32, |m, e| m | (1 << e.process));
+                let model = FaultyRoundMdp::new(cfg, plan.clone())
+                    .map_err(|e| e.to_string())?
+                    .with_starts(configs.as_ref().clone());
+                let explored =
+                    par_explore(&model, faulty_round_cost, limit).map_err(|e| e.to_string())?;
+                let csr = CsrMdp::from_explicit(&explored.mdp);
+                Ok(SharedModel {
+                    n,
+                    mask0,
+                    explored,
+                    csr,
+                })
+            },
+        )
+    }
+
+    /// Model-map hits (accesses that found a built or in-flight slot).
+    pub fn model_hits(&self) -> u64 {
+        self.model_stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Model-map misses (slots this cache actually built). Equals the
+    /// number of distinct `(n, plan)` keys demanded.
+    pub fn model_misses(&self) -> u64 {
+        self.model_stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Config-map hits.
+    pub fn config_hits(&self) -> u64 {
+        self.config_stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Config-map misses (distinct ring sizes explored).
+    pub fn config_misses(&self) -> u64 {
+        self.config_stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct models currently cached.
+    pub fn distinct_models(&self) -> usize {
+        self.models.lock().expect("cache map poisoned").len()
+    }
+
+    /// The cache's telemetry scope (exploration and flattening metrics of
+    /// every build land here).
+    pub fn scope(&self) -> &TelemetryScope {
+        &self.scope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_access_hits_and_shares_the_arc() {
+        let cache = ModelCache::new();
+        let plan = FaultPlan::none();
+        let a = cache.model(3, &plan, 1_000_000).unwrap();
+        let b = cache.model(3, &plan, 1_000_000).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.model_misses(), 1);
+        assert_eq!(cache.model_hits(), 1);
+        // The model build consumed the config cache once.
+        assert_eq!(cache.config_misses(), 1);
+        assert_eq!(cache.distinct_models(), 1);
+    }
+
+    #[test]
+    fn distinct_plans_get_distinct_models() {
+        let cache = ModelCache::new();
+        let none = FaultPlan::none();
+        let crash = FaultPlan::single(2, 0, FaultKind::CrashStop).unwrap();
+        let a = cache.model(3, &none, 1_000_000).unwrap();
+        let b = cache.model(3, &crash, 1_000_000).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.model_misses(), 2);
+        assert_eq!(cache.distinct_models(), 2);
+        // Both models reused the one reachable-config exploration.
+        assert_eq!(cache.config_misses(), 1);
+        assert_eq!(cache.config_hits(), 1);
+    }
+
+    #[test]
+    fn errors_are_cached_and_shared() {
+        let cache = ModelCache::new();
+        let plan = FaultPlan::none();
+        let first = cache.model(3, &plan, 2);
+        let second = cache.model(3, &plan, 2);
+        assert!(first.is_err());
+        assert_eq!(first.err(), second.err());
+        assert_eq!(cache.model_misses(), 1, "failed build is not retried");
+        assert_eq!(cache.model_hits(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! The concurrent job driver: a bounded worker pool over a key-sorted job
+//! list, with cooperative cancellation and per-job timeouts.
+//!
+//! # Determinism
+//!
+//! Workers claim jobs from a shared atomic cursor over the **key-sorted**
+//! spec list and write results into per-job slots, so the aggregated
+//! report is ordered by job key no matter which worker ran what. Each
+//! job's answer depends only on its spec (engines run single-threaded
+//! inside the job; the model cache builds each key exactly once), so the
+//! whole report — including cache hit/miss counts — is bitwise identical
+//! for every worker count. The `tests/determinism.rs` suite pins this.
+//!
+//! # Telemetry
+//!
+//! Every job runs under its own [`TelemetryScope`] named `job:<key>`;
+//! model-cache builds nest into the cache's scope. Nothing is recorded
+//! into the process-global registry by the driver itself, so batch runs
+//! compose with surrounding instrumentation without a reset.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pa_core::Arrow;
+use pa_faults::set_pred_under;
+use pa_lehmann_rabin::{lemmas, paper, time_to_budget, verify_lemma_6_1};
+use pa_mdp::{ExpectedCost, InvariantResult, Query, QueryObjective};
+use pa_prob::Prob;
+use pa_telemetry::TelemetryScope;
+
+use crate::cache::ModelCache;
+use crate::report::{BatchReport, CacheStats};
+use crate::spec::{BatchOptions, JobKind, JobResult, JobSpec, JobStatus, JobValue};
+
+/// What a running job sees: the shared cache plus the cancellation and
+/// timeout checkpoint. Custom job bodies receive it too.
+pub struct JobCtx<'a> {
+    /// The batch-wide model cache.
+    pub cache: &'a ModelCache,
+    /// The job being run.
+    pub spec: &'a JobSpec,
+    cancel: &'a AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl JobCtx<'_> {
+    /// Fails if the batch was cancelled or the job's deadline has passed.
+    /// Call between expensive stages; the driver classifies the resulting
+    /// error as [`JobStatus::Cancelled`] / [`JobStatus::TimedOut`] rather
+    /// than [`JobStatus::Failed`].
+    ///
+    /// # Errors
+    ///
+    /// A short description of the interruption.
+    pub fn checkpoint(&self) -> Result<(), String> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err("batch cancelled".to_string());
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err("job timeout exceeded".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors of batch assembly (individual job failures are statuses, not
+/// errors — one bad job must not sink the batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// Two specs produced the same key; their results would be
+    /// indistinguishable in the aggregated report.
+    DuplicateKey(
+        /// The colliding key.
+        String,
+    ),
+    /// The spec list was empty.
+    NoJobs,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::DuplicateKey(key) => write!(f, "duplicate job key: {key}"),
+            BatchError::NoJobs => write!(f, "no jobs in batch"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Runs a batch: sorts the specs by key, schedules them over
+/// `options.workers` threads, and aggregates the results.
+///
+/// # Errors
+///
+/// [`BatchError::DuplicateKey`] if two specs share a key,
+/// [`BatchError::NoJobs`] on an empty list. Job-level failures surface as
+/// [`JobStatus`] values inside the report instead.
+pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchReport, BatchError> {
+    if specs.is_empty() {
+        return Err(BatchError::NoJobs);
+    }
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].key());
+    for w in order.windows(2) {
+        if specs[w[0]].key() == specs[w[1]].key() {
+            return Err(BatchError::DuplicateKey(specs[w[0]].key()));
+        }
+    }
+
+    let cache = ModelCache::new();
+    let default_cancel = Arc::new(AtomicBool::new(false));
+    let cancel: &AtomicBool = options.cancel.as_deref().unwrap_or(&default_cancel);
+    let workers = options.workers.max(1);
+    let timeout = options.timeout;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+
+    let started = Instant::now();
+    let order_ref = &order;
+    let slots_ref = &slots;
+    let cache_ref = &cache;
+    let next_ref = &next;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(specs.len()) {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= order_ref.len() {
+                    break;
+                }
+                let spec = &specs[order_ref[i]];
+                let result = run_one(spec, cache_ref, cancel, timeout);
+                *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    })
+    .expect("batch worker panicked");
+
+    let jobs: Vec<JobResult> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed job writes its slot")
+        })
+        .collect();
+    Ok(BatchReport {
+        jobs,
+        workers,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        cache: CacheStats {
+            model_hits: cache.model_hits(),
+            model_misses: cache.model_misses(),
+            config_hits: cache.config_hits(),
+            config_misses: cache.config_misses(),
+            distinct_models: cache.distinct_models(),
+        },
+        cache_snapshot: cache.scope().snapshot(),
+    })
+}
+
+/// Runs one job under its own telemetry scope and classifies the outcome.
+fn run_one(
+    spec: &JobSpec,
+    cache: &ModelCache,
+    cancel: &AtomicBool,
+    timeout: Option<Duration>,
+) -> JobResult {
+    let key = spec.key();
+    let telemetry = TelemetryScope::new(format!("job:{key}"));
+    let started = Instant::now();
+    let deadline = timeout.map(|t| started + t);
+    let ctx = JobCtx {
+        cache,
+        spec,
+        cancel,
+        deadline,
+    };
+    let status = if cancel.load(Ordering::Relaxed) {
+        JobStatus::Cancelled
+    } else {
+        let _in_scope = telemetry.enter();
+        match execute(&ctx) {
+            Ok(value) => JobStatus::Done(value),
+            Err(_) if cancel.load(Ordering::Relaxed) => JobStatus::Cancelled,
+            Err(_) if deadline.is_some_and(|d| Instant::now() >= d) => JobStatus::TimedOut,
+            Err(message) => JobStatus::Failed(message),
+        }
+    };
+    JobResult {
+        key,
+        n: spec.n,
+        plan_name: spec.plan_name.clone(),
+        custom: matches!(spec.kind, JobKind::Custom { .. }),
+        status,
+        seconds: started.elapsed().as_secs_f64(),
+        snapshot: telemetry.snapshot(),
+    }
+}
+
+/// Dispatches a job body. Every path returns stringified errors so the
+/// driver can classify them uniformly.
+fn execute(ctx: &JobCtx<'_>) -> Result<JobValue, String> {
+    ctx.checkpoint()?;
+    match &ctx.spec.kind {
+        JobKind::Arrow { index } => {
+            let arrows = paper::all_arrows();
+            let (arrow, _why) = arrows.get(*index).ok_or_else(|| {
+                format!("arrow index {index} out of range (have {})", arrows.len())
+            })?;
+            run_arrow(ctx, arrow)
+        }
+        JobKind::ComposedArrow => run_arrow(ctx, &paper::arrow_t_to_c()),
+        JobKind::ExpectedTime { from, to, bound } => {
+            let from_pred = set_pred_under(from).map_err(|e| e.to_string())?;
+            let to_pred = set_pred_under(to).map_err(|e| e.to_string())?;
+            let model = ctx
+                .cache
+                .model(ctx.spec.n, &ctx.spec.plan, ctx.spec.state_limit)?;
+            ctx.checkpoint()?;
+            let starts = model.starts_where(|c, mask| from_pred(c, mask));
+            if starts.is_empty() {
+                return Ok(JobValue::Time {
+                    expected: Some(0.0),
+                    bound: *bound,
+                    within: true,
+                });
+            }
+            let n = ctx.spec.n;
+            let target = model
+                .explored
+                .target_where(|s| to_pred(&s.inner.config, s.crashed_mask(n)));
+            let values = Query::csr(&model.csr)
+                .objective(QueryObjective::MaxCost)
+                .target(target)
+                .solver(ctx.spec.solver)
+                .epsilon(ctx.spec.epsilon)
+                .workers(1)
+                .run()
+                .map_err(|e| e.to_string())?
+                .values;
+            let expected = ExpectedCost { values };
+            // `max_over` faults only on divergence at a queried state —
+            // the expected-time analogue of a violated bound.
+            match expected.max_over(starts) {
+                Ok(worst) => Ok(JobValue::Time {
+                    expected: Some(worst + 1.0),
+                    bound: *bound,
+                    within: worst + 1.0 <= *bound + 1e-9,
+                }),
+                Err(_) => Ok(JobValue::Time {
+                    expected: None,
+                    bound: *bound,
+                    within: false,
+                }),
+            }
+        }
+        JobKind::Invariant => {
+            match verify_lemma_6_1(ctx.spec.n, ctx.spec.state_limit).map_err(|e| e.to_string())? {
+                InvariantResult::Holds { states_checked } => Ok(JobValue::Invariant {
+                    holds: true,
+                    states_checked,
+                }),
+                InvariantResult::Violated { .. } => Ok(JobValue::Invariant {
+                    holds: false,
+                    states_checked: 0,
+                }),
+            }
+        }
+        JobKind::Lemma { index } => {
+            let specs = lemmas::appendix_lemmas();
+            let lemma = specs.get(*index).ok_or_else(|| {
+                format!("lemma index {index} out of range (have {})", specs.len())
+            })?;
+            let check = lemmas::check_lemma(ctx.spec.n, lemma, ctx.spec.state_limit)
+                .map_err(|e| e.to_string())?;
+            Ok(JobValue::Lemma {
+                name: check.name.to_string(),
+                min_prob: check.min_prob,
+                instances: check.instances,
+                holds: check.holds(),
+            })
+        }
+        JobKind::Custom { run, .. } => run(ctx),
+    }
+}
+
+/// Evaluates one arrow claim on the shared model: minimal probability over
+/// all adversaries of reaching the *to*-set within the arrow's time, from
+/// the worst *from*-state. Mirrors `pa_faults::check_arrow_under` (with
+/// `FaultPlan::none` that in turn equals the fault-free `check_arrow`),
+/// bitwise — see the soundness notes on [`crate::cache`].
+fn run_arrow(ctx: &JobCtx<'_>, arrow: &Arrow) -> Result<JobValue, String> {
+    let claimed = arrow.prob().value();
+    let from = set_pred_under(arrow.from()).map_err(|e| e.to_string())?;
+    let to = set_pred_under(arrow.to()).map_err(|e| e.to_string())?;
+    let model = ctx
+        .cache
+        .model(ctx.spec.n, &ctx.spec.plan, ctx.spec.state_limit)?;
+    ctx.checkpoint()?;
+    let starts = model.starts_where(|c, mask| from(c, mask));
+    if starts.is_empty() {
+        return Ok(JobValue::Prob {
+            measured: 1.0,
+            claimed,
+            holds: true,
+            worst_state: None,
+            states_checked: 0,
+        });
+    }
+    let n = ctx.spec.n;
+    let target = model
+        .explored
+        .target_where(|s| to(&s.inner.config, s.crashed_mask(n)));
+    let budget = time_to_budget(arrow.time());
+    let values = Query::csr(&model.csr)
+        .objective(QueryObjective::MinProb)
+        .target(target)
+        .horizon(budget)
+        .solver(ctx.spec.solver)
+        .epsilon(ctx.spec.epsilon)
+        .workers(1)
+        .run()
+        .map_err(|e| e.to_string())?
+        .values;
+    let mut worst = f64::INFINITY;
+    let mut worst_state = None;
+    let states_checked = starts.len();
+    for i in starts {
+        if values[i] < worst {
+            worst = values[i];
+            worst_state = Some(model.explored.states[i].to_string());
+        }
+    }
+    let measured = Prob::clamped(worst).value();
+    Ok(JobValue::Prob {
+        measured,
+        claimed,
+        holds: measured >= claimed - 1e-12,
+        worst_state,
+        states_checked,
+    })
+}

@@ -1,0 +1,259 @@
+//! The batch driver's headline contracts: worker-count invariance of the
+//! canonical report, deterministic cache hit counts, bitwise agreement
+//! with the unshared per-analysis pipelines, and the interruption
+//! statuses.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pa_batch::{run_batch, BatchError, BatchOptions, JobKind, JobSpec, JobStatus, JobValue};
+use pa_core::SetExpr;
+use pa_faults::{check_arrow_under, default_grid, FaultKind, FaultPlan};
+use pa_lehmann_rabin::{max_expected_time, paper, RoundConfig, RoundMdp};
+use pa_mdp::Solver;
+
+/// Serializes tests that toggle the process-global telemetry flag.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// A representative mixed job set on n = 3: every kind, two fault plans,
+/// both solvers represented.
+fn mixed_specs() -> Vec<JobSpec> {
+    let crash = FaultPlan::single(2, 0, FaultKind::CrashStop).unwrap();
+    let mut specs = Vec::new();
+    for index in 0..paper::all_arrows().len() {
+        specs.push(JobSpec::new(3, JobKind::Arrow { index }));
+        specs.push(
+            JobSpec::new(3, JobKind::Arrow { index }).with_plan("crash-stop r2 p0", crash.clone()),
+        );
+    }
+    specs.push(JobSpec::new(3, JobKind::ComposedArrow));
+    specs.push(JobSpec::new(3, JobKind::ComposedArrow).with_solver(Solver::SccOrdered));
+    specs.push(JobSpec::new(
+        3,
+        JobKind::ExpectedTime {
+            from: SetExpr::named("RT"),
+            to: SetExpr::named("P"),
+            bound: paper::expected_time_rt_to_p(),
+        },
+    ));
+    // T -> C exercises the qualitative-properness path: the shared model's
+    // extra start states once pushed its numerically iterated Pmin below
+    // the old properness cutoff, spuriously diverging this very job.
+    specs.push(JobSpec::new(
+        3,
+        JobKind::ExpectedTime {
+            from: SetExpr::named("T"),
+            to: SetExpr::named("C"),
+            bound: paper::expected_time_t_to_c(),
+        },
+    ));
+    specs.push(JobSpec::new(3, JobKind::Invariant));
+    specs.push(JobSpec::new(3, JobKind::Lemma { index: 0 }));
+    specs
+}
+
+#[test]
+fn canonical_report_is_bitwise_identical_for_every_worker_count() {
+    let _lock = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was_enabled = pa_telemetry::enabled();
+    pa_telemetry::set_enabled(true);
+    let specs = mixed_specs();
+    let baseline = run_batch(&specs, &BatchOptions::with_workers(1)).unwrap();
+    assert_eq!(baseline.tally().failed, 0, "{}", baseline.canonical_json());
+    for workers in [2, 8] {
+        let run = run_batch(&specs, &BatchOptions::with_workers(workers)).unwrap();
+        assert_eq!(
+            baseline.canonical_json(),
+            run.canonical_json(),
+            "canonical JSON diverged at workers={workers}"
+        );
+        assert_eq!(baseline.digest(), run.digest());
+        assert_eq!(
+            baseline.cache, run.cache,
+            "cache stats at workers={workers}"
+        );
+    }
+    pa_telemetry::set_enabled(was_enabled);
+}
+
+#[test]
+fn cache_counts_are_deterministic_per_job_set() {
+    let specs = mixed_specs();
+    let report = run_batch(&specs, &BatchOptions::with_workers(4)).unwrap();
+    // Model keys demanded: (3, none) and (3, crash-stop) — the invariant
+    // and lemma jobs run on their own automata and never touch the cache.
+    assert_eq!(report.cache.model_misses, 2);
+    assert_eq!(report.cache.distinct_models, 2);
+    // Accesses: 5 + 5 arrows, 2 composed, 2 expected-time = 14.
+    assert_eq!(report.cache.model_hits + report.cache.model_misses, 14);
+    assert_eq!(report.cache.config_misses, 1, "one ring size explored once");
+    assert!(report.cache.hit_rate() > 0.0);
+    let again = run_batch(&specs, &BatchOptions::with_workers(2)).unwrap();
+    assert_eq!(report.cache, again.cache);
+}
+
+#[test]
+fn batch_arrow_values_match_the_unshared_pipeline_bitwise() {
+    let cfg = RoundConfig::new(3).unwrap();
+    let grid = default_grid();
+    let specs: Vec<JobSpec> = (0..paper::all_arrows().len())
+        .flat_map(|index| {
+            grid.iter().map(move |(name, plan)| {
+                JobSpec::new(3, JobKind::Arrow { index }).with_plan(name.clone(), plan.clone())
+            })
+        })
+        .collect();
+    let report = run_batch(&specs, &BatchOptions::with_workers(4)).unwrap();
+    let arrows = paper::all_arrows();
+    for job in &report.jobs {
+        let JobStatus::Done(JobValue::Prob {
+            measured,
+            worst_state,
+            states_checked,
+            ..
+        }) = &job.status
+        else {
+            panic!(
+                "{}: expected a probability value, got {:?}",
+                job.key, job.status
+            );
+        };
+        // Recover which (arrow, plan) this job was from its key.
+        let index: usize = job.key["arrow:".len()..job.key.find('|').unwrap()]
+            .parse()
+            .unwrap();
+        let plan = &grid
+            .iter()
+            .find(|(name, _)| *name == job.plan_name)
+            .unwrap()
+            .1;
+        let reference = check_arrow_under(cfg, &arrows[index].0, plan, 1_000_000).unwrap();
+        assert_eq!(
+            measured.to_bits(),
+            reference.measured.lo().value().to_bits(),
+            "{}: shared-model value differs from check_arrow_under",
+            job.key
+        );
+        assert_eq!(worst_state, &reference.worst_state, "{}", job.key);
+        assert_eq!(*states_checked, reference.states_checked, "{}", job.key);
+    }
+}
+
+#[test]
+fn batch_expected_time_matches_the_unshared_pipeline() {
+    let from = SetExpr::named("RT");
+    let to = SetExpr::named("P");
+    let spec = JobSpec::new(
+        3,
+        JobKind::ExpectedTime {
+            from: from.clone(),
+            to: to.clone(),
+            bound: paper::expected_time_rt_to_p(),
+        },
+    );
+    let report = run_batch(&[spec], &BatchOptions::default()).unwrap();
+    let JobStatus::Done(JobValue::Time {
+        expected: Some(expected),
+        within,
+        ..
+    }) = &report.jobs[0].status
+    else {
+        panic!(
+            "expected a finite time value, got {:?}",
+            report.jobs[0].status
+        );
+    };
+    let mdp = RoundMdp::new(RoundConfig::new(3).unwrap());
+    let reference = max_expected_time(&mdp, &from, &to, 1_000_000).unwrap();
+    // Expected-cost values are iterative fixpoints: the shared model
+    // carries extra (non-from) start states, so sweep counts differ and
+    // bitwise equality does not hold — unlike the horizon-bounded arrow
+    // probabilities above. Pin agreement to well under the solver epsilon
+    // gap instead.
+    let gap = (expected - reference).abs() / reference.max(1.0);
+    assert!(
+        gap <= 1e-7,
+        "shared fault-free model diverged from max_expected_time: \
+         {expected} vs {reference} (relative gap {gap:e})"
+    );
+    assert!(within);
+}
+
+#[test]
+fn duplicate_keys_and_empty_batches_are_rejected() {
+    let spec = JobSpec::new(3, JobKind::Invariant);
+    let err = run_batch(&[spec.clone(), spec], &BatchOptions::default()).unwrap_err();
+    assert!(matches!(err, BatchError::DuplicateKey(_)));
+    assert_eq!(
+        run_batch(&[], &BatchOptions::default()).unwrap_err(),
+        BatchError::NoJobs
+    );
+}
+
+#[test]
+fn pre_set_cancel_flag_drains_the_batch() {
+    let cancel = Arc::new(AtomicBool::new(true));
+    let options = BatchOptions {
+        workers: 2,
+        timeout: None,
+        cancel: Some(cancel),
+    };
+    let report = run_batch(&mixed_specs(), &options).unwrap();
+    let tally = report.tally();
+    assert_eq!(tally.cancelled, report.jobs.len());
+    assert_eq!(tally.done + tally.failed + tally.timed_out, 0);
+}
+
+#[test]
+fn slow_custom_job_times_out_at_its_checkpoint() {
+    let slow = JobSpec::new(
+        3,
+        JobKind::Custom {
+            name: "sleeper".to_string(),
+            run: Arc::new(|ctx| {
+                std::thread::sleep(Duration::from_millis(30));
+                ctx.checkpoint()?;
+                Ok(JobValue::Tallies {
+                    holds: 1,
+                    violated: 0,
+                    info: 0,
+                })
+            }),
+        },
+    );
+    let options = BatchOptions {
+        workers: 1,
+        timeout: Some(Duration::from_millis(5)),
+        cancel: None,
+    };
+    let report = run_batch(&[slow], &options).unwrap();
+    assert_eq!(report.jobs[0].status, JobStatus::TimedOut);
+}
+
+#[test]
+fn failing_custom_job_is_contained() {
+    let specs = vec![
+        JobSpec::new(
+            3,
+            JobKind::Custom {
+                name: "boom".to_string(),
+                run: Arc::new(|_| Err("synthetic failure".to_string())),
+            },
+        ),
+        JobSpec::new(3, JobKind::Invariant),
+    ];
+    let report = run_batch(&specs, &BatchOptions::with_workers(2)).unwrap();
+    let tally = report.tally();
+    assert_eq!(tally.failed, 1);
+    assert_eq!(tally.done, 1);
+    let failed = report
+        .jobs
+        .iter()
+        .find(|j| j.key.starts_with("custom:boom"))
+        .unwrap();
+    assert_eq!(
+        failed.status,
+        JobStatus::Failed("synthetic failure".to_string())
+    );
+}

@@ -25,6 +25,11 @@
 //!    tallies reproduce exactly, the zero-fault column is bitwise equal to
 //!    the fault-free checker, and every tagged crash state is a certified
 //!    absorbing self-loop.
+//! 5. **Batch-driver invariants** (schema v5): the job tallies and
+//!    model-cache hit counts of the batch probe reproduce exactly, the
+//!    cache hit rate is positive, the 1-worker and 4-worker canonical
+//!    reports were byte-identical, and the invariance digest matches the
+//!    baseline's exactly (the measured values are bitwise pinned).
 //!
 //! Exit code 0 = pass, 1 = regression or malformed artifact.
 
@@ -92,6 +97,15 @@ impl Gate {
             Some(true) => {}
             Some(false) => self.fail(format!("{what}: expected true, got false")),
             None => self.fail(format!("{what}: missing from the artifact")),
+        }
+    }
+
+    fn check_exact_str(&mut self, what: &str, baseline: Option<&str>, current: Option<&str>) {
+        self.checks += 1;
+        match (baseline, current) {
+            (Some(b), Some(c)) if b == c => {}
+            (Some(b), Some(c)) => self.fail(format!("{what}: expected {b:?}, got {c:?}")),
+            _ => self.fail(format!("{what}: missing from an artifact")),
         }
     }
 }
@@ -278,6 +292,49 @@ fn run() -> Result<Vec<String>, Box<dyn Error>> {
             telemetry_counter(&current, counter),
         );
     }
+
+    // Batch-driver block (schema v5): tallies and cache hit counts are
+    // deterministic per job set, so they gate exactly; the invariance
+    // digest pins the measured values bitwise across runs and machines.
+    for metric in [
+        "jobs",
+        "done",
+        "failed",
+        "violated",
+        "model_cache_hits",
+        "model_cache_misses",
+        "distinct_models",
+    ] {
+        let base = baseline
+            .path(&["batch", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["batch", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("batch.{metric}"), base, cur),
+            None => gate.fail(format!("batch.{metric}: missing from current artifact")),
+        }
+    }
+    gate.check_positive(
+        "batch.cache_hit_rate",
+        current
+            .path(&["batch", "cache_hit_rate"])
+            .and_then(Json::as_f64),
+    );
+    gate.check_true(
+        "batch.worker_invariant",
+        current
+            .path(&["batch", "worker_invariant"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_exact_str(
+        "batch.invariance_digest",
+        baseline
+            .path(&["batch", "invariance_digest"])
+            .and_then(Json::as_str),
+        current
+            .path(&["batch", "invariance_digest"])
+            .and_then(Json::as_str),
+    );
 
     println!(
         "compare_bench: {} checks, {} failures (tolerance {}%)",

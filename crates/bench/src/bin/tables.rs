@@ -11,11 +11,16 @@
 //! cargo run --release -p pa-bench --bin tables -- --solver scc
 //!                                     # run the experiments on the
 //!                                     # SCC-condensed solver
+//! cargo run --release -p pa-bench --bin tables -- --batch --workers 4
+//!                                     # full E1–E15 × n=3..5 through the
+//!                                     # pa-batch driver (shared models)
+//! cargo run --release -p pa-bench --bin tables -- --batch --smoke --workers 4
+//!                                     # n=3 CI smoke shape
 //! ```
 
 use std::error::Error;
 
-use pa_bench::{experiments, perf, render_table, Row, Verdict};
+use pa_bench::{batch_suite, experiments, perf, render_table, Row, Verdict};
 use serde::Serialize;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -28,6 +33,66 @@ fn main() -> Result<(), Box<dyn Error>> {
             other => return Err(format!("--solver needs 'jacobi' or 'scc', got {other:?}").into()),
         }
         println!("default solver: {}", which.expect("matched above"));
+    }
+    if args.iter().any(|a| a == "--batch") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let workers = args
+            .iter()
+            .position(|a| a == "--workers")
+            .and_then(|i| args.get(i + 1))
+            .map(|w| w.parse::<usize>())
+            .transpose()?
+            .unwrap_or(4);
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map_or("BATCH_results.jsonl", String::as_str);
+        let specs = batch_suite::suite_specs(!smoke);
+        println!(
+            "batch: {} jobs ({}), {workers} workers…",
+            specs.len(),
+            if smoke { "smoke, n=3" } else { "full, n=3..5" },
+        );
+        let report = pa_batch::run_batch(&specs, &pa_batch::BatchOptions::with_workers(workers))?;
+        std::fs::write(out, report.jsonl())?;
+        let tally = report.tally();
+        println!(
+            "batch: {} done / {} failed / {} timed-out / {} cancelled in {:.2}s; \
+             {} claims violated",
+            tally.done,
+            tally.failed,
+            tally.timed_out,
+            tally.cancelled,
+            report.wall_seconds,
+            tally.violated,
+        );
+        println!(
+            "cache: {} models built, {} hits / {} misses (hit rate {:.3}); digest {}",
+            report.cache.distinct_models,
+            report.cache.model_hits,
+            report.cache.model_misses,
+            report.cache.hit_rate(),
+            report.digest(),
+        );
+        for job in report
+            .jobs
+            .iter()
+            .filter(|j| !matches!(j.status, pa_batch::JobStatus::Done(_)))
+        {
+            println!("  {}: {:?}", job.key, job.status);
+        }
+        // Degraded faulted cells are expected (the survival map documents
+        // them); a *fault-free* violation or any job failure is not.
+        let fault_free_violation = report.jobs.iter().any(|j| {
+            j.plan_name == "none"
+                && matches!(&j.status, pa_batch::JobStatus::Done(v) if v.violated())
+        });
+        println!("wrote {out}");
+        if tally.failed > 0 || tally.timed_out > 0 || fault_free_violation {
+            return Err("batch run had failures or fault-free violations".into());
+        }
+        return Ok(());
     }
     if args.iter().any(|a| a == "--bench-json") {
         let smoke = args.iter().any(|a| a == "--smoke");
@@ -85,6 +150,16 @@ fn main() -> Result<(), Box<dyn Error>> {
             report.faults.zero_fault_bitwise_equal,
             report.faults.crash_tagged_choices,
             report.faults.crash_absorbing_violations,
+        );
+        println!(
+            "batch: {} jobs ({} done, {} violated), cache hit rate {:.3}, \
+             worker invariant: {} (digest {})",
+            report.batch.jobs,
+            report.batch.done,
+            report.batch.violated,
+            report.batch.cache_hit_rate,
+            report.batch.worker_invariant,
+            report.batch.invariance_digest,
         );
         return Ok(());
     }

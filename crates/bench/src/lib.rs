@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_suite;
 pub mod experiments;
 pub mod json;
 pub mod perf;

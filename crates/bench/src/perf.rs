@@ -14,7 +14,10 @@
 //! Since schema v4 the report also carries a [`FaultsBench`] block: the
 //! `n = 3` claim survival map from `pa-faults` plus the structural
 //! invariants (zero-fault bitwise identity, certified-absorbing crash
-//! states) that `compare_bench` gates.
+//! states) that `compare_bench` gates. Schema v5 adds a [`BatchBench`]
+//! block: the `pa-batch` worker-invariance probe (job tallies, model-cache
+//! hit counts, and the canonical-report digest shared by the 1-worker and
+//! 4-worker runs).
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -280,6 +283,64 @@ pub fn faults_bench(limit: usize) -> Result<FaultsBench, Box<dyn std::error::Err
     })
 }
 
+/// The batch-driver block of `BENCH_mdp.json` (schema v5): the `n = 3`
+/// model-backed suite run through `pa-batch` at one and at four workers.
+/// Job tallies and cache hit counts are deterministic per job set (the
+/// cache builds each key exactly once regardless of scheduling), and the
+/// canonical reports of the two runs must be byte-identical — their
+/// shared digest is the `invariance_digest` the baseline pins.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchBench {
+    /// Jobs in the suite.
+    pub jobs: u64,
+    /// Jobs that finished with a value.
+    pub done: u64,
+    /// Jobs that errored.
+    pub failed: u64,
+    /// Finished jobs whose value reports a violated claim. Faulted arrow
+    /// cells that degrade under their plan count here — that's expected
+    /// (the survival map documents which) — so this is gated *exactly*
+    /// rather than required to be zero.
+    pub violated: u64,
+    /// Model-cache accesses served from an existing slot.
+    pub model_cache_hits: u64,
+    /// Model builds (= distinct `(ring, plan)` keys demanded).
+    pub model_cache_misses: u64,
+    /// `hits / (hits + misses)`; the acceptance criterion requires > 0.
+    pub cache_hit_rate: f64,
+    /// Distinct models resident at the end of the run.
+    pub distinct_models: u64,
+    /// Whether the 1-worker and 4-worker canonical reports were
+    /// byte-identical. Must be `true`; gated by `compare_bench`.
+    pub worker_invariant: bool,
+    /// FNV-1a 64 digest of the canonical report (16 hex digits), shared
+    /// by both runs when `worker_invariant` holds.
+    pub invariance_digest: String,
+}
+
+/// Builds the [`BatchBench`] block: the `n = 3` model-backed suite at
+/// `--workers 1` vs `--workers 4`, compared byte-for-byte.
+pub fn batch_bench() -> Result<BatchBench, Box<dyn std::error::Error>> {
+    use pa_batch::{run_batch, BatchOptions};
+    let specs = crate::batch_suite::model_specs(&[3]);
+    let serial = run_batch(&specs, &BatchOptions::with_workers(1))?;
+    let parallel = run_batch(&specs, &BatchOptions::with_workers(4))?;
+    let worker_invariant = serial.canonical_json() == parallel.canonical_json();
+    let tally = parallel.tally();
+    Ok(BatchBench {
+        jobs: parallel.jobs.len() as u64,
+        done: tally.done as u64,
+        failed: tally.failed as u64,
+        violated: tally.violated as u64,
+        model_cache_hits: parallel.cache.model_hits,
+        model_cache_misses: parallel.cache.model_misses,
+        cache_hit_rate: parallel.cache.hit_rate(),
+        distinct_models: parallel.cache.distinct_models as u64,
+        worker_invariant,
+        invariance_digest: parallel.digest(),
+    })
+}
+
 /// The whole `BENCH_mdp.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -304,6 +365,9 @@ pub struct BenchReport {
     /// The fault-subsystem block: the `n = 3` claim survival map and the
     /// structural invariants `compare_bench` gates.
     pub faults: FaultsBench,
+    /// The batch-driver block (schema v5): job tallies, model-cache hit
+    /// counts and the worker-invariance digest `compare_bench` gates.
+    pub batch: BatchBench,
 }
 
 fn read_cpu_model() -> String {
@@ -631,8 +695,10 @@ pub fn bench_report_sized(
     let telemetry = telemetry_probe()?;
     eprintln!("building fault survival map…");
     let faults = faults_bench(5_000_000)?;
+    eprintln!("running batch worker-invariance probe…");
+    let batch = batch_bench()?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v4".to_string(),
+        schema: "pa-bench/mdp-throughput/v5".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
@@ -640,6 +706,7 @@ pub fn bench_report_sized(
         telemetry,
         telemetry_overhead: overhead,
         faults,
+        batch,
     })
 }
 

@@ -17,7 +17,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v4")
+        Some("pa-bench/mdp-throughput/v5")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
@@ -96,6 +96,30 @@ fn bench_report_emits_a_valid_telemetry_block() {
         Some(5)
     );
 
+    // The batch block (schema v5) carries the worker-invariance probe:
+    // the model cache must have been hit, the 1- vs 4-worker canonical
+    // reports must agree, and the digest is 16 hex digits.
+    assert_eq!(
+        doc.path(&["batch", "worker_invariant"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let batch_metric = |name: &str| {
+        doc.path(&["batch", name])
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("batch.{name} missing"))
+    };
+    assert!(batch_metric("jobs") > 0.0);
+    assert_eq!(batch_metric("failed"), 0.0);
+    assert!(batch_metric("model_cache_hits") > 0.0);
+    assert!(batch_metric("cache_hit_rate") > 0.0);
+    let digest = doc
+        .path(&["batch", "invariance_digest"])
+        .and_then(Json::as_str)
+        .expect("digest present");
+    assert_eq!(digest.len(), 16);
+    assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+
     // Residual trajectory and rounds-to-fire histogram made it through.
     let residuals = doc
         .path(&["telemetry", "series"])
@@ -158,7 +182,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
 fn gate_artifact(states: u64, speedup: f64, sweeps: u64, update_ratio: f64) -> String {
     format!(
-        r#"{{"schema":"pa-bench/mdp-throughput/v4","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}},"scc":{{"components":188,"nontrivial_components":103,"jacobi_updates":3752,"scc_updates":1591,"saved_updates":2161,"update_ratio":{update_ratio}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}},{{"name":"mdp.scc.runs","value":1}},{{"name":"mdp.scc.components","value":188}},{{"name":"faults.crashes_injected","value":4}},{{"name":"faults.restarts","value":2}},{{"name":"faults.obligations_dropped","value":3}},{{"name":"faults.envelope_violations","value":1}},{{"name":"mdp.tag.tagged_choices","value":8}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}},"faults":{{"holds":16,"degraded":0,"fails":4,"zero_fault_bitwise_equal":true,"crash_tagged_choices":8,"crash_absorbing_violations":0}}}}"#
+        r#"{{"schema":"pa-bench/mdp-throughput/v5","rings":[{{"n":3,"states":{states},"choices":10,"transitions":20,"explore_states_per_sec":{{"speedup":{speedup}}},"vi_sweeps_per_sec":{{"speedup":{speedup}}},"scc":{{"components":188,"nontrivial_components":103,"jacobi_updates":3752,"scc_updates":1591,"saved_updates":2161,"update_ratio":{update_ratio}}}}}],"telemetry":{{"counters":[{{"name":"mdp.vi.sweeps","value":{sweeps}}},{{"name":"mdp.explore.states","value":{states}}},{{"name":"sim.mc.trials","value":2000}},{{"name":"mdp.scc.runs","value":1}},{{"name":"mdp.scc.components","value":188}},{{"name":"faults.crashes_injected","value":4}},{{"name":"faults.restarts","value":2}},{{"name":"faults.obligations_dropped","value":3}},{{"name":"faults.envelope_violations","value":1}},{{"name":"mdp.tag.tagged_choices","value":8}}]}},"telemetry_overhead":{{"enabled_over_disabled":1.01}},"faults":{{"holds":16,"degraded":0,"fails":4,"zero_fault_bitwise_equal":true,"crash_tagged_choices":8,"crash_absorbing_violations":0}},"batch":{{"jobs":37,"done":37,"failed":0,"violated":4,"model_cache_hits":20,"model_cache_misses":4,"cache_hit_rate":0.833,"distinct_models":4,"worker_invariant":true,"invariance_digest":"00deadbeef00cafe"}}}}"#
     )
 }
 
@@ -250,6 +274,39 @@ fn compare_bench_fails_absorbing_violations() {
     );
     assert_ne!(baseline, current, "the replace must hit");
     assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn compare_bench_fails_digest_drift() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = baseline.replace(
+        r#""invariance_digest":"00deadbeef00cafe""#,
+        r#""invariance_digest":"00deadbeef00beef""#,
+    );
+    assert_ne!(baseline, current, "the replace must hit");
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "a drifted canonical digest means a measured value changed"
+    );
+}
+
+#[test]
+fn compare_bench_fails_lost_worker_invariance() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = baseline.replace(r#""worker_invariant":true"#, r#""worker_invariant":false"#);
+    assert_ne!(baseline, current, "the replace must hit");
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn compare_bench_fails_cache_count_drift() {
+    let baseline = gate_artifact(536, 2.0, 640, 0.424);
+    let current = baseline.replace(r#""model_cache_hits":20"#, r#""model_cache_hits":19"#);
+    assert_ne!(baseline, current, "the replace must hit");
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "cache hit counts are deterministic, so any drift must fail"
+    );
 }
 
 #[test]

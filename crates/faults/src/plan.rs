@@ -49,7 +49,7 @@ impl Serialize for FaultKind {
 }
 
 /// One scripted fault: `process` suffers `kind` at the start of `round`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultEvent {
     /// The 1-based round at whose start the fault strikes.
     pub round: u32,
@@ -72,7 +72,7 @@ impl Serialize for FaultEvent {
 
 /// A validated, replayable fault schedule: events sorted by `(round,
 /// process)`, at most one event per process per round.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
 }

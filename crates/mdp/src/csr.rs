@@ -581,6 +581,71 @@ impl CsrMdp {
         Ok(level_prev)
     }
 
+    /// Qualitative almost-sure reachability: the set of states whose
+    /// `MinProb` (resp. `MaxProb`) reachability value is *exactly* 1,
+    /// decided on the transition graph alone.
+    ///
+    /// This is the standard nested fixpoint
+    /// `νZ. μY. { s | s ∈ T ∨ Q a ∈ A(s): succ(a) ⊆ Z ∧ succ(a) ∩ Y ≠ ∅ }`
+    /// with `Q = ∀` for [`Objective::MinProb`] (every adversary reaches the
+    /// target almost surely) and `Q = ∃` for [`Objective::MaxProb`] (some
+    /// policy does). Terminal non-target states never qualify: they stay
+    /// put forever.
+    ///
+    /// The expected-cost solvers use this instead of thresholding a
+    /// numerically iterated reachability value: on large models value
+    /// iteration can stop with true-1 states still measurably below 1, and
+    /// any cutoff then misclassifies proper states as divergent.
+    pub fn prob1(&self, target: &[bool], objective: Objective) -> Result<Vec<bool>, MdpError> {
+        self.check_target(target)?;
+        let n = self.num_states();
+        // A choice "stays" in Z when every positive-probability successor is
+        // in Z, and "progresses" when some such successor is already in Y.
+        let choice_ok = |c: usize, z: &[bool], y: &[bool]| -> bool {
+            let mut progresses = false;
+            for i in self.trans_range(c) {
+                if self.probs[i] == 0.0 {
+                    continue;
+                }
+                let t = self.targets[i] as usize;
+                if !z[t] {
+                    return false;
+                }
+                progresses |= y[t];
+            }
+            progresses
+        };
+        let mut z = vec![true; n];
+        loop {
+            // Inner least fixpoint: states that, while confined to Z, reach
+            // a target state with positive probability.
+            let mut y = target.to_vec();
+            loop {
+                let mut changed = false;
+                for s in 0..n {
+                    if y[s] || !z[s] || self.is_terminal(s) {
+                        continue;
+                    }
+                    let ok = match objective {
+                        Objective::MinProb => self.choice_range(s).all(|c| choice_ok(c, &z, &y)),
+                        Objective::MaxProb => self.choice_range(s).any(|c| choice_ok(c, &z, &y)),
+                    };
+                    if ok {
+                        y[s] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if y == z {
+                return Ok(y);
+            }
+            z = y;
+        }
+    }
+
     /// Worst-case expected accumulated cost; semantics match a `MaxCost`
     /// [`crate::Query`].
     pub fn max_expected_cost(
@@ -593,9 +658,9 @@ impl CsrMdp {
     }
 
     /// [`CsrMdp::max_expected_cost`] with solver selection and work
-    /// counters: `use_scc` routes both the qualitative precomputation's
-    /// value iteration and the expected-cost iteration through the
-    /// SCC-ordered solver.
+    /// counters: `use_scc` routes the expected-cost iteration through the
+    /// SCC-ordered solver. The properness mask comes from the graph-based
+    /// [`CsrMdp::prob1`], so it is identical under either solver.
     pub(crate) fn max_expected_cost_solver(
         &self,
         target: &[bool],
@@ -605,12 +670,7 @@ impl CsrMdp {
         stats: &mut SolveStats,
     ) -> Result<Vec<f64>, MdpError> {
         self.check_target(target)?;
-        let min_reach = if use_scc {
-            self.reach_prob_scc(target, Objective::MinProb, options, stats)?
-        } else {
-            self.reach_prob_stats(target, Objective::MinProb, options, workers, stats)?
-        };
-        let proper: Vec<bool> = min_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+        let proper = self.prob1(target, Objective::MinProb)?;
         if use_scc {
             Ok(self.expected_cost_scc(target, &proper, Objective::MaxProb, options, stats))
         } else {
@@ -643,12 +703,7 @@ impl CsrMdp {
         if self.has_zero_cost_cycle(target)? {
             return Err(MdpError::DivergentExpectation { state: 0 });
         }
-        let max_reach = if use_scc {
-            self.reach_prob_scc(target, Objective::MaxProb, options, stats)?
-        } else {
-            self.reach_prob_stats(target, Objective::MaxProb, options, workers, stats)?
-        };
-        let feasible: Vec<bool> = max_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+        let feasible = self.prob1(target, Objective::MaxProb)?;
         if use_scc {
             Ok(self.expected_cost_scc(target, &feasible, Objective::MinProb, options, stats))
         } else {

@@ -168,6 +168,33 @@ mod tests {
     }
 
     #[test]
+    fn slow_mixing_chain_is_still_proper() {
+        // The single choice leaks to the target with probability 1e-6 and
+        // otherwise self-loops: Pmin = 1, so the expectation is finite
+        // (1e6 rounds), but numeric value iteration on the reachability
+        // probability stops far below 1. A thresholded numeric properness
+        // mask misclassified exactly this shape as divergent (observed on
+        // the batch driver's shared ring models); the qualitative prob1
+        // mask must keep it live under both analyses.
+        let m = ExplicitMdp::new(
+            vec![
+                vec![Choice::dist(1, vec![(0, 1.0 - 1e-6), (1, 1e-6)])],
+                vec![],
+            ],
+            vec![0],
+        )
+        .unwrap();
+        let hi = max_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!(hi.values[0].is_finite(), "proper state marked divergent");
+        // The cost iteration is itself sweep-capped well short of
+        // convergence here; only finiteness and the right order of
+        // magnitude are owed.
+        assert!(hi.values[0] > 1.0e5, "{}", hi.values[0]);
+        let lo = min_expected_cost(&m, &[false, true], IterOptions::default()).unwrap();
+        assert!(lo.values[0].is_finite(), "feasible state marked divergent");
+    }
+
+    #[test]
     fn zero_cost_steps_add_no_time() {
         // 0 -0-> 1 -1-> 2 (target): expected cost 1.
         let m = ExplicitMdp::new(

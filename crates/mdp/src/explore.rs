@@ -7,7 +7,9 @@
 //!   the crate's [`FxHashMap`] (SipHash dominated the profile; model states
 //!   are not attacker-controlled, see [`crate::fxhash`]).
 //! * [`par_explore`] — level-synchronized parallel BFS. Each BFS level is
-//!   split into contiguous shards; workers expand their shard against a
+//!   split into contiguous shards (adaptively oversharded when the fresh
+//!   yield of the busiest shard runs hot — see [`next_shard_factor`]);
+//!   workers expand their shard against a
 //!   read-only snapshot of the intern table, deduplicating *new* successor
 //!   states in a worker-local `FxHashMap`. The main thread then merges
 //!   shard outputs **in shard order**, assigning global state ids in
@@ -156,6 +158,38 @@ pub fn explore<M: Automaton>(
     Ok(Explored { states, index, mdp })
 }
 
+/// Cap on the adaptive oversharding factor: more than 8 shards per worker
+/// buys no further balance but multiplies spawn overhead.
+const MAX_SHARD_FACTOR: usize = 8;
+
+/// Adapts the oversharding factor from one BFS level's fresh-state yields.
+///
+/// Contiguous chunking keeps the *input* shards even; imbalance shows up in
+/// how unevenly *new* states fall out of them. When the busiest shard
+/// yields more than ~150% of an even split, the next level is cut into
+/// `2×` as many shards per worker (capped at [`MAX_SHARD_FACTOR`]) so the
+/// OS scheduler can spread the hot region across workers; once yields are
+/// within ~110% of even, the factor decays back toward 1 to shed spawn
+/// overhead.
+///
+/// Pure and driven only by deterministic quantities (fresh yields are a
+/// function of the model and the previous factors), so the shard schedule —
+/// and therefore the exploration result, which is shard-size-invariant by
+/// the merge contract anyway — stays reproducible for a fixed worker count.
+fn next_shard_factor(factor: usize, max_fresh: u64, total_fresh: u64, shards: usize) -> usize {
+    if shards <= 1 || total_fresh == 0 {
+        return factor;
+    }
+    let even = total_fresh as f64 / shards as f64;
+    if max_fresh as f64 > even * 1.5 {
+        (factor * 2).min(MAX_SHARD_FACTOR)
+    } else if max_fresh as f64 <= even * 1.1 {
+        (factor / 2).max(1)
+    } else {
+        factor
+    }
+}
+
 /// A successor reference produced by a shard worker: either a state already
 /// interned when the level started, or the `k`-th *new* state this shard
 /// discovered.
@@ -286,6 +320,9 @@ where
 
     let _span = pa_telemetry::span("mdp.explore.seconds");
     let cost_of = &cost_of;
+    // Adaptive oversharding: shards per level = workers × this factor,
+    // adjusted between levels by `next_shard_factor`.
+    let mut shard_factor: usize = 1;
     while !level.is_empty() {
         if pa_telemetry::enabled() {
             pa_telemetry::histogram("mdp.explore.frontier").record(level.len() as u64);
@@ -295,7 +332,8 @@ where
         let outputs: Vec<ShardOutput<M::State>> = if workers <= 1 || level.len() < PAR_MIN_LEVEL {
             vec![expand_shard(automaton, cost_of, &states, &index, &level)]
         } else {
-            let chunk = level.len().div_ceil(workers);
+            let shards = (workers * shard_factor).min(level.len());
+            let chunk = level.len().div_ceil(shards);
             let states_ref: &[M::State] = &states;
             let index_ref = &index;
             crossbeam::thread::scope(|scope| {
@@ -318,17 +356,27 @@ where
         // Shard imbalance: how much the busiest shard's fresh-state yield
         // exceeds a perfectly even split (100 = balanced). Contiguous
         // chunking makes the *input* shards even; the imbalance shows up in
-        // how unevenly new states fall out of them.
-        if pa_telemetry::enabled() && outputs.len() > 1 {
+        // how unevenly new states fall out of them. The same yields drive
+        // the adaptive factor for the next level — unconditionally, so the
+        // shard schedule does not depend on whether telemetry is on.
+        if outputs.len() > 1 {
             let total: u64 = outputs.iter().map(|o| o.fresh.len() as u64).sum();
             let max = outputs
                 .iter()
                 .map(|o| o.fresh.len() as u64)
                 .max()
                 .unwrap_or(0);
-            if let Some(pct) = (max * outputs.len() as u64 * 100).checked_div(total) {
-                pa_telemetry::histogram("mdp.explore.shard_imbalance_pct").record(pct);
+            let next = next_shard_factor(shard_factor, max, total, outputs.len());
+            if pa_telemetry::enabled() {
+                if let Some(pct) = (max * outputs.len() as u64 * 100).checked_div(total) {
+                    pa_telemetry::histogram("mdp.explore.shard_imbalance_pct").record(pct);
+                }
+                if next > shard_factor {
+                    pa_telemetry::counter("mdp.explore.rebalances").inc();
+                }
+                pa_telemetry::gauge("mdp.explore.shard_factor").set_max(next as i64);
             }
+            shard_factor = next;
         }
 
         // ...then merge deterministically: shard order is level order, so
@@ -567,6 +615,65 @@ mod tests {
                 serial.mdp.initial_states(),
                 "workers={workers}"
             );
+        }
+    }
+
+    #[test]
+    fn shard_factor_doubles_on_hot_shard_and_decays_when_even() {
+        // Busiest shard at 4× even split: double, then saturate at the cap.
+        assert_eq!(next_shard_factor(1, 40, 40, 4), 2);
+        assert_eq!(next_shard_factor(4, 40, 40, 4), 8);
+        assert_eq!(next_shard_factor(8, 40, 40, 4), 8);
+        // Perfectly even yields decay the factor back toward 1.
+        assert_eq!(next_shard_factor(4, 10, 40, 4), 2);
+        assert_eq!(next_shard_factor(1, 10, 40, 4), 1);
+        // In the dead band (110%..150% of even) the factor holds.
+        assert_eq!(next_shard_factor(2, 13, 40, 4), 2);
+        // Degenerate inputs leave the factor alone.
+        assert_eq!(next_shard_factor(3, 0, 0, 4), 3);
+        assert_eq!(next_shard_factor(3, 5, 5, 1), 3);
+    }
+
+    /// A two-level model wide enough to trigger parallel sharding
+    /// (`PAR_MIN_LEVEL`), with all the branching concentrated in one corner
+    /// of the first level so the contiguous shards yield unevenly and the
+    /// adaptive factor actually engages.
+    fn skewed_fanout() -> TableAutomaton<u32, &'static str> {
+        let mut b = TableAutomaton::builder().start(0);
+        let width = 400u32;
+        for i in 0..width {
+            b = b.det_step(0, "spread", i + 1).det_step(i + 1, "go", {
+                // The last few first-level states fan out 64-wide; the rest
+                // are funnels into a handful of shared states.
+                if i >= width - 8 {
+                    10_000 + i * 64
+                } else {
+                    1_000 + i % 4
+                }
+            });
+        }
+        for i in width - 8..width {
+            for j in 0..64u32 {
+                b = b.det_step(10_000 + i * 64, "fan", 20_000 + i * 64 + j);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adaptive_sharding_leaves_exploration_unchanged() {
+        let m = skewed_fanout();
+        let serial = explore(&m, |_, _| 1, 1_000_000).unwrap();
+        for workers in [2, 3, 8] {
+            let par = par_explore_workers(&m, |_, _| 1, 1_000_000, Some(workers)).unwrap();
+            assert_eq!(par.states, serial.states, "workers={workers}");
+            for s in 0..serial.mdp.num_states() {
+                assert_eq!(
+                    par.mdp.choices(s),
+                    serial.mdp.choices(s),
+                    "workers={workers}"
+                );
+            }
         }
     }
 

@@ -95,4 +95,4 @@ pub use query::{
 };
 pub use scc::SccDecomposition;
 pub use tag::{tag_choices, tagged_absorbing_violations, ChoiceTags, TAG_NONE};
-pub use value_iter::{prob0_max, prob0_min, IterOptions};
+pub use value_iter::{prob0_max, prob0_min, prob1, IterOptions};

@@ -218,8 +218,7 @@ pub fn max_expected_cost_jacobi(
     options: IterOptions,
 ) -> Result<Vec<f64>, MdpError> {
     mdp.check_target(target)?;
-    let min_reach = reach_prob_jacobi(mdp, target, Objective::MinProb, options)?;
-    let proper: Vec<bool> = min_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+    let proper = crate::prob1(mdp, target, Objective::MinProb)?;
     let mut v = expected_cost_jacobi(mdp, target, &proper, Objective::MaxProb, options);
     for s in 0..mdp.num_states() {
         if !target[s] && !proper[s] {
@@ -240,8 +239,7 @@ pub fn min_expected_cost_jacobi(
     if crate::has_zero_cost_cycle(mdp, target)? {
         return Err(MdpError::DivergentExpectation { state: 0 });
     }
-    let max_reach = reach_prob_jacobi(mdp, target, Objective::MaxProb, options)?;
-    let feasible: Vec<bool> = max_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+    let feasible = crate::prob1(mdp, target, Objective::MaxProb)?;
     let mut v = expected_cost_jacobi(mdp, target, &feasible, Objective::MinProb, options);
     for s in 0..mdp.num_states() {
         if !target[s] && !feasible[s] {
@@ -385,8 +383,7 @@ pub fn max_expected_cost_gauss_seidel(
 ) -> Result<Vec<f64>, MdpError> {
     mdp.check_target(target)?;
     let n = mdp.num_states();
-    let min_reach = reach_prob_gauss_seidel(mdp, target, Objective::MinProb, options)?;
-    let proper: Vec<bool> = min_reach.iter().map(|&p| p > 1.0 - 1e-9).collect();
+    let proper = crate::prob1(mdp, target, Objective::MinProb)?;
 
     let mut v = vec![0.0f64; n];
     for _ in 0..options.max_sweeps {

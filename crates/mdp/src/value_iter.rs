@@ -44,6 +44,20 @@ pub fn prob0_min(mdp: &ExplicitMdp, target: &[bool]) -> Result<Vec<bool>, MdpErr
     CsrMdp::from_explicit(mdp).prob0_min(target)
 }
 
+/// States with reachability probability **exactly one** under the given
+/// objective (`MinProb`: every adversary reaches the target almost surely;
+/// `MaxProb`: some policy does). Nested-model wrapper over
+/// [`CsrMdp::prob1`]; see there for the fixpoint and why the expected-cost
+/// analyses need the qualitative answer rather than a thresholded
+/// numerical one.
+pub fn prob1(
+    mdp: &ExplicitMdp,
+    target: &[bool],
+    objective: crate::Objective,
+) -> Result<Vec<bool>, MdpError> {
+    CsrMdp::from_explicit(mdp).prob1(target, objective)
+}
+
 /// Computes unbounded reachability probabilities
 /// `P^opt[eventually reach target]` by qualitative precomputation followed
 /// by value iteration from below (double-buffered Jacobi on the CSR
@@ -129,6 +143,51 @@ mod tests {
         // which is the semantics the Lehmann–Rabin analysis uses.
         let z = prob0_min(&m, &[false, true]).unwrap();
         assert_eq!(z, vec![false, false]);
+    }
+
+    #[test]
+    fn prob1_separates_forced_from_possible() {
+        let m = escape();
+        // Choice A ping-pongs 0<->1 forever, so an adversary avoids the
+        // target: Pmin < 1 on both loop states. Choice B still reaches 2
+        // with probability 1/2 per attempt, so a cooperative scheduler
+        // gets there almost surely: Pmax = 1 everywhere.
+        let t = [false, false, true];
+        assert_eq!(
+            prob1(&m, &t, Objective::MinProb).unwrap(),
+            vec![false, false, true]
+        );
+        assert_eq!(
+            prob1(&m, &t, Objective::MaxProb).unwrap(),
+            vec![true, true, true]
+        );
+    }
+
+    #[test]
+    fn prob1_handles_stochastic_loops_and_terminal_sinks() {
+        // A stochastic self-loop that leaks to the target has Pmin = 1
+        // even though no finite horizon reaches it surely — the case a
+        // thresholded numeric reachability value gets wrong when value
+        // iteration stops early.
+        let m = ExplicitMdp::new(
+            vec![vec![Choice::dist(1, vec![(1, 0.5), (0, 0.5)])], vec![]],
+            vec![0],
+        )
+        .unwrap();
+        assert_eq!(
+            prob1(&m, &[false, true], Objective::MinProb).unwrap(),
+            vec![true, true]
+        );
+        // A terminal non-target state stays put forever: never almost-sure.
+        let m = ExplicitMdp::new(vec![vec![Choice::to(1, 1)], vec![], vec![]], vec![0]).unwrap();
+        assert_eq!(
+            prob1(&m, &[false, true, false], Objective::MinProb).unwrap(),
+            vec![true, true, false]
+        );
+        assert_eq!(
+            prob1(&m, &[false, true, false], Objective::MaxProb).unwrap(),
+            vec![true, true, false]
+        );
     }
 
     #[test]

@@ -15,10 +15,13 @@
 //!   (rounds-to-fire, frontier widths).
 //! * [`Series`] — an ordered `f64` trajectory (per-sweep residuals).
 //!
-//! All metrics live in a process-global registry keyed by static names and
-//! are looked up with [`counter`], [`gauge`], [`timer`], [`histogram`] and
-//! [`series`]. Handles are `Arc`s: they stay valid across [`reset`] (which
-//! zeroes values in place) and can be cached or re-fetched freely.
+//! All metrics live in name-keyed registries and are looked up with
+//! [`counter`], [`gauge`], [`timer`], [`histogram`] and [`series`].
+//! Handles are `Arc`s: they stay valid across [`reset`] (which zeroes
+//! values in place) and can be cached or re-fetched freely. By default the
+//! lookups resolve against a process-global registry; a thread that has
+//! entered a [`TelemetryScope`] records into that scope's private registry
+//! instead (see below).
 //!
 //! # Enablement and cost
 //!
@@ -36,6 +39,24 @@
 //! serializable to JSON through the workspace serde shim. `pa-bench` embeds
 //! one into `BENCH_mdp.json` so the perf trajectory carries engine
 //! internals, not just timings.
+//!
+//! # Scopes and the reset contract
+//!
+//! The global registry accumulates forever, which bleeds counters across
+//! back-to-back analyses. Two non-destructive remedies exist:
+//!
+//! * **[`TelemetryScope`]** — a private, named registry. While a thread
+//!   holds the guard from [`TelemetryScope::enter`], its metric lookups
+//!   resolve into the scope instead of the global registry, so concurrent
+//!   analyses (one scope per job, as in `pa-batch`) cannot bleed into each
+//!   other by construction.
+//! * **[`TelemetrySnapshot::delta_since`]** — diff two snapshots to get
+//!   exactly what was recorded in between, without zeroing anything; this
+//!   is how a long-running driver exports incremental metrics while
+//!   engines keep running.
+//!
+//! Destructive [`reset`] remains for quiescent single-workload processes;
+//! its documentation spells out the full contract.
 //!
 //! # Example
 //!
@@ -60,12 +81,14 @@
 
 mod metrics;
 mod registry;
+mod scope;
 mod snapshot;
 
 pub use metrics::{Counter, Gauge, Histogram, Series, Span, Timer, SERIES_CAP};
 pub use registry::{
     counter, enabled, gauge, histogram, reset, series, set_enabled, snapshot, span, timer,
 };
+pub use scope::{ScopeGuard, TelemetryScope};
 pub use snapshot::{
     CounterSnapshot, GaugeSnapshot, HistogramBucket, HistogramSnapshot, SeriesSnapshot,
     TelemetrySnapshot, TimerSnapshot,

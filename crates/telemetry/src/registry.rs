@@ -1,10 +1,20 @@
-//! The process-global metric registry and enablement flag.
+//! Metric registries — the process-global one plus the [`MetricMap`]
+//! machinery that [`crate::TelemetryScope`] reuses — and the enablement
+//! flag.
+//!
+//! The free functions ([`counter`], [`gauge`], …) resolve against the
+//! *innermost active scope* of the calling thread when one has been entered
+//! (see [`crate::TelemetryScope::enter`]), and fall back to the
+//! process-global registry otherwise. Library instrumentation therefore
+//! never needs to know whether it runs inside a scoped analysis: the same
+//! static metric names land in whichever registry is active.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::metrics::{Counter, Gauge, Histogram, Series, Span, Timer};
+use crate::scope;
 use crate::snapshot::TelemetrySnapshot;
 
 /// Tri-state enablement: 0 = not yet initialized from the environment,
@@ -19,6 +29,10 @@ const ON: u8 = 2;
 /// The first call consults the `PA_TELEMETRY` environment variable
 /// (`1`/`true`/`on` enable recording); afterwards this is a single relaxed
 /// atomic load, which is what makes disabled instrumentation near-free.
+///
+/// The flag is process-wide and also gates recording into scoped
+/// registries: a [`crate::TelemetryScope`] controls *where* records land,
+/// this flag controls *whether* anything is recorded at all.
 #[inline]
 pub fn enabled() -> bool {
     match STATE.load(Ordering::Relaxed) {
@@ -65,105 +79,165 @@ impl Metric {
     }
 }
 
+/// A name-keyed set of metrics: the storage behind both the process-global
+/// registry and every [`crate::TelemetryScope`].
 #[derive(Default)]
-struct Registry {
+pub(crate) struct MetricMap {
     metrics: RwLock<HashMap<&'static str, Metric>>,
 }
 
-fn global() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(Registry::default)
-}
-
-/// Looks up (or registers) a metric of one kind. Panics if `name` is
-/// already registered as a different kind — metric names are a static,
-/// workspace-wide namespace, so a kind clash is a programming error.
-fn lookup<T>(
-    name: &'static str,
-    extract: impl Fn(&Metric) -> Option<Arc<T>>,
-    create: impl FnOnce() -> Metric,
-) -> Arc<T> {
-    let reg = global();
-    if let Some(m) = reg.metrics.read().expect("registry poisoned").get(name) {
-        return extract(m).unwrap_or_else(|| {
+impl MetricMap {
+    /// Looks up (or registers) a metric of one kind. Panics if `name` is
+    /// already registered as a different kind — metric names are a static,
+    /// workspace-wide namespace, so a kind clash is a programming error.
+    fn lookup<T>(
+        &self,
+        name: &'static str,
+        extract: impl Fn(&Metric) -> Option<Arc<T>>,
+        create: impl FnOnce() -> Metric,
+    ) -> Arc<T> {
+        if let Some(m) = self.metrics.read().expect("registry poisoned").get(name) {
+            return extract(m).unwrap_or_else(|| {
+                panic!(
+                    "telemetry metric `{name}` already registered as a {}",
+                    m.kind()
+                )
+            });
+        }
+        let mut map = self.metrics.write().expect("registry poisoned");
+        let m = map.entry(name).or_insert_with(create);
+        extract(m).unwrap_or_else(|| {
             panic!(
                 "telemetry metric `{name}` already registered as a {}",
                 m.kind()
             )
-        });
+        })
     }
-    let mut map = reg.metrics.write().expect("registry poisoned");
-    let m = map.entry(name).or_insert_with(create);
-    extract(m).unwrap_or_else(|| {
-        panic!(
-            "telemetry metric `{name}` already registered as a {}",
-            m.kind()
+
+    pub(crate) fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.lookup(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Metric::Counter(Arc::new(Counter::default())),
         )
-    })
+    }
+
+    pub(crate) fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        self.lookup(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Metric::Gauge(Arc::new(Gauge::default())),
+        )
+    }
+
+    pub(crate) fn timer(&self, name: &'static str) -> Arc<Timer> {
+        self.lookup(
+            name,
+            |m| match m {
+                Metric::Timer(t) => Some(t.clone()),
+                _ => None,
+            },
+            || Metric::Timer(Arc::new(Timer::default())),
+        )
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.lookup(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::default())),
+        )
+    }
+
+    pub(crate) fn series(&self, name: &'static str) -> Arc<Series> {
+        self.lookup(
+            name,
+            |m| match m {
+                Metric::Series(s) => Some(s.clone()),
+                _ => None,
+            },
+            || Metric::Series(Arc::new(Series::default())),
+        )
+    }
+
+    /// Zeroes every registered metric in place. Existing handles stay
+    /// valid.
+    pub(crate) fn reset(&self) {
+        for m in self.metrics.read().expect("registry poisoned").values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Timer(t) => t.reset(),
+                Metric::Histogram(h) => h.reset(),
+                Metric::Series(s) => s.reset(),
+            }
+        }
+    }
+
+    /// Freezes every registered metric into a deterministic, name-sorted
+    /// [`TelemetrySnapshot`].
+    pub(crate) fn snapshot(&self, enabled: bool) -> TelemetrySnapshot {
+        let map = self.metrics.read().expect("registry poisoned");
+        let mut snap = TelemetrySnapshot::empty(enabled);
+        for (name, m) in map.iter() {
+            match m {
+                Metric::Counter(c) => snap.push_counter(name, c),
+                Metric::Gauge(g) => snap.push_gauge(name, g),
+                Metric::Timer(t) => snap.push_timer(name, t),
+                Metric::Histogram(h) => snap.push_histogram(name, h),
+                Metric::Series(s) => snap.push_series(name, s),
+            }
+        }
+        snap.sort();
+        snap
+    }
 }
 
-/// The named [`Counter`], registering it on first use.
+pub(crate) fn global() -> &'static MetricMap {
+    static REGISTRY: OnceLock<MetricMap> = OnceLock::new();
+    REGISTRY.get_or_init(MetricMap::default)
+}
+
+/// The named [`Counter`] of the active registry, registering it on first
+/// use.
 pub fn counter(name: &'static str) -> Arc<Counter> {
-    lookup(
-        name,
-        |m| match m {
-            Metric::Counter(c) => Some(c.clone()),
-            _ => None,
-        },
-        || Metric::Counter(Arc::new(Counter::default())),
-    )
+    scope::with_active(|map| map.counter(name))
 }
 
-/// The named [`Gauge`], registering it on first use.
+/// The named [`Gauge`] of the active registry, registering it on first use.
 pub fn gauge(name: &'static str) -> Arc<Gauge> {
-    lookup(
-        name,
-        |m| match m {
-            Metric::Gauge(g) => Some(g.clone()),
-            _ => None,
-        },
-        || Metric::Gauge(Arc::new(Gauge::default())),
-    )
+    scope::with_active(|map| map.gauge(name))
 }
 
-/// The named [`Timer`], registering it on first use.
+/// The named [`Timer`] of the active registry, registering it on first use.
 pub fn timer(name: &'static str) -> Arc<Timer> {
-    lookup(
-        name,
-        |m| match m {
-            Metric::Timer(t) => Some(t.clone()),
-            _ => None,
-        },
-        || Metric::Timer(Arc::new(Timer::default())),
-    )
+    scope::with_active(|map| map.timer(name))
 }
 
-/// The named [`Histogram`], registering it on first use.
+/// The named [`Histogram`] of the active registry, registering it on first
+/// use.
 pub fn histogram(name: &'static str) -> Arc<Histogram> {
-    lookup(
-        name,
-        |m| match m {
-            Metric::Histogram(h) => Some(h.clone()),
-            _ => None,
-        },
-        || Metric::Histogram(Arc::new(Histogram::default())),
-    )
+    scope::with_active(|map| map.histogram(name))
 }
 
-/// The named [`Series`], registering it on first use.
+/// The named [`Series`] of the active registry, registering it on first
+/// use.
 pub fn series(name: &'static str) -> Arc<Series> {
-    lookup(
-        name,
-        |m| match m {
-            Metric::Series(s) => Some(s.clone()),
-            _ => None,
-        },
-        || Metric::Series(Arc::new(Series::default())),
-    )
+    scope::with_active(|map| map.series(name))
 }
 
-/// Starts a [`Span`] recording into the named [`Timer`]. While telemetry
-/// is disabled this neither reads the clock nor touches the registry.
+/// Starts a [`Span`] recording into the named [`Timer`] of the active
+/// registry. While telemetry is disabled this neither reads the clock nor
+/// touches any registry.
 pub fn span(name: &'static str) -> Span {
     if enabled() {
         Span::started(timer(name))
@@ -172,37 +246,36 @@ pub fn span(name: &'static str) -> Span {
     }
 }
 
-/// Zeroes every registered metric in place. Existing handles stay valid.
+/// Zeroes every metric of the **process-global** registry in place.
+/// Existing handles stay valid. Scoped registries are unaffected; reset
+/// those through [`crate::TelemetryScope::reset`].
+///
+/// # The reset contract
+///
+/// The global registry accumulates forever: two analyses run back-to-back
+/// add into the *same* counters unless something intervenes. There are
+/// three sound ways to separate them, in order of preference:
+///
+/// 1. **Scopes** — run each analysis under its own
+///    [`crate::TelemetryScope`]; nothing accumulates across scopes by
+///    construction, and the global registry is untouched.
+/// 2. **Delta snapshots** — take a [`snapshot`] before and after, and diff
+///    with [`TelemetrySnapshot::delta_since`]; nothing is zeroed, so
+///    concurrent readers are unaffected.
+/// 3. **`reset`** — zero everything in place. This is process-global and
+///    destructive: records made by *other* threads between their last
+///    snapshot and the reset are lost. Only use it when the process is
+///    quiescent (as the bench harness does between probe runs).
 pub fn reset() {
-    let reg = global();
-    for m in reg.metrics.read().expect("registry poisoned").values() {
-        match m {
-            Metric::Counter(c) => c.reset(),
-            Metric::Gauge(g) => g.reset(),
-            Metric::Timer(t) => t.reset(),
-            Metric::Histogram(h) => h.reset(),
-            Metric::Series(s) => s.reset(),
-        }
-    }
+    global().reset();
 }
 
-/// Freezes every registered metric into a deterministic, name-sorted
-/// [`TelemetrySnapshot`].
+/// Freezes every metric of the **process-global** registry into a
+/// deterministic, name-sorted [`TelemetrySnapshot`]. Scoped registries are
+/// not included; snapshot those through
+/// [`crate::TelemetryScope::snapshot`].
 pub fn snapshot() -> TelemetrySnapshot {
-    let reg = global();
-    let map = reg.metrics.read().expect("registry poisoned");
-    let mut snap = TelemetrySnapshot::empty(enabled());
-    for (name, m) in map.iter() {
-        match m {
-            Metric::Counter(c) => snap.push_counter(name, c),
-            Metric::Gauge(g) => snap.push_gauge(name, g),
-            Metric::Timer(t) => snap.push_timer(name, t),
-            Metric::Histogram(h) => snap.push_histogram(name, h),
-            Metric::Series(s) => snap.push_series(name, s),
-        }
-    }
-    snap.sort();
-    snap
+    global().snapshot(enabled())
 }
 
 /// Test support: serializes tests that touch the global flag and restores

@@ -1,0 +1,157 @@
+//! Batch-driver smoke: the arrow claims with and without crashes, in one
+//! concurrent run.
+//!
+//! Builds a mixed job set on a ring of 3 — every axiom arrow fault-free
+//! *and* under a scripted crash-stop, the composed `T —13→_{1/8} C` claim,
+//! both expected-time bounds, Lemma 6.1 and appendix lemma A.4 — and runs
+//! it through `pa-batch` on four workers. The two plans share two cached
+//! models (one per fault plan), so the cache hit rate is high; the report
+//! digest is bitwise identical for any worker count. Run with:
+//!
+//! ```text
+//! cargo run --release --example batch_drive [workers]
+//! ```
+//!
+//! Exits nonzero on any job failure or any *fault-free* violation; faulted
+//! degradations are expected (they are what the survival map records).
+
+use std::error::Error;
+
+use timebounds::batch::{run_batch, BatchOptions, JobKind, JobSpec, JobStatus, JobValue};
+use timebounds::core::SetExpr;
+use timebounds::faults::{FaultKind, FaultPlan};
+use timebounds::lehmann_rabin::paper;
+
+fn describe(value: &JobValue) -> String {
+    match value {
+        JobValue::Prob {
+            measured,
+            claimed,
+            holds,
+            ..
+        } => format!(
+            "min p = {measured:.6} vs claimed {claimed:.6} -> {}",
+            if *holds { "holds" } else { "violated" }
+        ),
+        JobValue::Time {
+            expected: Some(e),
+            bound,
+            within,
+        } => format!(
+            "E[time] = {e:.3} vs bound {bound} -> {}",
+            if *within { "within" } else { "exceeded" }
+        ),
+        JobValue::Time {
+            expected: None,
+            bound,
+            ..
+        } => {
+            format!("E[time] diverges (bound {bound})")
+        }
+        JobValue::Invariant {
+            holds,
+            states_checked,
+        } => format!(
+            "{} over {states_checked} states",
+            if *holds {
+                "invariant holds"
+            } else {
+                "violated"
+            }
+        ),
+        JobValue::Lemma {
+            name,
+            min_prob,
+            instances,
+            holds,
+        } => format!(
+            "{name}: min p = {min_prob:.6} over {instances} instances -> {}",
+            if *holds { "holds" } else { "violated" }
+        ),
+        JobValue::Tallies {
+            holds,
+            violated,
+            info,
+        } => format!("{holds} hold / {violated} violated / {info} info"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4);
+
+    let crash = FaultPlan::single(2, 0, FaultKind::CrashStop)?;
+    let mut specs = Vec::new();
+    for index in 0..paper::all_arrows().len() {
+        specs.push(JobSpec::new(3, JobKind::Arrow { index }));
+        specs.push(
+            JobSpec::new(3, JobKind::Arrow { index }).with_plan("crash-stop r2 p0", crash.clone()),
+        );
+    }
+    specs.push(JobSpec::new(3, JobKind::ComposedArrow));
+    specs.push(JobSpec::new(
+        3,
+        JobKind::ExpectedTime {
+            from: SetExpr::named("RT"),
+            to: SetExpr::named("P"),
+            bound: paper::expected_time_rt_to_p(),
+        },
+    ));
+    specs.push(JobSpec::new(
+        3,
+        JobKind::ExpectedTime {
+            from: SetExpr::named("T"),
+            to: SetExpr::named("C"),
+            bound: paper::expected_time_t_to_c(),
+        },
+    ));
+    specs.push(JobSpec::new(3, JobKind::Invariant));
+    specs.push(JobSpec::new(3, JobKind::Lemma { index: 0 }));
+
+    println!("batch_drive: {} jobs on {workers} workers\n", specs.len());
+    let report = run_batch(&specs, &BatchOptions::with_workers(workers))?;
+
+    for job in &report.jobs {
+        let detail = match &job.status {
+            JobStatus::Done(value) => describe(value),
+            other => other.label().to_string(),
+        };
+        println!("  {:<44} {detail}", job.key);
+    }
+
+    let tally = report.tally();
+    println!(
+        "\n{} done / {} failed / {} timed-out / {} cancelled in {:.2}s; \
+         {} claims violated",
+        tally.done,
+        tally.failed,
+        tally.timed_out,
+        tally.cancelled,
+        report.wall_seconds,
+        tally.violated,
+    );
+    println!(
+        "cache: {} models built, {} hits / {} misses (hit rate {:.3})",
+        report.cache.distinct_models,
+        report.cache.model_hits,
+        report.cache.model_misses,
+        report.cache.hit_rate(),
+    );
+    println!("digest (worker-count invariant): {}", report.digest());
+
+    // Same exit policy as `tables --batch`: crash-stop may legitimately
+    // degrade a claim, a fault-free violation reproduces nothing.
+    let fault_free_violation = report
+        .jobs
+        .iter()
+        .any(|j| j.plan_name == "none" && matches!(&j.status, JobStatus::Done(v) if v.violated()));
+    if tally.failed > 0 || tally.timed_out > 0 || fault_free_violation {
+        Err("batch run had failures or fault-free violations".into())
+    } else {
+        println!("\nall fault-free claims hold");
+        Ok(())
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`faults`] — fault-injection layer (crash-stop, crash-restart,
 //!   obligation-drop) and the claim survival maps that chart which paper
 //!   claims survive which faults.
+//! * [`batch`] — deterministic concurrent batch driver: many
+//!   (ring × query × fault plan) jobs over a bounded worker pool with a
+//!   shared model cache and per-job telemetry scopes.
 //!
 //! # Quick start
 //!
@@ -32,6 +35,7 @@
 //! # }
 //! ```
 
+pub use pa_batch as batch;
 pub use pa_core as core;
 pub use pa_faults as faults;
 pub use pa_lehmann_rabin as lehmann_rabin;
