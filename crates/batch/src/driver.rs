@@ -284,6 +284,57 @@ fn execute(ctx: &JobCtx<'_>) -> Result<JobValue, String> {
                 holds: check.holds(),
             })
         }
+        JobKind::Reach {
+            target,
+            within,
+            claimed,
+        } => {
+            let exact = pa_faults::exact_reach_uniform(
+                ctx.spec.n,
+                &ctx.spec.plan,
+                target,
+                *within,
+                ctx.spec.state_limit,
+            )
+            .map_err(|e| e.to_string())?;
+            ctx.checkpoint()?;
+            Ok(JobValue::Prob {
+                measured: exact,
+                claimed: *claimed,
+                holds: exact >= *claimed - 1e-12,
+                worst_state: None,
+                states_checked: 1,
+            })
+        }
+        JobKind::Sampled {
+            target,
+            within,
+            claimed,
+            mc,
+        } => {
+            // Model-free: trajectories of the implicit faulty round model,
+            // no exploration and no cache slot — the whole point of the
+            // sampled tier is running where the cache could not build.
+            let estimate = pa_faults::estimate_reach_uniform(
+                ctx.spec.n,
+                &ctx.spec.plan,
+                target,
+                *within,
+                &pa_mc::McConfig::new(mc.trajectories, mc.seed, *within).with_workers(1),
+            )
+            .map_err(|e| e.to_string())?;
+            ctx.checkpoint()?;
+            let interval = estimate.interval(pa_prob::stats::Z_99);
+            Ok(JobValue::Estimate {
+                point: estimate.point(),
+                lo: interval.lo().value(),
+                hi: interval.hi().value(),
+                claimed: *claimed,
+                trials: estimate.trials(),
+                hits: estimate.hit_count(),
+                refuted: interval.hi().value() < *claimed,
+            })
+        }
         JobKind::Custom { run, .. } => run(ctx),
     }
 }

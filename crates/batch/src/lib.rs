@@ -49,9 +49,13 @@
 pub mod cache;
 mod driver;
 mod report;
+mod select;
 mod spec;
 
 pub use cache::{ModelCache, SharedModel};
 pub use driver::{run_batch, BatchError, JobCtx};
 pub use report::{BatchReport, CacheStats, Tally};
-pub use spec::{BatchOptions, CustomFn, JobKind, JobResult, JobSpec, JobStatus, JobValue};
+pub use select::{estimated_ring_states, select_kind};
+pub use spec::{
+    BatchOptions, CustomFn, JobKind, JobResult, JobSpec, JobStatus, JobValue, McSettings,
+};

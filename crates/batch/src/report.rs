@@ -135,6 +135,22 @@ fn value_json(value: &JobValue) -> String {
             json_escape(name),
             fmt_f64(*min_prob),
         ),
+        JobValue::Estimate {
+            point,
+            lo,
+            hi,
+            claimed,
+            trials,
+            hits,
+            refuted,
+        } => format!(
+            "{{\"type\":\"estimate\",\"point\":{},\"lo\":{},\"hi\":{},\"claimed\":{},\
+             \"trials\":{trials},\"hits\":{hits},\"refuted\":{refuted}}}",
+            fmt_f64(*point),
+            fmt_f64(*lo),
+            fmt_f64(*hi),
+            fmt_f64(*claimed),
+        ),
         JobValue::Tallies {
             holds,
             violated,

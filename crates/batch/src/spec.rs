@@ -22,6 +22,16 @@ use crate::driver::JobCtx;
 /// cancellation/timeout checkpoint through its [`JobCtx`].
 pub type CustomFn = dyn Fn(&JobCtx<'_>) -> Result<JobValue, String> + Send + Sync;
 
+/// Knobs of a sampled ([`JobKind::Sampled`]) job. All three are part of
+/// the job key: changing any of them changes the estimate bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McSettings {
+    /// Trajectories to sample.
+    pub trajectories: u64,
+    /// Base seed; trajectory `i` runs on its derived stream.
+    pub seed: u64,
+}
+
 /// Which analysis a job runs.
 #[derive(Clone)]
 pub enum JobKind {
@@ -53,6 +63,39 @@ pub enum JobKind {
         /// Index into the appendix lemma list.
         index: usize,
     },
+    /// The exact tier of the same estimand as [`JobKind::Sampled`]: the
+    /// probability of reaching `target` within `within` time units from
+    /// the all-trying start under the uniform-random adversary and the
+    /// job's fault plan, via the exact bounded query over the
+    /// [`pa_mc::UniformChain`] wrapping
+    /// ([`pa_faults::exact_reach_uniform`]). Violated when the exact
+    /// value falls below `claimed`. [`crate::select_kind`] picks between
+    /// this and [`JobKind::Sampled`] on a state budget.
+    Reach {
+        /// Target region set.
+        target: SetExpr,
+        /// Time budget of the bounded query.
+        within: u32,
+        /// The claimed lower bound on the probability.
+        claimed: f64,
+    },
+    /// A sampled (Monte-Carlo) reachability estimate: the probability of
+    /// reaching `target` within `within` time units from the all-trying
+    /// start under the uniform-random adversary and the job's fault plan
+    /// ([`pa_faults::estimate_reach_uniform`]). The escape-hatch tier for
+    /// rings the exact engine cannot hold; the claim is *statistically
+    /// refuted* (and the job violated) when the whole 99% interval falls
+    /// below `claimed`.
+    Sampled {
+        /// Target region set.
+        target: SetExpr,
+        /// Time budget per trajectory.
+        within: u32,
+        /// The claimed lower bound on the probability.
+        claimed: f64,
+        /// Sampling knobs (part of the key).
+        mc: McSettings,
+    },
     /// An arbitrary closure; the batch layer runs it under the job's
     /// telemetry scope and classifies its result like any other job.
     Custom {
@@ -73,6 +116,21 @@ impl std::fmt::Debug for JobKind {
             }
             JobKind::Invariant => write!(f, "Invariant"),
             JobKind::Lemma { index } => write!(f, "Lemma({index})"),
+            JobKind::Reach {
+                target,
+                within,
+                claimed,
+            } => write!(f, "Reach({target} <= {within} @ {claimed})"),
+            JobKind::Sampled {
+                target,
+                within,
+                claimed,
+                mc,
+            } => write!(
+                f,
+                "Sampled({target} <= {within} @ {claimed}, {} trials, seed {})",
+                mc.trajectories, mc.seed
+            ),
             JobKind::Custom { name, .. } => write!(f, "Custom({name})"),
         }
     }
@@ -88,6 +146,13 @@ impl JobKind {
             JobKind::ExpectedTime { from, to, .. } => format!("etime:{from}->{to}"),
             JobKind::Invariant => "invariant".to_string(),
             JobKind::Lemma { index } => format!("lemma:{index}"),
+            JobKind::Reach { target, within, .. } => format!("reach:{target}|t={within}"),
+            JobKind::Sampled {
+                target, within, mc, ..
+            } => format!(
+                "sampled:{target}|t={within}|traj={}|seed={}",
+                mc.trajectories, mc.seed
+            ),
             JobKind::Custom { name, .. } => format!("custom:{name}"),
         }
     }
@@ -213,6 +278,25 @@ pub enum JobValue {
         /// Whether the lemma (a certainty claim) holds.
         holds: bool,
     },
+    /// A sampled reachability estimate with its 99% Wilson interval.
+    Estimate {
+        /// Point estimate `hits / trials`.
+        point: f64,
+        /// Lower end of the 99% interval.
+        lo: f64,
+        /// Upper end of the 99% interval.
+        hi: f64,
+        /// The claimed lower bound the estimate is judged against.
+        claimed: f64,
+        /// Trajectories sampled.
+        trials: u64,
+        /// Trajectories that reached the target within the budget.
+        hits: u64,
+        /// Whether the claim is statistically refuted: the whole 99%
+        /// interval sits below `claimed`. (An interval merely straddling
+        /// the claim is compatible with it.)
+        refuted: bool,
+    },
     /// Aggregate verdict tallies from a custom job.
     Tallies {
         /// Claims that held.
@@ -232,6 +316,7 @@ impl JobValue {
             JobValue::Time { within, .. } => !within,
             JobValue::Invariant { holds, .. } => !holds,
             JobValue::Lemma { holds, .. } => !holds,
+            JobValue::Estimate { refuted, .. } => *refuted,
             JobValue::Tallies { violated, .. } => *violated > 0,
         }
     }

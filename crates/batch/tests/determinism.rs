@@ -7,7 +7,10 @@ use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use pa_batch::{run_batch, BatchError, BatchOptions, JobKind, JobSpec, JobStatus, JobValue};
+use pa_batch::{
+    run_batch, select_kind, BatchError, BatchOptions, JobKind, JobSpec, JobStatus, JobValue,
+    McSettings,
+};
 use pa_core::SetExpr;
 use pa_faults::{check_arrow_under, default_grid, FaultKind, FaultPlan};
 use pa_lehmann_rabin::{max_expected_time, paper, RoundConfig, RoundMdp};
@@ -50,6 +53,43 @@ fn mixed_specs() -> Vec<JobSpec> {
     ));
     specs.push(JobSpec::new(3, JobKind::Invariant));
     specs.push(JobSpec::new(3, JobKind::Lemma { index: 0 }));
+    // Both tiers of the uniform-adversary reach estimand; neither touches
+    // the model cache (they build their own fault-wrapped models).
+    specs.push(JobSpec::new(
+        3,
+        JobKind::Reach {
+            target: SetExpr::named("C"),
+            within: 13,
+            claimed: 0.125,
+        },
+    ));
+    specs.push(JobSpec::new(
+        3,
+        JobKind::Sampled {
+            target: SetExpr::named("C"),
+            within: 13,
+            claimed: 0.125,
+            mc: McSettings {
+                trajectories: 2_000,
+                seed: 42,
+            },
+        },
+    ));
+    specs.push(
+        JobSpec::new(
+            3,
+            JobKind::Sampled {
+                target: SetExpr::named("C"),
+                within: 13,
+                claimed: 0.125,
+                mc: McSettings {
+                    trajectories: 2_000,
+                    seed: 42,
+                },
+            },
+        )
+        .with_plan("crash-stop r2 p0", crash.clone()),
+    );
     specs
 }
 
@@ -256,4 +296,45 @@ fn failing_custom_job_is_contained() {
         failed.status,
         JobStatus::Failed("synthetic failure".to_string())
     );
+}
+
+#[test]
+fn sampled_interval_contains_the_exact_tier_value() {
+    let mc = McSettings {
+        trajectories: 4_000,
+        seed: 7,
+    };
+    // A generous budget keeps n = 3 on the exact tier; a starved budget
+    // degrades the same claim to the sampled tier.
+    let exact_kind = select_kind(3, 1_000_000, SetExpr::named("C"), 13, 0.125, mc);
+    assert!(matches!(exact_kind, JobKind::Reach { .. }));
+    let sampled_kind = select_kind(3, 100, SetExpr::named("C"), 13, 0.125, mc);
+    assert!(matches!(sampled_kind, JobKind::Sampled { .. }));
+
+    let specs = vec![JobSpec::new(3, exact_kind), JobSpec::new(3, sampled_kind)];
+    let report = run_batch(&specs, &BatchOptions::with_workers(2)).unwrap();
+    assert_eq!(report.tally().done, 2);
+    let exact = report
+        .jobs
+        .iter()
+        .find_map(|j| match &j.status {
+            JobStatus::Done(JobValue::Prob { measured, .. }) => Some(*measured),
+            _ => None,
+        })
+        .expect("exact tier ran");
+    let (lo, hi, refuted) = report
+        .jobs
+        .iter()
+        .find_map(|j| match &j.status {
+            JobStatus::Done(JobValue::Estimate {
+                lo, hi, refuted, ..
+            }) => Some((*lo, *hi, *refuted)),
+            _ => None,
+        })
+        .expect("sampled tier ran");
+    assert!(
+        lo <= exact && exact <= hi,
+        "sampled interval [{lo}, {hi}] must contain exact {exact}"
+    );
+    assert!(!refuted, "the paper's T -> C claim must survive sampling");
 }

@@ -5,129 +5,17 @@
 //! compare_bench BENCH_baseline.json BENCH_smoke.json [--tolerance 20]
 //! ```
 //!
-//! Three families of checks, from hard to soft:
-//!
-//! 1. **Structural metrics** (states, choices, transitions per ring) must
-//!    match *exactly* — the explored state space is deterministic, so any
-//!    drift is a semantic change, not noise.
-//! 2. **Speedup ratios** (CSR over seed engine, for exploration and value
-//!    iteration) must not regress by more than the tolerance. Ratios within
-//!    one run compare the same machine against itself, so they transfer
-//!    across hosts in a way absolute seconds do not. The SCC block's
-//!    `update_ratio` (SCC-ordered updates over Jacobi updates, smaller is
-//!    better) is gated the same way, one-sided, and its component counts
-//!    are structural so they must match exactly.
-//! 3. **Telemetry sanity**: the current artifact must carry a `telemetry`
-//!    block proving the instrumentation fired (sweeps, explored states,
-//!    Monte-Carlo trials, the `mdp.scc.*` condensation counters and the
-//!    `faults.*` injection counters all positive).
-//! 4. **Fault-subsystem invariants** (schema v4): the survival-cell
-//!    tallies reproduce exactly, the zero-fault column is bitwise equal to
-//!    the fault-free checker, and every tagged crash state is a certified
-//!    absorbing self-loop.
-//! 5. **Batch-driver invariants** (schema v5): the job tallies and
-//!    model-cache hit counts of the batch probe reproduce exactly, the
-//!    cache hit rate is positive, the 1-worker and 4-worker canonical
-//!    reports were byte-identical, and the invariance digest matches the
-//!    baseline's exactly (the measured values are bitwise pinned).
+//! All checking logic lives in [`pa_bench::compare`] (schema-aware block
+//! requirements, exact/ratio/invariant gates); this binary only parses
+//! arguments, loads the two artifacts, and renders the verdict.
 //!
 //! Exit code 0 = pass, 1 = regression or malformed artifact.
 
 use std::error::Error;
 use std::process::ExitCode;
 
+use pa_bench::compare::compare_docs;
 use pa_bench::json::Json;
-
-struct Gate {
-    tolerance_pct: f64,
-    failures: Vec<String>,
-    checks: usize,
-}
-
-impl Gate {
-    fn fail(&mut self, msg: String) {
-        self.failures.push(msg);
-    }
-
-    fn check_exact(&mut self, what: &str, baseline: f64, current: f64) {
-        self.checks += 1;
-        if baseline != current {
-            self.fail(format!("{what}: expected {baseline}, got {current}"));
-        }
-    }
-
-    /// Ratio metrics where larger is better: fail when `current` drops
-    /// more than `tolerance_pct` below `baseline`.
-    fn check_ratio(&mut self, what: &str, baseline: f64, current: f64) {
-        self.checks += 1;
-        let floor = baseline * (1.0 - self.tolerance_pct / 100.0);
-        if current < floor {
-            self.fail(format!(
-                "{what}: {current:.3} regressed more than {}% below baseline {baseline:.3}",
-                self.tolerance_pct
-            ));
-        }
-    }
-
-    /// Ratio metrics where smaller is better: fail when `current` rises
-    /// more than `tolerance_pct` above `baseline`.
-    fn check_ratio_le(&mut self, what: &str, baseline: f64, current: f64) {
-        self.checks += 1;
-        let ceiling = baseline * (1.0 + self.tolerance_pct / 100.0);
-        if current > ceiling {
-            self.fail(format!(
-                "{what}: {current:.3} regressed more than {}% above baseline {baseline:.3}",
-                self.tolerance_pct
-            ));
-        }
-    }
-
-    fn check_positive(&mut self, what: &str, value: Option<f64>) {
-        self.checks += 1;
-        match value {
-            Some(v) if v > 0.0 => {}
-            Some(v) => self.fail(format!("{what}: expected > 0, got {v}")),
-            None => self.fail(format!("{what}: missing from the artifact")),
-        }
-    }
-
-    fn check_true(&mut self, what: &str, value: Option<bool>) {
-        self.checks += 1;
-        match value {
-            Some(true) => {}
-            Some(false) => self.fail(format!("{what}: expected true, got false")),
-            None => self.fail(format!("{what}: missing from the artifact")),
-        }
-    }
-
-    fn check_exact_str(&mut self, what: &str, baseline: Option<&str>, current: Option<&str>) {
-        self.checks += 1;
-        match (baseline, current) {
-            (Some(b), Some(c)) if b == c => {}
-            (Some(b), Some(c)) => self.fail(format!("{what}: expected {b:?}, got {c:?}")),
-            _ => self.fail(format!("{what}: missing from an artifact")),
-        }
-    }
-}
-
-fn ring_metric(doc: &Json, n: f64, keys: &[&str]) -> Option<f64> {
-    doc.get("rings")?
-        .as_array()?
-        .iter()
-        .find(|r| r.get("n").and_then(Json::as_f64) == Some(n))?
-        .path(keys)?
-        .as_f64()
-}
-
-/// Value of a named counter inside the report's `telemetry` block.
-fn telemetry_counter(doc: &Json, name: &str) -> Option<f64> {
-    doc.path(&["telemetry", "counters"])?
-        .as_array()?
-        .iter()
-        .find(|c| c.get("name").and_then(Json::as_str) == Some(name))?
-        .get("value")?
-        .as_f64()
-}
 
 fn run() -> Result<Vec<String>, Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -155,187 +43,7 @@ fn run() -> Result<Vec<String>, Box<dyn Error>> {
     let current = Json::parse(&std::fs::read_to_string(current_path)?)
         .map_err(|e| format!("{current_path}: {e}"))?;
 
-    let mut gate = Gate {
-        tolerance_pct,
-        failures: Vec::new(),
-        checks: 0,
-    };
-
-    let schema = |doc: &Json| doc.get("schema").and_then(Json::as_str).map(str::to_string);
-    if schema(&baseline) != schema(&current) {
-        gate.fail(format!(
-            "schema mismatch: baseline {:?} vs current {:?}",
-            schema(&baseline),
-            schema(&current)
-        ));
-    }
-
-    let rings = baseline
-        .get("rings")
-        .and_then(Json::as_array)
-        .ok_or("baseline has no rings array")?;
-    for ring in rings {
-        let n = ring
-            .get("n")
-            .and_then(Json::as_f64)
-            .ok_or("ring without n")?;
-        for metric in ["states", "choices", "transitions"] {
-            let base = ring.get(metric).and_then(Json::as_f64).unwrap_or(f64::NAN);
-            match ring_metric(&current, n, &[metric]) {
-                Some(cur) => gate.check_exact(&format!("n={n} {metric}"), base, cur),
-                None => gate.fail(format!("n={n} {metric}: missing from current artifact")),
-            }
-        }
-        for family in ["explore_states_per_sec", "vi_sweeps_per_sec"] {
-            let base = ring.path(&[family, "speedup"]).and_then(Json::as_f64);
-            let cur = ring_metric(&current, n, &[family, "speedup"]);
-            match (base, cur) {
-                (Some(b), Some(c)) => gate.check_ratio(&format!("n={n} {family}.speedup"), b, c),
-                _ => gate.fail(format!("n={n} {family}.speedup: missing")),
-            }
-        }
-        // The condensation is structural: component counts must reproduce
-        // exactly, and the SCC solver must keep doing less work than
-        // Jacobi (one-sided tolerance on the update ratio).
-        for metric in ["components", "nontrivial_components"] {
-            let base = ring
-                .path(&["scc", metric])
-                .and_then(Json::as_f64)
-                .unwrap_or(f64::NAN);
-            match ring_metric(&current, n, &["scc", metric]) {
-                Some(cur) => gate.check_exact(&format!("n={n} scc.{metric}"), base, cur),
-                None => gate.fail(format!("n={n} scc.{metric}: missing from current artifact")),
-            }
-        }
-        let base = ring.path(&["scc", "update_ratio"]).and_then(Json::as_f64);
-        let cur = ring_metric(&current, n, &["scc", "update_ratio"]);
-        match (base, cur) {
-            (Some(b), Some(c)) => gate.check_ratio_le(&format!("n={n} scc.update_ratio"), b, c),
-            _ => gate.fail(format!("n={n} scc.update_ratio: missing")),
-        }
-        gate.check_positive(
-            &format!("n={n} scc.saved_updates"),
-            ring_metric(&current, n, &["scc", "saved_updates"]),
-        );
-    }
-
-    gate.check_positive(
-        "telemetry mdp.vi.sweeps",
-        telemetry_counter(&current, "mdp.vi.sweeps"),
-    );
-    gate.check_positive(
-        "telemetry mdp.explore.states",
-        telemetry_counter(&current, "mdp.explore.states"),
-    );
-    gate.check_positive(
-        "telemetry sim.mc.trials",
-        telemetry_counter(&current, "sim.mc.trials"),
-    );
-    gate.check_positive(
-        "telemetry mdp.scc.runs",
-        telemetry_counter(&current, "mdp.scc.runs"),
-    );
-    gate.check_positive(
-        "telemetry mdp.scc.components",
-        telemetry_counter(&current, "mdp.scc.components"),
-    );
-    gate.check_positive(
-        "telemetry_overhead.enabled_over_disabled",
-        current
-            .path(&["telemetry_overhead", "enabled_over_disabled"])
-            .and_then(Json::as_f64),
-    );
-
-    // Fault-subsystem block (schema v4): the survival-cell tallies are
-    // deterministic so they gate exactly; the two structural invariants
-    // (zero-fault bitwise identity, certified-absorbing crash states) must
-    // hold outright in the current artifact.
-    for metric in ["holds", "degraded", "fails"] {
-        let base = baseline
-            .path(&["faults", metric])
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        match current.path(&["faults", metric]).and_then(Json::as_f64) {
-            Some(cur) => gate.check_exact(&format!("faults.{metric}"), base, cur),
-            None => gate.fail(format!("faults.{metric}: missing from current artifact")),
-        }
-    }
-    gate.check_true(
-        "faults.zero_fault_bitwise_equal",
-        current
-            .path(&["faults", "zero_fault_bitwise_equal"])
-            .and_then(Json::as_bool),
-    );
-    gate.check_positive(
-        "faults.crash_tagged_choices",
-        current
-            .path(&["faults", "crash_tagged_choices"])
-            .and_then(Json::as_f64),
-    );
-    gate.check_exact(
-        "faults.crash_absorbing_violations",
-        0.0,
-        current
-            .path(&["faults", "crash_absorbing_violations"])
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN),
-    );
-    for counter in [
-        "faults.crashes_injected",
-        "faults.restarts",
-        "faults.obligations_dropped",
-        "faults.envelope_violations",
-        "mdp.tag.tagged_choices",
-    ] {
-        gate.check_positive(
-            &format!("telemetry {counter}"),
-            telemetry_counter(&current, counter),
-        );
-    }
-
-    // Batch-driver block (schema v5): tallies and cache hit counts are
-    // deterministic per job set, so they gate exactly; the invariance
-    // digest pins the measured values bitwise across runs and machines.
-    for metric in [
-        "jobs",
-        "done",
-        "failed",
-        "violated",
-        "model_cache_hits",
-        "model_cache_misses",
-        "distinct_models",
-    ] {
-        let base = baseline
-            .path(&["batch", metric])
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        match current.path(&["batch", metric]).and_then(Json::as_f64) {
-            Some(cur) => gate.check_exact(&format!("batch.{metric}"), base, cur),
-            None => gate.fail(format!("batch.{metric}: missing from current artifact")),
-        }
-    }
-    gate.check_positive(
-        "batch.cache_hit_rate",
-        current
-            .path(&["batch", "cache_hit_rate"])
-            .and_then(Json::as_f64),
-    );
-    gate.check_true(
-        "batch.worker_invariant",
-        current
-            .path(&["batch", "worker_invariant"])
-            .and_then(Json::as_bool),
-    );
-    gate.check_exact_str(
-        "batch.invariance_digest",
-        baseline
-            .path(&["batch", "invariance_digest"])
-            .and_then(Json::as_str),
-        current
-            .path(&["batch", "invariance_digest"])
-            .and_then(Json::as_str),
-    );
-
+    let gate = compare_docs(&baseline, &current, tolerance_pct);
     println!(
         "compare_bench: {} checks, {} failures (tolerance {}%)",
         gate.checks,

@@ -16,11 +16,17 @@
 //!                                     # pa-batch driver (shared models)
 //! cargo run --release -p pa-bench --bin tables -- --batch --smoke --workers 4
 //!                                     # n=3 CI smoke shape
+//! cargo run --release -p pa-bench --bin tables -- --mc --smoke --out BENCH_mc.json
+//!                                     # sampled-tier cross-validation,
+//!                                     # n=3 artifact for the CI gate
+//! cargo run --release -p pa-bench --bin tables -- --mc
+//!                                     # + n=4..5 cross-validation and the
+//!                                     # n=8 escape-hatch estimates
 //! ```
 
 use std::error::Error;
 
-use pa_bench::{batch_suite, experiments, perf, render_table, Row, Verdict};
+use pa_bench::{batch_suite, experiments, mc_suite, perf, render_table, Row, Verdict};
 use serde::Serialize;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -91,6 +97,85 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("wrote {out}");
         if tally.failed > 0 || tally.timed_out > 0 || fault_free_violation {
             return Err("batch run had failures or fault-free violations".into());
+        }
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--mc") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let get = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let trajectories = get("--trajectories")
+            .map(|v| v.parse::<u64>())
+            .transpose()?
+            .unwrap_or(4_000);
+        let seed = get("--seed")
+            .map(|v| v.parse::<u64>())
+            .transpose()?
+            .unwrap_or(42);
+        let out = get("--out").map_or("BENCH_mc.json", String::as_str);
+        println!(
+            "mc: cross-validating the sampled tier (n=3, {trajectories} trajectories, \
+             seed {seed})…"
+        );
+        let report = mc_suite::mc_report(3, trajectories, seed, 5_000_000)?;
+        std::fs::write(out, perf::pretty_json(&report.to_json()))?;
+        println!("wrote {out}");
+        let mut extra = Vec::new();
+        if !smoke {
+            for n in [4usize, 5] {
+                println!("mc: cross-validating n={n}…");
+                extra.push(mc_suite::mc_bench(n, trajectories, seed, 20_000_000)?);
+            }
+        }
+        let mut all_ok = true;
+        for block in std::iter::once(&report.mc).chain(extra.iter()) {
+            println!(
+                "n={}: {} cells ({} vacuous), all intervals contain exact: {}, \
+                 max width {:.4}; uniform anchor contained: {}; worker invariant: {}; \
+                 digest {}",
+                block.n,
+                block.rows.len(),
+                block.skipped_vacuous,
+                block.all_contain_exact,
+                block.max_width,
+                block.uniform.contains_exact,
+                block.worker_invariant,
+                block.digest,
+            );
+            all_ok &=
+                block.all_contain_exact && block.uniform.contains_exact && block.worker_invariant;
+        }
+        if !smoke {
+            // The escape hatch: a ring the exact engine cannot hold
+            // (n = 8 ≈ 17.7M projected states before fault wrapping),
+            // estimated without any exploration.
+            println!("mc: estimating n=8 (no exploration)…");
+            let mc = pa_mc::McConfig::new(trajectories, seed, 0);
+            for within in [13u32, 26, 39] {
+                let est = pa_faults::estimate_reach_uniform(
+                    8,
+                    &pa_faults::FaultPlan::none(),
+                    &pa_core::SetExpr::named("C"),
+                    within,
+                    &mc,
+                )?;
+                let interval = est.interval(pa_prob::stats::Z_99);
+                println!(
+                    "n=8: P(reach C within {within}) ~= {:.4} in [{:.4}, {:.4}] \
+                     ({} of {} trajectories)",
+                    est.point(),
+                    interval.lo().value(),
+                    interval.hi().value(),
+                    est.hit_count(),
+                    est.trials(),
+                );
+            }
+        }
+        if !all_ok {
+            return Err("sampled-tier cross-validation failed".into());
         }
         return Ok(());
     }

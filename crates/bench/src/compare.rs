@@ -1,0 +1,464 @@
+//! The bench-regression gate behind the `compare_bench` binary.
+//!
+//! Compares a freshly measured bench artifact against the checked-in
+//! baseline. The gate is *schema-aware*: every known schema version maps
+//! to the set of blocks it must carry ([`required_blocks`]), a missing
+//! block is a named, actionable failure (instead of the silent pass a
+//! `path(..)`-returns-`None` lookup used to produce), and an unknown
+//! schema string fails with the list of schemas this gate understands.
+//!
+//! Check families, from hard to soft:
+//!
+//! 1. **Structural metrics** (states, choices, transitions per ring) must
+//!    match *exactly* — the explored state space is deterministic, so any
+//!    drift is a semantic change, not noise.
+//! 2. **Speedup ratios** (CSR over seed engine) must not regress by more
+//!    than the tolerance; ratios compare a machine against itself so they
+//!    transfer across hosts. The SCC `update_ratio` is gated one-sided
+//!    the same way.
+//! 3. **Telemetry sanity**: the counters proving the instrumentation
+//!    fired must be positive.
+//! 4. **Fault-subsystem invariants** (schema ≥ v4): survival tallies
+//!    exact, zero-fault bitwise identity, certified-absorbing crashes.
+//! 5. **Batch-driver invariants** (schema ≥ v5): job tallies and cache
+//!    counts exact, worker invariance, pinned canonical digest.
+//! 6. **Sampled-tier invariants** (schema ≥ v6, and the standalone
+//!    `pa-bench/mc/v1` artifact): every 99% interval contains its exact
+//!    value, the 1/2/8-worker probe is bitwise invariant, and the
+//!    seed-determinism digest matches the baseline exactly.
+
+use crate::json::Json;
+
+/// Accumulates gate checks and their failures.
+pub struct Gate {
+    /// Two-sided tolerance (percent) for the ratio checks.
+    pub tolerance_pct: f64,
+    /// Human-readable failure messages; empty means the gate passed.
+    pub failures: Vec<String>,
+    /// Total checks performed (passing and failing).
+    pub checks: usize,
+}
+
+impl Gate {
+    /// A fresh gate at the given ratio tolerance.
+    #[must_use]
+    pub fn new(tolerance_pct: f64) -> Gate {
+        Gate {
+            tolerance_pct,
+            failures: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    /// Records a failure outright.
+    pub fn fail(&mut self, msg: String) {
+        self.failures.push(msg);
+    }
+
+    /// Exact equality for deterministic metrics.
+    pub fn check_exact(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        if baseline != current {
+            self.fail(format!("{what}: expected {baseline}, got {current}"));
+        }
+    }
+
+    /// Ratio metrics where larger is better: fail when `current` drops
+    /// more than `tolerance_pct` below `baseline`.
+    pub fn check_ratio(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        let floor = baseline * (1.0 - self.tolerance_pct / 100.0);
+        if current < floor {
+            self.fail(format!(
+                "{what}: {current:.3} regressed more than {}% below baseline {baseline:.3}",
+                self.tolerance_pct
+            ));
+        }
+    }
+
+    /// Ratio metrics where smaller is better: fail when `current` rises
+    /// more than `tolerance_pct` above `baseline`.
+    pub fn check_ratio_le(&mut self, what: &str, baseline: f64, current: f64) {
+        self.checks += 1;
+        let ceiling = baseline * (1.0 + self.tolerance_pct / 100.0);
+        if current > ceiling {
+            self.fail(format!(
+                "{what}: {current:.3} regressed more than {}% above baseline {baseline:.3}",
+                self.tolerance_pct
+            ));
+        }
+    }
+
+    /// Counter metrics that prove a subsystem fired.
+    pub fn check_positive(&mut self, what: &str, value: Option<f64>) {
+        self.checks += 1;
+        match value {
+            Some(v) if v > 0.0 => {}
+            Some(v) => self.fail(format!("{what}: expected > 0, got {v}")),
+            None => self.fail(format!("{what}: missing from the artifact")),
+        }
+    }
+
+    /// Boolean invariants that must hold outright in the current artifact.
+    pub fn check_true(&mut self, what: &str, value: Option<bool>) {
+        self.checks += 1;
+        match value {
+            Some(true) => {}
+            Some(false) => self.fail(format!("{what}: expected true, got false")),
+            None => self.fail(format!("{what}: missing from the artifact")),
+        }
+    }
+
+    /// Exact string equality (digests).
+    pub fn check_exact_str(&mut self, what: &str, baseline: Option<&str>, current: Option<&str>) {
+        self.checks += 1;
+        match (baseline, current) {
+            (Some(b), Some(c)) if b == c => {}
+            (Some(b), Some(c)) => self.fail(format!("{what}: expected {b:?}, got {c:?}")),
+            _ => self.fail(format!("{what}: missing from an artifact")),
+        }
+    }
+}
+
+/// Schema strings this gate knows how to check, with the top-level blocks
+/// each one must carry.
+const SCHEMAS: &[(&str, &[&str])] = &[
+    (
+        "pa-bench/mdp-throughput/v4",
+        &["rings", "telemetry", "telemetry_overhead", "faults"],
+    ),
+    (
+        "pa-bench/mdp-throughput/v5",
+        &[
+            "rings",
+            "telemetry",
+            "telemetry_overhead",
+            "faults",
+            "batch",
+        ],
+    ),
+    (
+        "pa-bench/mdp-throughput/v6",
+        &[
+            "rings",
+            "telemetry",
+            "telemetry_overhead",
+            "faults",
+            "batch",
+            "mc",
+        ],
+    ),
+    ("pa-bench/mc/v1", &["mc"]),
+];
+
+/// The top-level blocks a schema version must carry, or `None` for a
+/// schema this gate does not understand.
+#[must_use]
+pub fn required_blocks(schema: &str) -> Option<&'static [&'static str]> {
+    SCHEMAS
+        .iter()
+        .find(|(s, _)| *s == schema)
+        .map(|(_, blocks)| *blocks)
+}
+
+/// The schema strings this gate understands, for diagnostics.
+#[must_use]
+pub fn known_schemas() -> Vec<&'static str> {
+    SCHEMAS.iter().map(|(s, _)| *s).collect()
+}
+
+fn ring_metric(doc: &Json, n: f64, keys: &[&str]) -> Option<f64> {
+    doc.get("rings")?
+        .as_array()?
+        .iter()
+        .find(|r| r.get("n").and_then(Json::as_f64) == Some(n))?
+        .path(keys)?
+        .as_f64()
+}
+
+/// Value of a named counter inside the report's `telemetry` block.
+fn telemetry_counter(doc: &Json, name: &str) -> Option<f64> {
+    doc.path(&["telemetry", "counters"])?
+        .as_array()?
+        .iter()
+        .find(|c| c.get("name").and_then(Json::as_str) == Some(name))?
+        .get("value")?
+        .as_f64()
+}
+
+fn gate_rings(gate: &mut Gate, baseline: &Json, current: &Json) {
+    let Some(rings) = baseline.get("rings").and_then(Json::as_array) else {
+        gate.fail("baseline `rings` block is not an array".to_string());
+        return;
+    };
+    for ring in rings {
+        let Some(n) = ring.get("n").and_then(Json::as_f64) else {
+            gate.fail("baseline ring entry without an `n` field".to_string());
+            continue;
+        };
+        for metric in ["states", "choices", "transitions"] {
+            let base = ring.get(metric).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            match ring_metric(current, n, &[metric]) {
+                Some(cur) => gate.check_exact(&format!("n={n} {metric}"), base, cur),
+                None => gate.fail(format!("n={n} {metric}: missing from current artifact")),
+            }
+        }
+        for family in ["explore_states_per_sec", "vi_sweeps_per_sec"] {
+            let base = ring.path(&[family, "speedup"]).and_then(Json::as_f64);
+            let cur = ring_metric(current, n, &[family, "speedup"]);
+            match (base, cur) {
+                (Some(b), Some(c)) => gate.check_ratio(&format!("n={n} {family}.speedup"), b, c),
+                _ => gate.fail(format!("n={n} {family}.speedup: missing")),
+            }
+        }
+        // The condensation is structural: component counts must reproduce
+        // exactly, and the SCC solver must keep doing less work than
+        // Jacobi (one-sided tolerance on the update ratio).
+        for metric in ["components", "nontrivial_components"] {
+            let base = ring
+                .path(&["scc", metric])
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            match ring_metric(current, n, &["scc", metric]) {
+                Some(cur) => gate.check_exact(&format!("n={n} scc.{metric}"), base, cur),
+                None => gate.fail(format!("n={n} scc.{metric}: missing from current artifact")),
+            }
+        }
+        let base = ring.path(&["scc", "update_ratio"]).and_then(Json::as_f64);
+        let cur = ring_metric(current, n, &["scc", "update_ratio"]);
+        match (base, cur) {
+            (Some(b), Some(c)) => gate.check_ratio_le(&format!("n={n} scc.update_ratio"), b, c),
+            _ => gate.fail(format!("n={n} scc.update_ratio: missing")),
+        }
+        gate.check_positive(
+            &format!("n={n} scc.saved_updates"),
+            ring_metric(current, n, &["scc", "saved_updates"]),
+        );
+    }
+}
+
+fn gate_telemetry(gate: &mut Gate, current: &Json, with_mc: bool) {
+    for counter in [
+        "mdp.vi.sweeps",
+        "mdp.explore.states",
+        "sim.mc.trials",
+        "mdp.scc.runs",
+        "mdp.scc.components",
+        "faults.crashes_injected",
+        "faults.restarts",
+        "faults.obligations_dropped",
+        "faults.envelope_violations",
+        "mdp.tag.tagged_choices",
+    ] {
+        gate.check_positive(
+            &format!("telemetry {counter}"),
+            telemetry_counter(current, counter),
+        );
+    }
+    if with_mc {
+        for counter in ["mc.trajectories", "mc.steps", "mc.rng_draws"] {
+            gate.check_positive(
+                &format!("telemetry {counter}"),
+                telemetry_counter(current, counter),
+            );
+        }
+    }
+    gate.check_positive(
+        "telemetry_overhead.enabled_over_disabled",
+        current
+            .path(&["telemetry_overhead", "enabled_over_disabled"])
+            .and_then(Json::as_f64),
+    );
+}
+
+fn gate_faults(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The survival-cell tallies are deterministic so they gate exactly;
+    // the two structural invariants (zero-fault bitwise identity,
+    // certified-absorbing crash states) must hold outright.
+    for metric in ["holds", "degraded", "fails"] {
+        let base = baseline
+            .path(&["faults", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["faults", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("faults.{metric}"), base, cur),
+            None => gate.fail(format!("faults.{metric}: missing from current artifact")),
+        }
+    }
+    gate.check_true(
+        "faults.zero_fault_bitwise_equal",
+        current
+            .path(&["faults", "zero_fault_bitwise_equal"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_positive(
+        "faults.crash_tagged_choices",
+        current
+            .path(&["faults", "crash_tagged_choices"])
+            .and_then(Json::as_f64),
+    );
+    gate.check_exact(
+        "faults.crash_absorbing_violations",
+        0.0,
+        current
+            .path(&["faults", "crash_absorbing_violations"])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+}
+
+fn gate_batch(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // Tallies and cache hit counts are deterministic per job set, so they
+    // gate exactly; the invariance digest pins the measured values
+    // bitwise across runs and machines.
+    for metric in [
+        "jobs",
+        "done",
+        "failed",
+        "violated",
+        "model_cache_hits",
+        "model_cache_misses",
+        "distinct_models",
+    ] {
+        let base = baseline
+            .path(&["batch", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["batch", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("batch.{metric}"), base, cur),
+            None => gate.fail(format!("batch.{metric}: missing from current artifact")),
+        }
+    }
+    gate.check_positive(
+        "batch.cache_hit_rate",
+        current
+            .path(&["batch", "cache_hit_rate"])
+            .and_then(Json::as_f64),
+    );
+    gate.check_true(
+        "batch.worker_invariant",
+        current
+            .path(&["batch", "worker_invariant"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_exact_str(
+        "batch.invariance_digest",
+        baseline
+            .path(&["batch", "invariance_digest"])
+            .and_then(Json::as_str),
+        current
+            .path(&["batch", "invariance_digest"])
+            .and_then(Json::as_str),
+    );
+}
+
+fn gate_mc(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The sampling parameters and the integer accounting are
+    // deterministic for a pinned seed, so they gate exactly; the
+    // statistical verdicts must hold outright in the current artifact.
+    for metric in ["n", "trajectories", "seed", "skipped_vacuous"] {
+        let base = baseline
+            .path(&["mc", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["mc", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("mc.{metric}"), base, cur),
+            None => gate.fail(format!("mc.{metric}: missing from current artifact")),
+        }
+    }
+    gate.check_true(
+        "mc.all_contain_exact",
+        current
+            .path(&["mc", "all_contain_exact"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_true(
+        "mc.uniform.contains_exact",
+        current
+            .path(&["mc", "uniform", "contains_exact"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_true(
+        "mc.worker_invariant",
+        current
+            .path(&["mc", "worker_invariant"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_exact_str(
+        "mc.digest",
+        baseline.path(&["mc", "digest"]).and_then(Json::as_str),
+        current.path(&["mc", "digest"]).and_then(Json::as_str),
+    );
+    for metric in ["trajectories_total", "rng_draws_total", "steps_total"] {
+        gate.check_positive(
+            &format!("mc.{metric}"),
+            current.path(&["mc", metric]).and_then(Json::as_f64),
+        );
+    }
+}
+
+/// Runs every gate the artifacts' schema requires. Failures (including
+/// schema mismatches, unknown schemas, and missing blocks) are collected
+/// in the returned [`Gate`]; an empty `failures` list means pass.
+#[must_use]
+pub fn compare_docs(baseline: &Json, current: &Json, tolerance_pct: f64) -> Gate {
+    let mut gate = Gate::new(tolerance_pct);
+
+    let schema_of = |doc: &Json| doc.get("schema").and_then(Json::as_str).map(str::to_string);
+    let (base_schema, cur_schema) = (schema_of(baseline), schema_of(current));
+    if base_schema != cur_schema {
+        gate.fail(format!(
+            "schema mismatch: baseline {base_schema:?} vs current {cur_schema:?} — regenerate \
+             the baseline with the command in its `regenerate` field"
+        ));
+    }
+    let Some(schema) = cur_schema else {
+        gate.fail(format!(
+            "current artifact has no `schema` field; known schemas: {}",
+            known_schemas().join(", ")
+        ));
+        return gate;
+    };
+    let Some(blocks) = required_blocks(&schema) else {
+        gate.fail(format!(
+            "unknown schema {schema:?}; this gate understands: {}",
+            known_schemas().join(", ")
+        ));
+        return gate;
+    };
+
+    // A missing required block is a named failure, never a silent pass.
+    let mut missing = false;
+    for (doc, which) in [(baseline, "baseline"), (current, "current")] {
+        for block in blocks {
+            if doc.get(block).is_none() {
+                gate.fail(format!(
+                    "{which} artifact is missing the `{block}` block required by schema \
+                     {schema:?}; regenerate it with the command in its `regenerate` field"
+                ));
+                missing = true;
+            }
+        }
+    }
+    if missing {
+        return gate;
+    }
+
+    let has = |block: &str| blocks.contains(&block);
+    if has("rings") {
+        gate_rings(&mut gate, baseline, current);
+    }
+    if has("telemetry") {
+        gate_telemetry(&mut gate, current, has("mc"));
+    }
+    if has("faults") {
+        gate_faults(&mut gate, baseline, current);
+    }
+    if has("batch") {
+        gate_batch(&mut gate, baseline, current);
+    }
+    if has("mc") {
+        gate_mc(&mut gate, baseline, current);
+    }
+    gate
+}

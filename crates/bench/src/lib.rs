@@ -11,8 +11,10 @@
 #![warn(missing_docs)]
 
 pub mod batch_suite;
+pub mod compare;
 pub mod experiments;
 pub mod json;
+pub mod mc_suite;
 pub mod perf;
 mod table;
 

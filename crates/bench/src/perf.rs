@@ -17,7 +17,10 @@
 //! states) that `compare_bench` gates. Schema v5 adds a [`BatchBench`]
 //! block: the `pa-batch` worker-invariance probe (job tallies, model-cache
 //! hit counts, and the canonical-report digest shared by the 1-worker and
-//! 4-worker runs).
+//! 4-worker runs). Schema v6 adds the [`crate::mc_suite::McBench`] block:
+//! the sampled-tier cross-validation (every arrow × fault-plan 99%
+//! interval must contain its exact value) with its seed-determinism
+//! digest and the 1/2/8-worker invariance probe.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -368,6 +371,10 @@ pub struct BenchReport {
     /// The batch-driver block (schema v5): job tallies, model-cache hit
     /// counts and the worker-invariance digest `compare_bench` gates.
     pub batch: BatchBench,
+    /// The sampled-tier block (schema v6): the `n = 3` Monte-Carlo
+    /// cross-validation with its seed-determinism digest and worker
+    /// invariance probe, all gated by `compare_bench`.
+    pub mc: crate::mc_suite::McBench,
 }
 
 fn read_cpu_model() -> String {
@@ -598,6 +605,16 @@ pub fn telemetry_probe() -> Result<TelemetrySnapshot, Box<dyn std::error::Error>
         let fexplored = par_explore(&faulty, faulty_round_cost, 1_000_000)?;
         faulty.crash_tags(&fexplored);
 
+        // One sampled-tier estimate so the `mc.*` counters (trajectories,
+        // steps, rng draws) land in the snapshot the CI gate inspects.
+        pa_faults::estimate_reach_uniform(
+            3,
+            &FaultPlan::none(),
+            &pa_core::SetExpr::named("C"),
+            13,
+            &pa_mc::McConfig::new(500, 42, 0),
+        )?;
+
         Ok(pa_telemetry::snapshot())
     })();
     pa_telemetry::set_enabled(false);
@@ -697,8 +714,10 @@ pub fn bench_report_sized(
     let faults = faults_bench(5_000_000)?;
     eprintln!("running batch worker-invariance probe…");
     let batch = batch_bench()?;
+    eprintln!("cross-validating the sampled tier…");
+    let mc = crate::mc_suite::mc_bench(3, 4_000, 42, 5_000_000)?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v5".to_string(),
+        schema: "pa-bench/mdp-throughput/v6".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
@@ -707,6 +726,7 @@ pub fn bench_report_sized(
         telemetry_overhead: overhead,
         faults,
         batch,
+        mc,
     })
 }
 

@@ -17,7 +17,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v5")
+        Some("pa-bench/mdp-throughput/v6")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
@@ -119,6 +119,41 @@ fn bench_report_emits_a_valid_telemetry_block() {
         .expect("digest present");
     assert_eq!(digest.len(), 16);
     assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // The mc block (schema v6) carries the sampled-tier cross-validation:
+    // every 99% interval contains its exact value, the 1/2/8-worker probe
+    // is bitwise invariant, and the seed-determinism digest is 16 hex
+    // digits.
+    assert_eq!(
+        doc.path(&["mc", "all_contain_exact"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        doc.path(&["mc", "uniform", "contains_exact"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        doc.path(&["mc", "worker_invariant"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let mc_digest = doc
+        .path(&["mc", "digest"])
+        .and_then(Json::as_str)
+        .expect("mc digest present");
+    assert_eq!(mc_digest.len(), 16);
+    assert!(mc_digest.chars().all(|c| c.is_ascii_hexdigit()));
+    assert!(
+        doc.path(&["mc", "rows"])
+            .and_then(Json::as_array)
+            .is_some_and(|rows| !rows.is_empty()),
+        "mc rows present"
+    );
+    assert!(counter("mc.trajectories") > 0.0);
+    assert!(counter("mc.steps") > 0.0);
+    assert!(counter("mc.rng_draws") > 0.0);
 
     // Residual trajectory and rounds-to-fire histogram made it through.
     let residuals = doc
@@ -320,4 +355,144 @@ fn compare_bench_fails_survival_tally_drift() {
         !run_gate(&baseline, &current, "20"),
         "a claim flipping from Holds to Fails must fail the gate"
     );
+}
+
+fn mc_block(digest: &str, contains: bool, invariant: bool) -> String {
+    format!(
+        r#"{{"n":3,"trajectories":4000,"seed":42,"rows":[{{"arrow":"a","plan":"none","exact":0.25,"point":0.26,"lo":0.24,"hi":0.28,"width":0.04,"contains_exact":{contains},"trials":4000}}],"skipped_vacuous":0,"all_contain_exact":{contains},"max_width":0.04,"uniform":{{"target":"C","within":13,"exact":0.3,"point":0.3,"lo":0.28,"hi":0.32,"contains_exact":true}},"digest":"{digest}","worker_invariant":{invariant},"trajectories_total":84000,"steps_total":500000,"early_stops_total":0,"rng_draws_total":400000}}"#
+    )
+}
+
+/// A v6 artifact: the v5 fixture plus the `mc` block and its telemetry
+/// counters.
+fn gate_artifact_v6(digest: &str, contains: bool, invariant: bool) -> String {
+    let mut doc = gate_artifact(536, 2.0, 640, 0.424)
+        .replace("pa-bench/mdp-throughput/v5", "pa-bench/mdp-throughput/v6")
+        .replace(
+            r#"{"name":"mdp.tag.tagged_choices","value":8}"#,
+            r#"{"name":"mdp.tag.tagged_choices","value":8},{"name":"mc.trajectories","value":84000},{"name":"mc.steps","value":500000},{"name":"mc.rng_draws","value":400000}"#,
+        );
+    assert_eq!(doc.pop(), Some('}'));
+    doc.push_str(&format!(
+        r#","mc":{}}}"#,
+        mc_block(digest, contains, invariant)
+    ));
+    doc
+}
+
+/// The standalone `pa-bench/mc/v1` artifact the mc-smoke job gates.
+fn mc_v1_artifact(digest: &str) -> String {
+    format!(
+        r#"{{"schema":"pa-bench/mc/v1","regenerate":"tables --mc","mc":{}}}"#,
+        mc_block(digest, true, true)
+    )
+}
+
+#[test]
+fn compare_bench_passes_v6_artifacts_with_mc_block() {
+    let artifact = gate_artifact_v6("00deadbeef00cafe", true, true);
+    assert!(run_gate(&artifact, &artifact, "20"));
+}
+
+#[test]
+fn compare_bench_fails_mc_digest_drift() {
+    let baseline = gate_artifact_v6("00deadbeef00cafe", true, true);
+    let current = gate_artifact_v6("00deadbeef00beef", true, true);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "a drifted seed-determinism digest means the RNG stream layout or \
+         trajectory semantics changed"
+    );
+}
+
+#[test]
+fn compare_bench_fails_mc_containment_loss() {
+    let baseline = gate_artifact_v6("00deadbeef00cafe", true, true);
+    let current = gate_artifact_v6("00deadbeef00cafe", false, true);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "an interval that misses its exact value must fail the gate"
+    );
+}
+
+#[test]
+fn compare_bench_fails_mc_worker_variance() {
+    let baseline = gate_artifact_v6("00deadbeef00cafe", true, true);
+    let current = gate_artifact_v6("00deadbeef00cafe", true, false);
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn compare_bench_passes_standalone_mc_artifact() {
+    let artifact = mc_v1_artifact("00deadbeef00cafe");
+    assert!(run_gate(&artifact, &artifact, "20"));
+}
+
+#[test]
+fn compare_bench_fails_standalone_mc_digest_drift() {
+    let baseline = mc_v1_artifact("00deadbeef00cafe");
+    let current = mc_v1_artifact("1111111111111111");
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
+#[test]
+fn unknown_schema_is_a_named_failure_not_a_silent_pass() {
+    use pa_bench::compare::compare_docs;
+    let doc = gate_artifact(536, 2.0, 640, 0.424)
+        .replace("pa-bench/mdp-throughput/v5", "pa-bench/mdp-throughput/v99");
+    let parsed = Json::parse(&doc).unwrap();
+    let gate = compare_docs(&parsed, &parsed, 20.0);
+    assert_eq!(gate.failures.len(), 1, "{:?}", gate.failures);
+    assert!(
+        gate.failures[0].contains("unknown schema")
+            && gate.failures[0].contains("pa-bench/mdp-throughput/v6"),
+        "diagnostic must name the schema and list the known ones: {}",
+        gate.failures[0]
+    );
+}
+
+#[test]
+fn missing_required_block_is_a_named_failure() {
+    use pa_bench::compare::compare_docs;
+    let baseline = Json::parse(&gate_artifact(536, 2.0, 640, 0.424)).unwrap();
+    let current = Json::parse(
+        &gate_artifact(536, 2.0, 640, 0.424).replace(r#""batch":"#, r#""batch_gone":"#),
+    )
+    .unwrap();
+    let gate = compare_docs(&baseline, &current, 20.0);
+    assert!(
+        gate.failures
+            .iter()
+            .any(|f| f.contains("`batch`") && f.contains("current") && f.contains("regenerate")),
+        "diagnostic must name the missing block and how to fix it: {:?}",
+        gate.failures
+    );
+}
+
+#[test]
+fn missing_schema_field_is_a_named_failure() {
+    use pa_bench::compare::compare_docs;
+    let doc = Json::parse(r#"{"rings":[]}"#).unwrap();
+    let gate = compare_docs(&doc, &doc, 20.0);
+    assert!(
+        gate.failures
+            .iter()
+            .any(|f| f.contains("no `schema` field")),
+        "{:?}",
+        gate.failures
+    );
+}
+
+#[test]
+fn required_blocks_table_covers_every_known_schema() {
+    use pa_bench::compare::{known_schemas, required_blocks};
+    for schema in known_schemas() {
+        let blocks = required_blocks(schema).unwrap();
+        assert!(!blocks.is_empty());
+    }
+    assert!(required_blocks("pa-bench/mdp-throughput/v6")
+        .unwrap()
+        .contains(&"mc"));
+    assert_eq!(required_blocks("pa-bench/mc/v1"), Some(&["mc"][..]));
+    assert_eq!(required_blocks("nope"), None);
 }

@@ -37,6 +37,8 @@ pub enum FaultError {
     Lr(LrError),
     /// An error from the MDP engine.
     Mdp(pa_mdp::MdpError),
+    /// An error from the sampled estimation tier.
+    Mc(pa_mc::McError),
 }
 
 impl std::fmt::Display for FaultError {
@@ -57,6 +59,7 @@ impl std::fmt::Display for FaultError {
             }
             FaultError::Lr(e) => write!(f, "protocol error: {e}"),
             FaultError::Mdp(e) => write!(f, "mdp error: {e}"),
+            FaultError::Mc(e) => write!(f, "monte-carlo error: {e}"),
         }
     }
 }
@@ -66,6 +69,7 @@ impl std::error::Error for FaultError {
         match self {
             FaultError::Lr(e) => Some(e),
             FaultError::Mdp(e) => Some(e),
+            FaultError::Mc(e) => Some(e),
             _ => None,
         }
     }
@@ -80,5 +84,11 @@ impl From<LrError> for FaultError {
 impl From<pa_mdp::MdpError> for FaultError {
     fn from(e: pa_mdp::MdpError) -> FaultError {
         FaultError::Mdp(e)
+    }
+}
+
+impl From<pa_mc::McError> for FaultError {
+    fn from(e: pa_mc::McError) -> FaultError {
+        FaultError::Mc(e)
     }
 }

@@ -54,6 +54,7 @@ mod error;
 mod model;
 mod plan;
 mod round;
+mod sampling;
 mod survival;
 
 pub use adversary::{faulty_adversary, round_of_time};
@@ -61,6 +62,9 @@ pub use error::FaultError;
 pub use model::FaultModel;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, MAX_DOWNTIME};
 pub use round::{faulty_round_cost, FaultyRoundMdp, FaultyRoundState, STOPPED, TAG_CRASH};
+pub use sampling::{
+    estimate_reach_uniform, exact_reach_uniform, sampled_arrow_under, trying_start, SampledArrow,
+};
 pub use survival::{
     check_arrow_under, classify, default_grid, region_pred_under, set_pred_under, survival_map,
     survival_map_with_grid, Survival, SurvivalCell, SurvivalMap, SurvivalRow, DEFAULT_STATE_LIMIT,

@@ -143,32 +143,16 @@ pub fn check_arrow_under(
     plan: &FaultPlan,
     limit: usize,
 ) -> Result<ArrowCheck, FaultError> {
-    let from = set_pred_under(arrow.from())?;
-    let to = set_pred_under(arrow.to())?;
-    let n = cfg.n;
-    // The crash mask already in force when the clock starts.
-    let mask0 = plan
-        .events_at(1)
-        .iter()
-        .filter(|e| !matches!(e.kind, FaultKind::DropObligation))
-        .fold(0u32, |m, e| m | (1 << e.process));
-    let starts: Vec<Config> = reachable_configs(n, limit)?
-        .into_iter()
-        .filter(|c| from(c, mask0))
-        .collect();
-    if starts.is_empty() {
+    let Some((model, states_checked)) = arrow_model(cfg, arrow, plan, limit)? else {
         return Ok(ArrowCheck {
             arrow: arrow.clone(),
             measured: ProbInterval::exact(Prob::ONE),
             worst_state: None,
             states_checked: 0,
         });
-    }
-    let states_checked = starts.len();
-    let to_for_absorb = set_pred_under(arrow.to())?;
-    let model = FaultyRoundMdp::new(cfg, plan.clone())?
-        .with_starts(starts)
-        .with_absorb(move |s| to_for_absorb(&s.inner.config, s.crashed_mask(n)));
+    };
+    let to = set_pred_under(arrow.to())?;
+    let n = cfg.n;
     let explored = par_explore(&model, faulty_round_cost, limit)?;
     let target = explored.target_where(|s| to(&s.inner.config, s.crashed_mask(n)));
     let budget = time_to_budget(arrow.time());
@@ -193,6 +177,45 @@ pub fn check_arrow_under(
         worst_state,
         states_checked,
     })
+}
+
+/// The crash mask already in force when the clock starts: round-1 events
+/// strike before any process moves, so membership of the start states in
+/// the arrow's source region is judged under it.
+pub(crate) fn start_crash_mask(plan: &FaultPlan) -> u32 {
+    plan.events_at(1)
+        .iter()
+        .filter(|e| !matches!(e.kind, FaultKind::DropObligation))
+        .fold(0u32, |m, e| m | (1 << e.process))
+}
+
+/// Builds the fault-wrapped arrow model both the exact and the sampled
+/// checkers run on: the reachable configurations of the arrow's source
+/// region (judged under the round-1 crash mask) as starts, with the target
+/// region absorbing. Returns `None` when the source region is empty —
+/// the arrow is then vacuously true and there is nothing to analyze.
+pub(crate) fn arrow_model(
+    cfg: RoundConfig,
+    arrow: &Arrow,
+    plan: &FaultPlan,
+    limit: usize,
+) -> Result<Option<(FaultyRoundMdp, usize)>, FaultError> {
+    let from = set_pred_under(arrow.from())?;
+    let n = cfg.n;
+    let mask0 = start_crash_mask(plan);
+    let starts: Vec<Config> = reachable_configs(n, limit)?
+        .into_iter()
+        .filter(|c| from(c, mask0))
+        .collect();
+    if starts.is_empty() {
+        return Ok(None);
+    }
+    let states_checked = starts.len();
+    let to_for_absorb = set_pred_under(arrow.to())?;
+    let model = FaultyRoundMdp::new(cfg, plan.clone())?
+        .with_starts(starts)
+        .with_absorb(move |s| to_for_absorb(&s.inner.config, s.crashed_mask(n)));
+    Ok(Some((model, states_checked)))
 }
 
 /// The default fault grid: the zero-fault identity column plus one

@@ -1,0 +1,117 @@
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use pa_core::{Automaton, Step};
+use pa_prob::FiniteDist;
+
+/// State of a [`UniformChain`]: either the wrapped model's state with the
+/// choice still open, or that state with one enabled step already picked.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ChainState<S> {
+    /// The wrapped state, about to pick a step uniformly.
+    Open(S),
+    /// The wrapped state committed to its `k`-th enabled step.
+    Picked(S, usize),
+}
+
+impl<S> ChainState<S> {
+    /// The wrapped model's state.
+    pub fn inner(&self) -> &S {
+        match self {
+            ChainState::Open(s) | ChainState::Picked(s, _) => s,
+        }
+    }
+}
+
+/// Action of a [`UniformChain`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainAction<A> {
+    /// The zero-cost uniform pick among the enabled steps.
+    Pick,
+    /// Executing the committed step of the wrapped model.
+    Take(A),
+}
+
+/// Wraps an automaton so the uniform-random policy becomes the model's
+/// *only* adversary: every [`ChainState::Open`] state has exactly one
+/// step — a uniform distribution over its [`ChainState::Picked`]
+/// successors — and every `Picked` state executes the committed inner
+/// step. The wrapped model is a Markov chain (one choice everywhere), so
+/// `MinProb` and `MaxProb` coincide and an exact [`pa_mdp::Query`] over
+/// it computes the precise value of the uniform-policy estimand — the
+/// cross-validation anchor for [`crate::UniformPolicy`] sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformChain<'a, M> {
+    inner: &'a M,
+}
+
+impl<'a, M: Automaton> UniformChain<'a, M> {
+    /// Wraps `inner`.
+    pub fn new(inner: &'a M) -> UniformChain<'a, M> {
+        UniformChain { inner }
+    }
+
+    /// Cost function for the chain: the pick is free, executing the
+    /// committed step costs what the wrapped model says.
+    pub fn cost(
+        inner_cost: impl Fn(&M::State, &M::Action) -> u32,
+    ) -> impl Fn(&ChainState<M::State>, &ChainAction<M::Action>) -> u32 {
+        move |state, action| match (state, action) {
+            (_, ChainAction::Pick) => 0,
+            (ChainState::Picked(s, _) | ChainState::Open(s), ChainAction::Take(a)) => {
+                inner_cost(s, a)
+            }
+        }
+    }
+}
+
+/// Lifts a target predicate of the wrapped model to the chain. Only
+/// `Open` states count: a `Picked` state is the interior of a composite
+/// step, and counting it would let a trajectory hit "between" inner
+/// states the sampler never visits.
+pub fn chain_target<S>(mut pred: impl FnMut(&S) -> bool) -> impl FnMut(&ChainState<S>) -> bool {
+    move |state| matches!(state, ChainState::Open(s) if pred(s))
+}
+
+impl<M: Automaton> Automaton for UniformChain<'_, M> {
+    type State = ChainState<M::State>;
+    type Action = ChainAction<M::Action>;
+
+    fn start_states(&self) -> Vec<Self::State> {
+        self.inner
+            .start_states()
+            .into_iter()
+            .map(ChainState::Open)
+            .collect()
+    }
+
+    fn steps(&self, state: &Self::State) -> Vec<Step<Self::State, Self::Action>> {
+        match state {
+            ChainState::Open(s) => {
+                let count = self.inner.steps(s).len();
+                if count == 0 {
+                    return Vec::new();
+                }
+                let picked =
+                    FiniteDist::uniform((0..count).map(|k| ChainState::Picked(s.clone(), k)))
+                        .expect("non-empty uniform support");
+                vec![Step {
+                    action: ChainAction::Pick,
+                    target: picked,
+                }]
+            }
+            ChainState::Picked(s, k) => {
+                let step = self
+                    .inner
+                    .steps(s)
+                    .into_iter()
+                    .nth(*k)
+                    .expect("picked index enumerates the inner steps");
+                vec![Step {
+                    action: ChainAction::Take(step.action),
+                    target: step.target.map(|t| ChainState::Open(t.clone())),
+                }]
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+use pa_core::Automaton;
+use pa_prob::rng::SplitMix64;
+
+use crate::{McConfig, McError, McEstimate, SamplePolicy};
+
+/// Outcome of a single trajectory.
+struct Trajectory {
+    /// Accumulated cost at the first target visit, `None` for a miss.
+    hit_at: Option<u32>,
+    /// Whether the per-trajectory step cap fired.
+    early: bool,
+    /// Steps taken.
+    steps: u64,
+}
+
+/// Runs one trajectory on its private stream. Semantics mirror the exact
+/// bounded value iteration: a visit to the target with accumulated cost
+/// `≤ max_time` is a hit; a step whose cost would exceed the budget, a
+/// dead end, or the step cap is a miss.
+fn run_trajectory<M, P>(
+    model: &M,
+    start: &M::State,
+    target: &(impl Fn(&M::State) -> bool + ?Sized),
+    cost_of: &(impl Fn(&M::State, &M::Action) -> u32 + ?Sized),
+    policy: &P,
+    cfg: &McConfig,
+    rng: &mut SplitMix64,
+) -> Trajectory
+where
+    M: Automaton,
+    P: SamplePolicy<M>,
+{
+    let mut state = start.clone();
+    let mut spent = 0u32;
+    let mut steps_taken = 0u64;
+    loop {
+        if target(&state) {
+            return Trajectory {
+                hit_at: Some(spent),
+                early: false,
+                steps: steps_taken,
+            };
+        }
+        if steps_taken >= cfg.max_steps {
+            return Trajectory {
+                hit_at: None,
+                early: true,
+                steps: steps_taken,
+            };
+        }
+        let steps = model.steps(&state);
+        if steps.is_empty() {
+            // Dead end outside the target: the exact engine values it 0.
+            return Trajectory {
+                hit_at: None,
+                early: false,
+                steps: steps_taken,
+            };
+        }
+        let remaining = cfg.max_time - spent;
+        let chosen = policy.choose(&state, &steps, remaining, rng);
+        let step = &steps[chosen];
+        let cost = cost_of(&state, &step.action);
+        if cost > remaining {
+            // Budget exhausted before the target — exactly the level-0
+            // failure of the cost-bounded recursion.
+            return Trajectory {
+                hit_at: None,
+                early: false,
+                steps: steps_taken,
+            };
+        }
+        spent += cost;
+        state = step.target.sample(rng).clone();
+        steps_taken += 1;
+    }
+}
+
+/// Estimates the probability of reaching `target` from `start` within the
+/// cost budget `cfg.max_time`, sampling `cfg.trajectories` trajectories
+/// under `policy`.
+///
+/// Determinism contract: trajectory `i` runs on
+/// `SplitMix64::for_trial(cfg.seed, i)` and outcomes are accumulated as
+/// integers, so the returned [`McEstimate`] is bitwise identical for
+/// every worker count and across runs — only wall-clock time varies.
+///
+/// Records the `mc.trajectories`, `mc.steps`, `mc.early_stops` and
+/// `mc.rng_draws` telemetry counters and the `mc.seconds` span.
+///
+/// # Errors
+///
+/// [`McError::NoTrajectories`] for an empty batch,
+/// [`McError::WorkerPanicked`] if a worker thread panics.
+pub fn estimate_reach<M, P>(
+    model: &M,
+    start: &M::State,
+    target: impl Fn(&M::State) -> bool + Sync,
+    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
+    policy: &P,
+    cfg: &McConfig,
+) -> Result<McEstimate, McError>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+    P: SamplePolicy<M> + Sync,
+{
+    if cfg.trajectories == 0 {
+        return Err(McError::NoTrajectories);
+    }
+    let _span = pa_telemetry::span("mc.seconds");
+    let workers = cfg.worker_count();
+    let parts = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let target = &target;
+            let cost_of = &cost_of;
+            let cfg = *cfg;
+            handles.push(scope.spawn(move |_| {
+                let mut acc = McEstimate::empty(cfg.max_time);
+                let mut i = w;
+                while i < cfg.trajectories {
+                    let mut rng = SplitMix64::for_trial(cfg.seed, i);
+                    let out = run_trajectory(model, start, target, cost_of, policy, &cfg, &mut rng);
+                    acc.record(out.hit_at, out.early, out.steps, rng.draws());
+                    i += workers;
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .collect::<Result<Vec<McEstimate>, _>>()
+    })
+    .map_err(|_| McError::WorkerPanicked)?
+    .map_err(|_| McError::WorkerPanicked)?;
+
+    // Integer merge: associative, so any partition of the trial index
+    // space (any worker count) lands on the same accumulator.
+    let mut total = McEstimate::empty(cfg.max_time);
+    for part in &parts {
+        total.absorb(part);
+    }
+
+    if pa_telemetry::enabled() {
+        pa_telemetry::counter("mc.trajectories").add(total.trials());
+        pa_telemetry::counter("mc.steps").add(total.total_steps());
+        pa_telemetry::counter("mc.early_stops").add(total.early_stops());
+        pa_telemetry::counter("mc.rng_draws").add(total.rng_draws());
+    }
+    Ok(total)
+}

@@ -66,6 +66,14 @@ impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
         self.query().target(target)
     }
 
+    /// Dense index of a concrete state, or `None` when it was never
+    /// reached. This is the lookup direction policy replay needs: a
+    /// trajectory's concrete state maps back to the index the extracted
+    /// [`crate::BoundedPolicy`] was computed over.
+    pub fn index_of(&self, state: &S) -> Option<usize> {
+        self.index.get(state).copied()
+    }
+
     /// Indices of states satisfying a predicate.
     pub fn states_where(&self, mut pred: impl FnMut(&S) -> bool) -> Vec<usize> {
         self.states

@@ -169,6 +169,17 @@ impl BernoulliEstimator {
         BernoulliEstimator::default()
     }
 
+    /// Creates an estimator from pre-aggregated counts, clamping
+    /// `successes` to `trials`. This is the bridge from integer-exact
+    /// parallel accumulators (which merge counts, not estimators) into the
+    /// interval machinery.
+    pub fn from_counts(successes: u64, trials: u64) -> BernoulliEstimator {
+        BernoulliEstimator {
+            successes: successes.min(trials),
+            trials,
+        }
+    }
+
     /// Records one trial.
     pub fn record(&mut self, success: bool) {
         self.trials += 1;

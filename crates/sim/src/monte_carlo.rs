@@ -5,9 +5,13 @@ use crate::{rounds_to_hit, SimError, Simulable};
 
 /// Configuration for a batch of Monte-Carlo trials.
 ///
-/// Results are deterministic in `(seed, trials, max_rounds)` and independent
-/// of the number of worker threads: trial `i` always runs on the generator
-/// `SplitMix64::for_trial(seed, i)`.
+/// Results are deterministic in `(seed, trials, max_rounds)` and bitwise
+/// independent of the number of worker threads: trial `i` always runs on
+/// the generator `SplitMix64::for_trial(seed, i)`, and [`run_fold`]
+/// replays the outcomes into the accumulator in trial order no matter how
+/// they were produced.
+///
+/// [`run_fold`]: MonteCarlo::run_fold
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MonteCarlo {
     /// Number of independent trials.
@@ -35,9 +39,16 @@ impl MonteCarlo {
         hw.min(self.trials).max(1)
     }
 
-    /// Runs the trials, reducing each trial's hit round (or censoring) into
-    /// an accumulator. `make_acc` creates a per-worker accumulator, `fold`
-    /// consumes one trial outcome, `merge` combines worker accumulators.
+    /// Runs the trials and reduces each trial's hit round (or censoring)
+    /// into an accumulator, folding **in strictly increasing trial order**
+    /// regardless of worker count: workers only *produce* outcomes (worker
+    /// `w` owns the strided indices `w, w+W, …`), and the single fold runs
+    /// on the main thread over trial index `0, 1, 2, …`. Floating-point
+    /// accumulators (Welford means, etc.) therefore see the exact same
+    /// operation sequence for every worker count — the result is bitwise
+    /// identical, not merely statistically equivalent. The former
+    /// worker-local fold + merge scheme made the accumulator value depend
+    /// on how trials were partitioned.
     ///
     /// # Errors
     ///
@@ -47,13 +58,11 @@ impl MonteCarlo {
         &self,
         system: &S,
         pred: impl Fn(&S::State) -> bool + Sync,
-        make_acc: impl Fn() -> Acc + Sync,
-        fold: impl Fn(&mut Acc, Option<u32>) + Sync,
-        mut merge: impl FnMut(&mut Acc, Acc),
+        make_acc: impl FnOnce() -> Acc,
+        mut fold: impl FnMut(&mut Acc, Option<u32>),
     ) -> Result<Acc, SimError>
     where
         S: Simulable + Sync,
-        Acc: Send,
     {
         if self.trials == 0 {
             return Err(SimError::NoTrials);
@@ -69,16 +78,14 @@ impl MonteCarlo {
             )
         });
         let workers = self.worker_count();
-        let results = crossbeam::thread::scope(|scope| {
+        let lanes = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..workers {
                 let pred = &pred;
-                let make_acc = &make_acc;
-                let fold = &fold;
                 let tele = &tele;
                 let cfg = *self;
                 handles.push(scope.spawn(move |_| {
-                    let mut acc = make_acc();
+                    let mut outcomes = Vec::with_capacity((cfg.trials / workers + 1) as usize);
                     let mut draws = 0u64;
                     let mut i = w;
                     while i < cfg.trials {
@@ -91,19 +98,19 @@ impl MonteCarlo {
                                 None => censored.inc(),
                             }
                         }
-                        fold(&mut acc, hit);
+                        outcomes.push(hit);
                         i += workers;
                     }
                     if let Some((_, _, rng_draws)) = tele {
                         rng_draws.add(draws);
                     }
-                    acc
+                    outcomes
                 }));
             }
             handles
                 .into_iter()
                 .map(|h| h.join())
-                .collect::<Result<Vec<Acc>, _>>()
+                .collect::<Result<Vec<Vec<Option<u32>>>, _>>()
         })
         .map_err(|_| SimError::WorkerPanicked)?
         .map_err(|_| SimError::WorkerPanicked)?;
@@ -112,12 +119,14 @@ impl MonteCarlo {
             pa_telemetry::counter("sim.mc.batches").inc();
             pa_telemetry::counter("sim.mc.trials").add(self.trials);
         }
-        let mut iter = results.into_iter();
-        let mut total = iter.next().expect("at least one worker");
-        for acc in iter {
-            merge(&mut total, acc);
+        // Trial i sits in lane i % workers at position i / workers; walking
+        // i upward replays the outcomes in canonical order.
+        let mut acc = make_acc();
+        for i in 0..self.trials {
+            let outcome = lanes[(i % workers) as usize][(i / workers) as usize];
+            fold(&mut acc, outcome);
         }
-        Ok(total)
+        Ok(acc)
     }
 
     /// Estimates `P[hit pred within `deadline` rounds]`.
@@ -134,13 +143,9 @@ impl MonteCarlo {
     where
         S: Simulable + Sync,
     {
-        self.run_fold(
-            system,
-            pred,
-            BernoulliEstimator::new,
-            |acc, hit| acc.record(matches!(hit, Some(r) if r <= deadline)),
-            |a, b| a.merge(&b),
-        )
+        self.run_fold(system, pred, BernoulliEstimator::new, |acc, hit| {
+            acc.record(matches!(hit, Some(r) if r <= deadline))
+        })
     }
 
     /// Estimates the distribution of the hitting time: summary statistics
@@ -164,10 +169,6 @@ impl MonteCarlo {
             |acc, hit| match hit {
                 Some(r) => acc.0.push(f64::from(r)),
                 None => acc.1 += 1,
-            },
-            |a, b| {
-                a.0.merge(&b.0);
-                a.1 += b.1;
             },
         )
     }
@@ -195,12 +196,6 @@ impl MonteCarlo {
             |acc, hit| match hit {
                 Some(r) => acc.0[r as usize] += 1,
                 None => acc.1 += 1,
-            },
-            |a, b| {
-                for (x, y) in a.0.iter_mut().zip(b.0) {
-                    *x += y;
-                }
-                a.1 += b.1;
             },
         )?;
         Ok(crate::EmpiricalCdf::from_counts(hits, censored))

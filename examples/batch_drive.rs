@@ -68,6 +68,17 @@ fn describe(value: &JobValue) -> String {
             "{name}: min p = {min_prob:.6} over {instances} instances -> {}",
             if *holds { "holds" } else { "violated" }
         ),
+        JobValue::Estimate {
+            point,
+            lo,
+            hi,
+            claimed,
+            refuted,
+            ..
+        } => format!(
+            "sampled p ~= {point:.6} in [{lo:.6}, {hi:.6}] vs claimed {claimed:.6} -> {}",
+            if *refuted { "refuted" } else { "consistent" }
+        ),
         JobValue::Tallies {
             holds,
             violated,

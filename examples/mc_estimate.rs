@@ -1,0 +1,128 @@
+//! Sampled-tier smoke: Monte-Carlo estimates cross-validated against the
+//! exact engine, then the escape hatch on a ring the exact engine would
+//! struggle to hold.
+//!
+//! Three stages on the Lehmann–Rabin ring:
+//!
+//! 1. **Cross-validation** (n = 3): the `G —5→_{1/4} P` arrow is sampled
+//!    by replaying the extracted minimizing adversary; its 99% interval
+//!    must contain the exact bounded-query value computed on the same
+//!    model.
+//! 2. **Chain anchor** (n = 3): the uniform-random-adversary estimate of
+//!    reaching `C` within 13 is pinned against the exact value of its
+//!    `UniformChain` wrapping (where uniform is the *only* adversary).
+//! 3. **Escape hatch** (n = 8, ≈ 17.7M projected states before fault
+//!    wrapping): the same estimate without any exploration — memory stays
+//!    constant in the ring size.
+//!
+//! Also demonstrates the bitwise worker-count invariance of the seeded
+//! trajectory streams. Run with:
+//!
+//! ```text
+//! cargo run --release --example mc_estimate
+//! ```
+//!
+//! Exits nonzero if any interval misses its exact anchor or the worker
+//! invariance breaks.
+
+use std::error::Error;
+
+use timebounds::core::SetExpr;
+use timebounds::faults::{
+    estimate_reach_uniform, exact_reach_uniform, sampled_arrow_under, FaultPlan,
+};
+use timebounds::lehmann_rabin::{paper, RoundConfig};
+use timebounds::mc::McConfig;
+use timebounds::prob::stats::Z_99;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let trajectories = 4_000;
+    let seed = 42;
+
+    // 1. Optimal-adversary replay vs the exact worst-case value.
+    let (arrow, _why) = paper::all_arrows().remove(3); // G —5→_{1/4} P
+    let sampled = sampled_arrow_under(
+        RoundConfig::new(3)?,
+        &arrow,
+        &FaultPlan::none(),
+        1_000_000,
+        &McConfig::new(trajectories, seed, 0),
+    )?
+    .expect("G is non-empty on the fault-free ring");
+    println!(
+        "{}: exact {:.6}, sampled {:.6} in [{:.6}, {:.6}] -> {}",
+        sampled.arrow,
+        sampled.exact,
+        sampled.estimate.point(),
+        sampled.interval.lo().value(),
+        sampled.interval.hi().value(),
+        if sampled.contains_exact {
+            "contained"
+        } else {
+            "MISSED"
+        },
+    );
+    if !sampled.contains_exact {
+        return Err("sampled interval missed the exact arrow value".into());
+    }
+
+    // 2. Uniform adversary vs its chain anchor.
+    let target = SetExpr::named("C");
+    let exact = exact_reach_uniform(3, &FaultPlan::none(), &target, 13, 1_000_000)?;
+    let est = estimate_reach_uniform(
+        3,
+        &FaultPlan::none(),
+        &target,
+        13,
+        &McConfig::new(trajectories, seed, 0),
+    )?;
+    let interval = est.interval(Z_99);
+    println!(
+        "n=3 uniform P(reach C within 13): exact {:.6}, sampled {:.6} in [{:.6}, {:.6}]",
+        exact,
+        est.point(),
+        interval.lo().value(),
+        interval.hi().value(),
+    );
+    if !interval.contains(timebounds::prob::Prob::clamped(exact)) {
+        return Err("uniform estimate missed its chain anchor".into());
+    }
+
+    // Worker invariance: same seed, same integer accumulators, any stripe.
+    let mut digests = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let e = estimate_reach_uniform(
+            3,
+            &FaultPlan::none(),
+            &target,
+            13,
+            &McConfig::new(trajectories, seed, 0).with_workers(workers),
+        )?;
+        digests.push(e.digest_fragment());
+    }
+    if digests.windows(2).any(|w| w[0] != w[1]) {
+        return Err("worker-count invariance broke".into());
+    }
+    println!("worker invariance: 1/2/8 workers bitwise identical");
+
+    // 3. The escape hatch: estimate on n = 8 without exploring anything.
+    let est8 = estimate_reach_uniform(
+        8,
+        &FaultPlan::none(),
+        &target,
+        13,
+        &McConfig::new(trajectories, seed, 0),
+    )?;
+    let i8 = est8.interval(Z_99);
+    println!(
+        "n=8 uniform P(reach C within 13) ~= {:.4} in [{:.4}, {:.4}] ({} of {} trajectories hit)",
+        est8.point(),
+        i8.lo().value(),
+        i8.hi().value(),
+        est8.hit_count(),
+        est8.trials(),
+    );
+
+    println!("sampled tier cross-validates against the exact engine");
+    Ok(())
+}

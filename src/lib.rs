@@ -11,6 +11,10 @@
 //! * [`mdp`] — explicit-state MDP model-checking substrate used to verify
 //!   arrow claims exactly against *all* adversaries of a schema.
 //! * [`sim`] — Monte-Carlo simulation substrate for statistical estimation.
+//! * [`mc`] — seeded deterministic Monte-Carlo estimation tier: trajectory
+//!   sampling of the implicit (faulty) round model with per-trajectory RNG
+//!   streams, worker-count-invariant accumulation, and policy replay
+//!   cross-validated against the exact engine.
 //! * [`lehmann_rabin`] — the Lehmann–Rabin Dining Philosophers case study
 //!   (Sections 5–6 and the appendix).
 //! * [`faults`] — fault-injection layer (crash-stop, crash-restart,
@@ -39,6 +43,7 @@ pub use pa_batch as batch;
 pub use pa_core as core;
 pub use pa_faults as faults;
 pub use pa_lehmann_rabin as lehmann_rabin;
+pub use pa_mc as mc;
 pub use pa_mdp as mdp;
 pub use pa_prob as prob;
 pub use pa_sim as sim;
