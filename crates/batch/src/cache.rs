@@ -37,20 +37,38 @@
 //! *nested* over the building job's scope), so exploration metrics are
 //! attributed to the cache rather than to whichever job happened to get
 //! there first — keeping per-job scoped metrics deterministic.
+//!
+//! # Quotient models
+//!
+//! [`ModelCache::model_quotient`] caches the rotation-quotient model of
+//! the fault-free ring, keyed by ring size alone: orbit representatives
+//! under [`pa_mdp::RingRotation`], stored bit-packed
+//! ([`pa_faults::FaultyStateCodec`]). Everything downstream of the store —
+//! `starts_where`, `target_where`, CSR queries — is generic over
+//! [`pa_mdp::StateSpace`], so the full-space and quotient models run the
+//! same analysis code; the tests pin their arrow answers bitwise equal.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use pa_faults::{faulty_round_cost, FaultKind, FaultPlan, FaultyRoundMdp, FaultyRoundState};
-use pa_lehmann_rabin::{reachable_configs, Config, RoundConfig};
-use pa_mdp::{par_explore, CsrMdp, Explored};
+use pa_faults::{
+    faulty_round_cost, FaultKind, FaultPlan, FaultyRoundMdp, FaultyRoundState, FaultyStateCodec,
+};
+use pa_lehmann_rabin::{reachable_configs, reachable_configs_quotient, Config, RoundConfig};
+use pa_mdp::{BoxedSpace, CsrMdp, Explore, Explored, PackedSpace, RingRotation, StateSpace};
 use pa_telemetry::TelemetryScope;
 
 /// A fault-wrapped round model explored from **all** reachable
 /// configurations, with no absorption — valid for every arrow and
 /// expected-time query on its `(n, plan)` key (see the module docs).
-pub struct SharedModel {
+///
+/// The state store is pluggable: the default boxed representation for
+/// full-space models, [`PackedSpace`] for the quotient models of
+/// [`ModelCache::model_quotient`]. Queries are representation-agnostic —
+/// they run on [`SharedModel::csr`] and only touch the store through
+/// [`pa_mdp::StateSpace`].
+pub struct SharedModel<SP = BoxedSpace<FaultyRoundState>> {
     /// Ring size.
     pub n: usize,
     /// The crash mask already in force when the clock starts (round-1
@@ -58,12 +76,17 @@ pub struct SharedModel {
     /// from-sets with.
     pub mask0: u32,
     /// The explored model: states, index, and the explicit MDP.
-    pub explored: Explored<FaultyRoundState>,
+    pub explored: Explored<FaultyRoundState, SP>,
     /// The CSR flattening, built once so queries skip re-flattening.
     pub csr: CsrMdp,
 }
 
-impl SharedModel {
+/// The quotient [`SharedModel`]: orbit representatives under ring
+/// rotation, bit-packed. Fault-free by construction (fault plans name
+/// processes and break the symmetry).
+pub type QuotientModel = SharedModel<PackedSpace<FaultyStateCodec>>;
+
+impl<SP: StateSpace<FaultyRoundState>> SharedModel<SP> {
     /// Initial-state indices whose start configuration satisfies `pred`
     /// (judged under [`SharedModel::mask0`], mirroring the from-set filter
     /// of `check_arrow_under`). Order follows the initial-state order,
@@ -75,7 +98,7 @@ impl SharedModel {
             .initial_states()
             .iter()
             .copied()
-            .filter(|&i| pred(&self.explored.states[i].inner.config, self.mask0))
+            .filter(|&i| pred(&self.explored.state(i).inner.config, self.mask0))
             .collect()
     }
 }
@@ -93,8 +116,10 @@ struct MapStats {
 pub struct ModelCache {
     configs: Mutex<HashMap<usize, Slot<Vec<Config>>>>,
     models: Mutex<HashMap<(usize, FaultPlan), Slot<SharedModel>>>,
+    quotient_models: Mutex<HashMap<usize, Slot<QuotientModel>>>,
     config_stats: MapStats,
     model_stats: MapStats,
+    quotient_stats: MapStats,
     scope: TelemetryScope,
 }
 
@@ -144,8 +169,10 @@ impl ModelCache {
         ModelCache {
             configs: Mutex::new(HashMap::new()),
             models: Mutex::new(HashMap::new()),
+            quotient_models: Mutex::new(HashMap::new()),
             config_stats: MapStats::default(),
             model_stats: MapStats::default(),
+            quotient_stats: MapStats::default(),
             scope: TelemetryScope::new("cache"),
         }
     }
@@ -199,12 +226,66 @@ impl ModelCache {
                 let model = FaultyRoundMdp::new(cfg, plan.clone())
                     .map_err(|e| e.to_string())?
                     .with_starts(configs.as_ref().clone());
-                let explored =
-                    par_explore(&model, faulty_round_cost, limit).map_err(|e| e.to_string())?;
+                let explored = Explore::new(&model)
+                    .cost(faulty_round_cost)
+                    .limit(limit)
+                    .parallel()
+                    .run()
+                    .map_err(|e| e.to_string())?;
                 let csr = CsrMdp::from_explicit(&explored.mdp);
                 Ok(SharedModel {
                     n,
                     mask0,
+                    explored,
+                    csr,
+                })
+            },
+        )
+    }
+
+    /// The quotient model of the fault-free ring of `n`: explored from the
+    /// canonical (lexicographically-least rotation) representatives of the
+    /// reachable configurations, with every successor folded onto its
+    /// orbit representative and states stored bit-packed. Up to `n`-fold
+    /// smaller than [`ModelCache::model`] with [`FaultPlan::none`], and
+    /// every query on it answers for the whole orbit — the soundness
+    /// argument is on `pa_lehmann_rabin::check_arrow_quotient`.
+    ///
+    /// There is deliberately no plan parameter: fault plans name processes
+    /// and break rotation symmetry, so only the fault-free model has a
+    /// sound quotient (`pa_faults::FaultError::SymmetryBroken` guards the
+    /// same boundary in the survival pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Stringified ring-validation, codec, or exploration errors.
+    pub fn model_quotient(&self, n: usize, limit: usize) -> Result<Arc<QuotientModel>, String> {
+        get_or_build(
+            &self.quotient_models,
+            &self.quotient_stats,
+            &self.scope,
+            &n,
+            "batch.cache.quotient_hits",
+            "batch.cache.quotient_misses",
+            || {
+                let configs = reachable_configs_quotient(n, limit).map_err(|e| e.to_string())?;
+                let cfg = RoundConfig::new(n).map_err(|e| e.to_string())?;
+                let model = FaultyRoundMdp::new(cfg, FaultPlan::none())
+                    .map_err(|e| e.to_string())?
+                    .with_starts(configs);
+                let codec =
+                    FaultyStateCodec::new(n, model.round_cap()).map_err(|e| e.to_string())?;
+                let explored = Explore::new(&model)
+                    .cost(faulty_round_cost)
+                    .limit(limit)
+                    .parallel()
+                    .symmetry(RingRotation::new(n))
+                    .run_in(PackedSpace::new(codec))
+                    .map_err(|e| e.to_string())?;
+                let csr = CsrMdp::from_explicit(&explored.mdp);
+                Ok(SharedModel {
+                    n,
+                    mask0: 0,
                     explored,
                     csr,
                 })
@@ -233,9 +314,27 @@ impl ModelCache {
         self.config_stats.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct models currently cached.
+    /// Quotient-map hits.
+    pub fn quotient_hits(&self) -> u64 {
+        self.quotient_stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Quotient-map misses (distinct ring sizes quotient-explored).
+    pub fn quotient_misses(&self) -> u64 {
+        self.quotient_stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct full-space models currently cached.
     pub fn distinct_models(&self) -> usize {
         self.models.lock().expect("cache map poisoned").len()
+    }
+
+    /// Number of distinct quotient models currently cached.
+    pub fn distinct_quotient_models(&self) -> usize {
+        self.quotient_models
+            .lock()
+            .expect("cache map poisoned")
+            .len()
     }
 
     /// The cache's telemetry scope (exploration and flattening metrics of
@@ -276,6 +375,65 @@ mod tests {
         // Both models reused the one reachable-config exploration.
         assert_eq!(cache.config_misses(), 1);
         assert_eq!(cache.config_hits(), 1);
+    }
+
+    #[test]
+    fn quotient_models_are_cached_per_ring_size() {
+        let cache = ModelCache::new();
+        let a = cache.model_quotient(3, 1_000_000).unwrap();
+        let b = cache.model_quotient(3, 1_000_000).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.quotient_misses(), 1);
+        assert_eq!(cache.quotient_hits(), 1);
+        assert_eq!(cache.distinct_quotient_models(), 1);
+        // The quotient map is independent of the full-space model map.
+        assert_eq!(cache.model_misses(), 0);
+        // And genuinely smaller than the full space.
+        let full = cache.model(3, &FaultPlan::none(), 1_000_000).unwrap();
+        assert!(a.explored.num_states() < full.explored.num_states());
+    }
+
+    /// Worst-case arrow probability on a shared model, representation- and
+    /// quotient-agnostic — the same query `run_arrow` issues.
+    fn arrow_worst<SP: StateSpace<FaultyRoundState>>(
+        model: &SharedModel<SP>,
+        arrow: &pa_core::Arrow,
+    ) -> f64 {
+        let from = pa_faults::set_pred_under(arrow.from()).unwrap();
+        let to = pa_faults::set_pred_under(arrow.to()).unwrap();
+        let starts = model.starts_where(|c, m| from(c, m));
+        assert!(!starts.is_empty(), "arrow source must be reachable");
+        let n = model.n;
+        let target = model
+            .explored
+            .target_where(|s| to(&s.inner.config, s.crashed_mask(n)));
+        let values = pa_mdp::Query::csr(&model.csr)
+            .objective(pa_mdp::QueryObjective::MinProb)
+            .target(target)
+            .horizon(pa_lehmann_rabin::time_to_budget(arrow.time()))
+            .run()
+            .unwrap()
+            .values;
+        starts
+            .into_iter()
+            .map(|i| values[i])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn quotient_model_answers_match_the_full_model_bitwise_at_n3() {
+        let cache = ModelCache::new();
+        let full = cache.model(3, &FaultPlan::none(), 1_000_000).unwrap();
+        let quot = cache.model_quotient(3, 1_000_000).unwrap();
+        for (arrow, _why) in pa_lehmann_rabin::paper::all_arrows() {
+            let on_full = arrow_worst(full.as_ref(), &arrow);
+            let on_quot = arrow_worst(quot.as_ref(), &arrow);
+            assert_eq!(
+                on_full.to_bits(),
+                on_quot.to_bits(),
+                "{arrow}: full {on_full} vs quotient {on_quot}"
+            );
+        }
     }
 
     #[test]

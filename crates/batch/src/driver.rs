@@ -383,7 +383,7 @@ fn run_arrow(ctx: &JobCtx<'_>, arrow: &Arrow) -> Result<JobValue, String> {
     for i in starts {
         if values[i] < worst {
             worst = values[i];
-            worst_state = Some(model.explored.states[i].to_string());
+            worst_state = Some(model.explored.state(i).to_string());
         }
     }
     let measured = Prob::clamped(worst).value();

@@ -52,10 +52,10 @@ mod report;
 mod select;
 mod spec;
 
-pub use cache::{ModelCache, SharedModel};
+pub use cache::{ModelCache, QuotientModel, SharedModel};
 pub use driver::{run_batch, BatchError, JobCtx};
 pub use report::{BatchReport, CacheStats, Tally};
-pub use select::{estimated_ring_states, select_kind};
+pub use select::{estimated_quotient_states, estimated_ring_states, select_kind};
 pub use spec::{
     BatchOptions, CustomFn, JobKind, JobResult, JobSpec, JobStatus, JobValue, McSettings,
 };

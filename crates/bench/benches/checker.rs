@@ -4,20 +4,30 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pa_lehmann_rabin::{regions, round_cost, sims, RoundConfig, RoundMdp};
-use pa_mdp::{explore, Objective, Query, QueryObjective};
+use pa_mdp::{Explore, Objective, Query, QueryObjective};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mdp = RoundMdp::new(RoundConfig::new(3).expect("ring of 3"))
         .with_starts(vec![sims::all_trying(3).expect("ring of 3")])
         .with_absorb(regions::in_c);
-    let explored = explore(&mdp, round_cost, 10_000_000).expect("explorable");
+    let explored = Explore::new(&mdp)
+        .cost(round_cost)
+        .limit(10_000_000)
+        .run()
+        .expect("explorable");
     let target = explored.target_where(|rs| regions::in_c(&rs.config));
 
     let mut group = c.benchmark_group("checker_n3");
     group.sample_size(20);
     group.bench_function("explore", |b| {
-        b.iter(|| explore(black_box(&mdp), round_cost, 10_000_000).expect("explorable"))
+        b.iter(|| {
+            Explore::new(black_box(&mdp))
+                .cost(round_cost)
+                .limit(10_000_000)
+                .run()
+                .expect("explorable")
+        })
     });
     group.bench_function("bounded_reach_t13", |b| {
         b.iter(|| {

@@ -246,6 +246,35 @@ fn main() -> Result<(), Box<dyn Error>> {
             report.batch.worker_invariant,
             report.batch.invariance_digest,
         );
+        for ring in &report.symmetry.rings {
+            match (ring.full_states, ring.reduction) {
+                (Some(full), Some(r)) => println!(
+                    "symmetry n={}: {} orbits of {} states ({:.3}x, {:.2}s)",
+                    ring.n, ring.orbit_states, full, r, ring.quotient_explore_seconds,
+                ),
+                _ => println!(
+                    "symmetry n={}: {} orbits (quotient only, {:.2}s, {} MiB store)",
+                    ring.n,
+                    ring.orbit_states,
+                    ring.quotient_explore_seconds,
+                    ring.quotient_mem_bytes / (1 << 20),
+                ),
+            }
+        }
+        println!(
+            "symmetry: lifting bitwise equal at n={}: {}; frontier n={}: \
+             all arrows hold: {}, E[T->C] in [{:.3}, {:.3}] vs claimed {:.0} \
+             ({:.2}s); peak RSS {:.0} MiB",
+            report.symmetry.lifting_n,
+            report.symmetry.lifting_bitwise_equal,
+            report.symmetry.frontier.n,
+            report.symmetry.frontier.all_hold,
+            report.symmetry.frontier.expected_time_min,
+            report.symmetry.frontier.expected_time_max,
+            report.symmetry.frontier.expected_time_claimed,
+            report.symmetry.frontier.seconds,
+            report.symmetry.peak_rss_mib,
+        );
         return Ok(());
     }
     let full = args.iter().any(|a| a == "--full");
@@ -361,6 +390,35 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         sections.push((
             "E15 — claim survival under crash-stop / crash-restart / obligation-drop",
+            rows,
+        ));
+    }
+
+    if want(&["e17"]) {
+        println!("running E17 (hybrid survival map past the full-space engine)…");
+        let trials = if full { 4_000 } else { 400 };
+        // The exact zero-fault column runs on the rotation quotient; its
+        // frontier is the round model (n ≤ 6 in RAM), so the full run
+        // anchors at n = 6 and adds the all-sampled n = 9 map where only
+        // the protocol-space quotient is still tractable. The fault
+        // wrapper's round counter multiplies the 17.4M-orbit n = 6
+        // quotient, so the exact column needs headroom past the default
+        // experiment cap (packed states keep it a few GiB).
+        let (frontier_n, limit) = if full {
+            (6, 150_000_000)
+        } else {
+            (4, experiments::STATE_LIMIT)
+        };
+        let mut rows = experiments::survival_hybrid(frontier_n, limit, trials)?;
+        println!(
+            "E17: hybrid map at n={frontier_n} done ({} rows)",
+            rows.len()
+        );
+        if full {
+            rows.extend(experiments::survival_sampled(9, limit, trials)?);
+        }
+        sections.push((
+            "E17 — survival past the full-space engine: quotient-exact zero-fault column, sampled fault columns",
             rows,
         ));
     }

@@ -26,6 +26,11 @@
 //!    `pa-bench/mc/v1` artifact): every 99% interval contains its exact
 //!    value, the 1/2/8-worker probe is bitwise invariant, and the
 //!    seed-determinism digest matches the baseline exactly.
+//! 7. **Rotation-quotient invariants** (schema ≥ v7): orbit counts exact
+//!    (the quotient state space is deterministic), reduction factors
+//!    within the ratio tolerance, the full-vs-quotient lifting check
+//!    bitwise equal (hard fail — a drift means quotient lifting is
+//!    unsound), and every frontier arrow verdict holding outright.
 
 use crate::json::Json;
 
@@ -146,6 +151,18 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "faults",
             "batch",
             "mc",
+        ],
+    ),
+    (
+        "pa-bench/mdp-throughput/v7",
+        &[
+            "rings",
+            "telemetry",
+            "telemetry_overhead",
+            "faults",
+            "batch",
+            "mc",
+            "symmetry",
         ],
     ),
     ("pa-bench/mc/v1", &["mc"]),
@@ -397,6 +414,80 @@ fn gate_mc(gate: &mut Gate, baseline: &Json, current: &Json) {
     }
 }
 
+fn gate_symmetry(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // The quotient state space is deterministic, so orbit counts gate
+    // exactly; the reduction factor is a derived ratio and gets the
+    // tolerance (it only drifts if the counts do, but a baseline row may
+    // legitimately gain a paired `full_states` measurement later).
+    let Some(rings) = baseline
+        .path(&["symmetry", "rings"])
+        .and_then(Json::as_array)
+    else {
+        gate.fail("baseline `symmetry.rings` block is not an array".to_string());
+        return;
+    };
+    let current_ring = |n: f64, keys: &[&str]| -> Option<f64> {
+        current
+            .path(&["symmetry", "rings"])?
+            .as_array()?
+            .iter()
+            .find(|r| r.get("n").and_then(Json::as_f64) == Some(n))?
+            .path(keys)?
+            .as_f64()
+    };
+    for ring in rings {
+        let Some(n) = ring.get("n").and_then(Json::as_f64) else {
+            gate.fail("baseline symmetry ring entry without an `n` field".to_string());
+            continue;
+        };
+        let base = ring
+            .get("orbit_states")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current_ring(n, &["orbit_states"]) {
+            Some(cur) => gate.check_exact(&format!("symmetry n={n} orbit_states"), base, cur),
+            None => gate.fail(format!("symmetry n={n} orbit_states: missing from current")),
+        }
+        if let (Some(b), Some(c)) = (
+            ring.get("reduction").and_then(Json::as_f64),
+            current_ring(n, &["reduction"]),
+        ) {
+            gate.check_ratio(&format!("symmetry n={n} reduction"), b, c);
+        }
+    }
+    // The lifting check is the soundness witness for every quotient
+    // verdict in the artifact: a false here is a correctness bug.
+    gate.check_true(
+        "symmetry.lifting_bitwise_equal",
+        current
+            .path(&["symmetry", "lifting_bitwise_equal"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_exact(
+        "symmetry.frontier.n",
+        baseline
+            .path(&["symmetry", "frontier", "n"])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+        current
+            .path(&["symmetry", "frontier", "n"])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+    gate.check_true(
+        "symmetry.frontier.all_hold",
+        current
+            .path(&["symmetry", "frontier", "all_hold"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_true(
+        "symmetry.frontier.expected_time_within_claim",
+        current
+            .path(&["symmetry", "frontier", "expected_time_within_claim"])
+            .and_then(Json::as_bool),
+    );
+}
+
 /// Runs every gate the artifacts' schema requires. Failures (including
 /// schema mismatches, unknown schemas, and missing blocks) are collected
 /// in the returned [`Gate`]; an empty `failures` list means pass.
@@ -459,6 +550,9 @@ pub fn compare_docs(baseline: &Json, current: &Json, tolerance_pct: f64) -> Gate
     }
     if has("mc") {
         gate_mc(&mut gate, baseline, current);
+    }
+    if has("symmetry") {
+        gate_symmetry(&mut gate, baseline, current);
     }
     gate
 }

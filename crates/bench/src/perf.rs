@@ -20,7 +20,12 @@
 //! 4-worker runs). Schema v6 adds the [`crate::mc_suite::McBench`] block:
 //! the sampled-tier cross-validation (every arrow × fault-plan 99%
 //! interval must contain its exact value) with its seed-determinism
-//! digest and the 1/2/8-worker invariance probe.
+//! digest and the 1/2/8-worker invariance probe. Schema v7 adds the
+//! [`SymmetryBench`] block: the rotation-quotient reduction (orbit counts
+//! and reduction factors per ring size, quotient-only rows past the full
+//! engine's reach), the full-vs-quotient bitwise lifting check, and the
+//! exact-frontier re-verification of every paper arrow on orbit
+//! representatives — all gated by `compare_bench`.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -32,12 +37,13 @@ use pa_faults::{
     SurvivalMap, TAG_CRASH,
 };
 use pa_lehmann_rabin::{
-    check_arrow_with_limit, paper, regions, round_cost, sims, LrProtocol, RoundConfig, RoundMdp,
-    UserModel,
+    check_arrow_quotient, check_arrow_with_limit, max_expected_time_quotient,
+    min_expected_time_quotient, paper, regions, round_cost, sims, LrProtocol, RoundConfig,
+    RoundMdp, UserModel,
 };
 use pa_mdp::{
-    par_explore, reference, Choice, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective, Query,
-    QueryObjective, Solver,
+    reference, Choice, CsrMdp, ExplicitMdp, Explore, IterOptions, MdpError, Objective, Query,
+    QueryObjective, RingRotation, Solver, StateSpace,
 };
 use pa_sim::MonteCarlo;
 use pa_telemetry::TelemetrySnapshot;
@@ -271,7 +277,11 @@ pub fn faults_bench(limit: usize) -> Result<FaultsBench, Box<dyn std::error::Err
             .collect(),
     )?;
     let wrapped = FaultyRoundMdp::new(cfg, total_crash)?;
-    let explored = par_explore(&wrapped, faulty_round_cost, limit)?;
+    let explored = Explore::new(&wrapped)
+        .cost(faulty_round_cost)
+        .limit(limit)
+        .parallel()
+        .run()?;
     let tags = wrapped.crash_tags(&explored);
     let violations = pa_mdp::tagged_absorbing_violations(&explored.mdp, &tags, TAG_CRASH);
 
@@ -344,6 +354,204 @@ pub fn batch_bench() -> Result<BatchBench, Box<dyn std::error::Error>> {
     })
 }
 
+/// One ring size's rotation-quotient measurement on the protocol
+/// automaton: orbit count, reduction factor and the cost of exploring the
+/// quotient. Past the largest ring where the full space is still
+/// materialized, only the quotient row is recorded (`full_states` is
+/// `None`) — those are exactly the sizes the quotient unlocks.
+#[derive(Debug, Clone, Serialize)]
+pub struct SymmetryRing {
+    /// Ring size.
+    pub n: usize,
+    /// Reachable states of the full protocol automaton, when it was
+    /// materialized alongside the quotient.
+    pub full_states: Option<u64>,
+    /// Reachable orbit representatives of the rotation quotient.
+    pub orbit_states: u64,
+    /// `full_states / orbit_states`; approaches `n` from below as the
+    /// fraction of rotation-symmetric configurations vanishes.
+    pub reduction: Option<f64>,
+    /// Wall-clock seconds of the quotient exploration.
+    pub quotient_explore_seconds: f64,
+    /// Bytes held by the quotient's packed state store.
+    pub quotient_mem_bytes: u64,
+}
+
+/// One paper arrow re-verified on the rotation quotient at the frontier
+/// ring size.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontierArrow {
+    /// The claim, rendered as in the paper.
+    pub arrow: String,
+    /// Whether the worst-case probability over all orbit starts meets the
+    /// claim. Every arrow must hold; gated by `compare_bench`.
+    pub holds: bool,
+    /// The measured worst-case probability (lower end of the interval).
+    pub measured_lo: f64,
+    /// Orbit start states the check quantified over.
+    pub orbit_starts: u64,
+    /// Wall-clock seconds of the check.
+    pub seconds: f64,
+}
+
+/// The exact frontier: the largest ring on which the round-model engine
+/// re-derives every paper arrow and the `T → C` expected-time bracket once
+/// the rotation quotient is active. One orbit representative stands in for
+/// `n` rotated copies, so the verdicts quantify over the full space.
+#[derive(Debug, Clone, Serialize)]
+pub struct SymmetryFrontier {
+    /// Frontier ring size.
+    pub n: usize,
+    /// Every paper arrow, checked on orbit representatives.
+    pub arrows: Vec<FrontierArrow>,
+    /// Whether every arrow held. Must be `true`; gated by `compare_bench`.
+    pub all_hold: bool,
+    /// Worst-case expected time `T → C` over the quotient.
+    pub expected_time_max: f64,
+    /// Best-case expected time `T → C` over the quotient.
+    pub expected_time_min: f64,
+    /// The paper's claimed expected-time bound for `T → C`.
+    pub expected_time_claimed: f64,
+    /// `expected_time_max <= expected_time_claimed`. Must be `true`;
+    /// gated by `compare_bench`.
+    pub expected_time_within_claim: bool,
+    /// Wall-clock seconds of the whole frontier re-verification.
+    pub seconds: f64,
+}
+
+/// The `symmetry` block of `BENCH_mdp.json` (schema v7): quotient
+/// reduction per ring size, the full-vs-quotient lifting check, and the
+/// exact-frontier re-verification.
+#[derive(Debug, Clone, Serialize)]
+pub struct SymmetryBench {
+    /// Ring size of the lifting check.
+    pub lifting_n: usize,
+    /// Whether every arrow's verdict *and* measured probability are
+    /// bitwise equal (`f64::to_bits`) between the full-space checker and
+    /// the quotient checker at `lifting_n`. Must be `true`; gated by
+    /// `compare_bench` — a `false` here means quotient lifting is
+    /// unsound, not slow.
+    pub lifting_bitwise_equal: bool,
+    /// Per-ring-size quotient measurements.
+    pub rings: Vec<SymmetryRing>,
+    /// The exact-frontier re-verification.
+    pub frontier: SymmetryFrontier,
+    /// Peak resident set of the process (`VmHWM`, MiB) after the block's
+    /// largest exploration — the memory headline for the quotient rows.
+    pub peak_rss_mib: f64,
+}
+
+/// Peak resident set of the current process in MiB (`VmHWM` from
+/// `/proc/self/status`), or `0.0` where unreadable.
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Builds the [`SymmetryBench`] block. The smoke size (`max_n <= 4`)
+/// pairs full and quotient explorations on `n = 3..=5` and re-verifies the
+/// frontier at `n = 4`; the full size extends the paired rows to `n = 7`,
+/// records quotient-only rows at `n = 8, 9` (the sizes the full engine
+/// cannot materialize), and re-verifies the frontier at `n = 6`.
+pub fn symmetry_bench(max_n: usize) -> Result<SymmetryBench, Box<dyn std::error::Error>> {
+    let limit = 80_000_000;
+    let (paired_max, quotient_max, frontier_n, lifting_n) = if max_n <= 4 {
+        (5, 5, 4, 4)
+    } else {
+        (7, 9, 6, 5)
+    };
+
+    // Lifting: every arrow bitwise identical between the two engines.
+    let mdp = RoundMdp::new(RoundConfig::new(lifting_n)?);
+    let mut lifting_bitwise_equal = true;
+    for (arrow, _why) in paper::all_arrows() {
+        let full = check_arrow_with_limit(&mdp, &arrow, limit)?;
+        let quot = check_arrow_quotient(&mdp, &arrow, limit)?;
+        if full.measured.lo().value().to_bits() != quot.measured.lo().value().to_bits()
+            || full.holds() != quot.holds()
+        {
+            lifting_bitwise_equal = false;
+        }
+    }
+
+    // Reduction table on the protocol automaton.
+    let mut rings = Vec::new();
+    for n in 3..=quotient_max {
+        eprintln!("  quotient ring n={n}…");
+        let protocol = LrProtocol::new(n, UserModel::saturating()).expect("valid ring size");
+        let full_states = if n <= paired_max {
+            let explored = Explore::new(&protocol).limit(limit).parallel().run()?;
+            Some(explored.mdp.num_states() as u64)
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        let explored = Explore::new(&protocol)
+            .limit(limit)
+            .parallel()
+            .symmetry(RingRotation::new(n))
+            .run()?;
+        let orbit_states = explored.mdp.num_states() as u64;
+        rings.push(SymmetryRing {
+            n,
+            full_states,
+            orbit_states,
+            reduction: full_states.map(|f| f as f64 / orbit_states as f64),
+            quotient_explore_seconds: t0.elapsed().as_secs_f64(),
+            quotient_mem_bytes: explored.mem_bytes(),
+        });
+    }
+
+    // Frontier: every arrow plus the expected-time bracket on the
+    // quotient round model.
+    eprintln!("  frontier n={frontier_n}…");
+    let t0 = Instant::now();
+    let mdp = RoundMdp::new(RoundConfig::new(frontier_n)?);
+    let mut arrows = Vec::new();
+    for (arrow, _why) in paper::all_arrows() {
+        let ta = Instant::now();
+        let check = check_arrow_quotient(&mdp, &arrow, limit)?;
+        arrows.push(FrontierArrow {
+            arrow: arrow.to_string(),
+            holds: check.holds(),
+            measured_lo: check.measured.lo().value(),
+            orbit_starts: check.states_checked as u64,
+            seconds: ta.elapsed().as_secs_f64(),
+        });
+    }
+    let all_hold = arrows.iter().all(|a| a.holds);
+    let t = pa_core::SetExpr::named("T");
+    let c = pa_core::SetExpr::named("C");
+    let expected_time_max = max_expected_time_quotient(&mdp, &t, &c, limit)?;
+    let expected_time_min = min_expected_time_quotient(&mdp, &t, &c, limit)?;
+    let expected_time_claimed = paper::expected_time_t_to_c();
+    let frontier = SymmetryFrontier {
+        n: frontier_n,
+        arrows,
+        all_hold,
+        expected_time_max,
+        expected_time_min,
+        expected_time_claimed,
+        expected_time_within_claim: expected_time_max <= expected_time_claimed,
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+
+    Ok(SymmetryBench {
+        lifting_n,
+        lifting_bitwise_equal,
+        rings,
+        frontier,
+        peak_rss_mib: peak_rss_mib(),
+    })
+}
+
 /// The whole `BENCH_mdp.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -375,6 +583,10 @@ pub struct BenchReport {
     /// cross-validation with its seed-determinism digest and worker
     /// invariance probe, all gated by `compare_bench`.
     pub mc: crate::mc_suite::McBench,
+    /// The rotation-quotient block (schema v7): orbit counts, reduction
+    /// factors, the bitwise lifting check and the exact-frontier
+    /// re-verification, all gated by `compare_bench`.
+    pub symmetry: SymmetryBench,
 }
 
 fn read_cpu_model() -> String {
@@ -446,7 +658,11 @@ pub fn bench_ring(n: usize, limit: usize) -> Result<RingBench, MdpError> {
     drop(seed_mdp);
 
     let t0 = Instant::now();
-    let mut explored = par_explore(&protocol, cost, limit)?;
+    let mut explored = Explore::new(&protocol)
+        .cost(cost)
+        .limit(limit)
+        .parallel()
+        .run()?;
     let explore_csr = t0.elapsed().as_secs_f64();
 
     assert_eq!(
@@ -468,7 +684,7 @@ pub fn bench_ring(n: usize, limit: usize) -> Result<RingBench, MdpError> {
     let target = explored.target_where(regions::in_c);
     // The intern map is dead weight from here on; free it so both VI
     // engines sweep against the same live heap.
-    explored.index = Default::default();
+    explored.space.clear_index();
 
     let t0 = Instant::now();
     let gs = reference::reach_prob_gauss_seidel(&explored.mdp, &target, Objective::MaxProb, opts)?;
@@ -557,7 +773,11 @@ pub fn telemetry_probe() -> Result<TelemetrySnapshot, Box<dyn std::error::Error>
     pa_telemetry::reset();
     let result = (|| -> Result<TelemetrySnapshot, Box<dyn std::error::Error>> {
         let mdp = RoundMdp::new(RoundConfig::new(3)?);
-        let explored = par_explore(&mdp, round_cost, 1_000_000)?;
+        let explored = Explore::new(&mdp)
+            .cost(round_cost)
+            .limit(1_000_000)
+            .parallel()
+            .run()?;
         let target = explored.target_where(|s| regions::in_c(&s.config));
         let csr = CsrMdp::from_explicit(&explored.mdp);
         let opts = IterOptions {
@@ -602,7 +822,11 @@ pub fn telemetry_probe() -> Result<TelemetrySnapshot, Box<dyn std::error::Error>
         }));
         let plan = FaultPlan::new(events)?;
         let faulty = FaultyRoundMdp::new(RoundConfig::new(3)?, plan)?;
-        let fexplored = par_explore(&faulty, faulty_round_cost, 1_000_000)?;
+        let fexplored = Explore::new(&faulty)
+            .cost(faulty_round_cost)
+            .limit(1_000_000)
+            .parallel()
+            .run()?;
         faulty.crash_tags(&fexplored);
 
         // One sampled-tier estimate so the `mc.*` counters (trajectories,
@@ -628,7 +852,11 @@ pub fn telemetry_overhead(n: usize) -> Result<TelemetryOverhead, MdpError> {
     pa_telemetry::set_enabled(false);
     let protocol = LrProtocol::new(n, UserModel::saturating()).expect("valid ring size");
     let cost = |_: &pa_lehmann_rabin::Config, _: &pa_lehmann_rabin::LrAction| 1u32;
-    let explored = par_explore(&protocol, cost, 1_000_000)?;
+    let explored = Explore::new(&protocol)
+        .cost(cost)
+        .limit(1_000_000)
+        .parallel()
+        .run()?;
     let target = explored.target_where(regions::in_c);
     let csr = CsrMdp::from_explicit(&explored.mdp);
     let sweeps = 64;
@@ -716,8 +944,10 @@ pub fn bench_report_sized(
     let batch = batch_bench()?;
     eprintln!("cross-validating the sampled tier…");
     let mc = crate::mc_suite::mc_bench(3, 4_000, 42, 5_000_000)?;
+    eprintln!("measuring the rotation quotient…");
+    let symmetry = symmetry_bench(max_n)?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v6".to_string(),
+        schema: "pa-bench/mdp-throughput/v7".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
@@ -727,6 +957,7 @@ pub fn bench_report_sized(
         faults,
         batch,
         mc,
+        symmetry,
     })
 }
 
@@ -794,11 +1025,10 @@ mod tests {
 
     #[test]
     fn seed_style_explore_matches_new_engine() {
-        use pa_mdp::explore;
         let p = LrProtocol::new(3, UserModel::saturating()).unwrap();
         let cost = |_: &pa_lehmann_rabin::Config, _: &pa_lehmann_rabin::LrAction| 1u32;
         let old = explore_seed_style(&p, cost, 100_000).unwrap();
-        let new = explore(&p, cost, 100_000).unwrap();
+        let new = Explore::new(&p).cost(cost).limit(100_000).run().unwrap();
         assert_eq!(old.num_states(), new.mdp.num_states());
         assert_eq!(old.num_choices(), new.mdp.num_choices());
         for s in 0..old.num_states() {
@@ -824,6 +1054,28 @@ mod tests {
         );
         assert!(b.scc.saved_updates > 0);
         assert!(b.scc.update_ratio < 1.0);
+    }
+
+    #[test]
+    fn symmetry_bench_certifies_its_invariants() {
+        let s = symmetry_bench(4).unwrap();
+        assert!(s.lifting_bitwise_equal, "quotient lifting must be exact");
+        assert_eq!(s.rings.len(), 3, "smoke rows are n = 3..=5");
+        for ring in &s.rings {
+            let full = ring.full_states.expect("smoke rows pair full and quotient");
+            assert!(ring.orbit_states < full);
+            let reduction = ring.reduction.expect("paired rows carry a factor");
+            // The quotient collapses each orbit of up to n rotations.
+            assert!(reduction > (ring.n as f64) * 0.8 && reduction <= ring.n as f64 + 1e-9);
+        }
+        assert_eq!(s.frontier.n, 4);
+        assert_eq!(s.frontier.arrows.len(), 5);
+        assert!(s.frontier.all_hold);
+        assert!(s.frontier.expected_time_within_claim);
+        assert!(
+            s.frontier.expected_time_min <= s.frontier.expected_time_max,
+            "bracket stays ordered"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v6")
+        Some("pa-bench/mdp-throughput/v7")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
@@ -154,6 +154,43 @@ fn bench_report_emits_a_valid_telemetry_block() {
     assert!(counter("mc.trajectories") > 0.0);
     assert!(counter("mc.steps") > 0.0);
     assert!(counter("mc.rng_draws") > 0.0);
+
+    // The symmetry block (schema v7) carries the quotient-reduction
+    // table, the bitwise lifting witness and the frontier verdicts.
+    assert_eq!(
+        doc.path(&["symmetry", "lifting_bitwise_equal"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let sym_rings = doc
+        .path(&["symmetry", "rings"])
+        .and_then(Json::as_array)
+        .expect("symmetry rings present");
+    assert!(!sym_rings.is_empty());
+    for ring in sym_rings {
+        let n = ring.get("n").and_then(Json::as_f64).unwrap();
+        let orbits = ring.get("orbit_states").and_then(Json::as_f64).unwrap();
+        assert!(orbits > 0.0);
+        if let Some(full) = ring.get("full_states").and_then(Json::as_f64) {
+            assert!(orbits < full, "n={n}: the quotient must shrink the space");
+        }
+    }
+    assert_eq!(
+        doc.path(&["symmetry", "frontier", "all_hold"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        doc.path(&["symmetry", "frontier", "expected_time_within_claim"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        doc.path(&["symmetry", "frontier", "arrows"])
+            .and_then(Json::as_array)
+            .map(<[_]>::len),
+        Some(5)
+    );
 
     // Residual trajectory and rounds-to-fire histogram made it through.
     let residuals = doc
@@ -422,6 +459,57 @@ fn compare_bench_fails_mc_worker_variance() {
     assert!(!run_gate(&baseline, &current, "20"));
 }
 
+fn symmetry_block(orbit_states: u64, lifting: bool, all_hold: bool) -> String {
+    format!(
+        r#"{{"lifting_n":4,"lifting_bitwise_equal":{lifting},"rings":[{{"n":3,"full_states":536,"orbit_states":{orbit_states},"reduction":2.913,"quotient_explore_seconds":0.01,"quotient_mem_bytes":4096}},{{"n":8,"full_states":null,"orbit_states":2300000,"reduction":null,"quotient_explore_seconds":30.0,"quotient_mem_bytes":90000000}}],"frontier":{{"n":4,"arrows":[{{"arrow":"T -2-> C | RT","holds":{all_hold},"measured_lo":1.0,"orbit_starts":1084,"seconds":0.05}}],"all_hold":{all_hold},"expected_time_max":20.5,"expected_time_min":4.5,"expected_time_claimed":63.0,"expected_time_within_claim":true,"seconds":0.3}},"peak_rss_mib":512.0}}"#
+    )
+}
+
+/// A v7 artifact: the v6 fixture plus the `symmetry` block.
+fn gate_artifact_v7(orbit_states: u64, lifting: bool, all_hold: bool) -> String {
+    let mut doc = gate_artifact_v6("00deadbeef00cafe", true, true)
+        .replace("pa-bench/mdp-throughput/v6", "pa-bench/mdp-throughput/v7");
+    assert_eq!(doc.pop(), Some('}'));
+    doc.push_str(&format!(
+        r#","symmetry":{}}}"#,
+        symmetry_block(orbit_states, lifting, all_hold)
+    ));
+    doc
+}
+
+#[test]
+fn compare_bench_passes_v7_artifacts_with_symmetry_block() {
+    let artifact = gate_artifact_v7(184, true, true);
+    assert!(run_gate(&artifact, &artifact, "20"));
+}
+
+#[test]
+fn compare_bench_fails_broken_quotient_lifting() {
+    let baseline = gate_artifact_v7(184, true, true);
+    let current = gate_artifact_v7(184, false, true);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "a non-bitwise lifting means the quotient is unsound, not slow"
+    );
+}
+
+#[test]
+fn compare_bench_fails_orbit_count_drift() {
+    let baseline = gate_artifact_v7(184, true, true);
+    let current = gate_artifact_v7(185, true, true);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "the quotient state space is deterministic, so any drift must fail"
+    );
+}
+
+#[test]
+fn compare_bench_fails_frontier_arrow_violation() {
+    let baseline = gate_artifact_v7(184, true, true);
+    let current = gate_artifact_v7(184, true, false);
+    assert!(!run_gate(&baseline, &current, "20"));
+}
+
 #[test]
 fn compare_bench_passes_standalone_mc_artifact() {
     let artifact = mc_v1_artifact("00deadbeef00cafe");
@@ -493,6 +581,9 @@ fn required_blocks_table_covers_every_known_schema() {
     assert!(required_blocks("pa-bench/mdp-throughput/v6")
         .unwrap()
         .contains(&"mc"));
+    assert!(required_blocks("pa-bench/mdp-throughput/v7")
+        .unwrap()
+        .contains(&"symmetry"));
     assert_eq!(required_blocks("pa-bench/mc/v1"), Some(&["mc"][..]));
     assert_eq!(required_blocks("nope"), None);
 }

@@ -33,6 +33,17 @@ pub enum FaultError {
         /// The ring size.
         n: usize,
     },
+    /// A rotation-quotient analysis was requested under a nonempty fault
+    /// plan. Fault events name specific processes, which breaks the ring's
+    /// rotation symmetry — the quotient is only sound for the zero-fault
+    /// column.
+    SymmetryBroken,
+    /// A fault plan's round cap does not fit the 12-bit round field of the
+    /// bit-packed state encoding.
+    RoundCapUnencodable {
+        /// The offending cap (one past the last scripted round).
+        cap: u32,
+    },
     /// An error from the underlying protocol / round model.
     Lr(LrError),
     /// An error from the MDP engine.
@@ -56,6 +67,14 @@ impl std::fmt::Display for FaultError {
             }
             FaultError::ProcessOutOfRange { process, n } => {
                 write!(f, "fault event targets process {process} of a ring of {n}")
+            }
+            FaultError::SymmetryBroken => write!(
+                f,
+                "rotation-quotient analysis requires an empty fault plan \
+                 (fault events name processes, breaking ring symmetry)"
+            ),
+            FaultError::RoundCapUnencodable { cap } => {
+                write!(f, "round cap {cap} exceeds the packable bound 4095")
             }
             FaultError::Lr(e) => write!(f, "protocol error: {e}"),
             FaultError::Mdp(e) => write!(f, "mdp error: {e}"),

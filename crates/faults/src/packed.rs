@@ -1,0 +1,126 @@
+//! Bit-packed encoding of [`FaultyRoundState`] for
+//! [`pa_mdp::PackedSpace`].
+//!
+//! Extends [`RoundStateCodec`]'s three-word layout with one more word and
+//! the spare bits of word 1:
+//!
+//! | word | bits | content |
+//! |------|------|---------|
+//! | 0–2 | — | the wrapped [`pa_lehmann_rabin::RoundState`], as in [`RoundStateCodec`] |
+//! | 1 | `52 .. 64` | the 1-based round counter (saturated at the plan cap) |
+//! | 3 | `0 .. 64` | per-process fault-status nibbles |
+//!
+//! The round counter saturates at `plan.max_round() + 1`, so the 12-bit
+//! field is ample for any realistic plan; the cap is validated once at
+//! codec construction ([`FaultError::RoundCapUnencodable`]) rather than
+//! per pack.
+
+use pa_lehmann_rabin::RoundStateCodec;
+use pa_mdp::StateCodec;
+
+use crate::{FaultError, FaultyRoundState};
+
+/// Upper bound on the packable round cap (12 bits).
+pub const MAX_PACKED_ROUND: u32 = 0xFFF;
+
+/// Fixed-width codec for [`FaultyRoundState`]: four `u64` words per state.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyStateCodec {
+    inner: RoundStateCodec,
+}
+
+impl FaultyStateCodec {
+    /// A codec for rings of `n` whose round counters saturate at
+    /// `round_cap` (use [`crate::FaultyRoundMdp::round_cap`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::RoundCapUnencodable`] if `round_cap` exceeds
+    /// [`MAX_PACKED_ROUND`]; ring-size errors from the inner codec.
+    pub fn new(n: usize, round_cap: u32) -> Result<FaultyStateCodec, FaultError> {
+        if round_cap > MAX_PACKED_ROUND {
+            return Err(FaultError::RoundCapUnencodable { cap: round_cap });
+        }
+        Ok(FaultyStateCodec {
+            inner: RoundStateCodec::new(n)?,
+        })
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+}
+
+impl StateCodec for FaultyStateCodec {
+    type State = FaultyRoundState;
+    type Word = [u64; 4];
+
+    fn pack(&self, s: &FaultyRoundState) -> [u64; 4] {
+        debug_assert!(s.round <= MAX_PACKED_ROUND);
+        let [w0, w1, w2] = self.inner.pack(&s.inner);
+        [w0, w1 | (u64::from(s.round) << 52), w2, s.status]
+    }
+
+    fn unpack(&self, w: &[u64; 4]) -> FaultyRoundState {
+        FaultyRoundState {
+            inner: self.inner.unpack(&[w[0], w[1] & ((1 << 52) - 1), w[2]]),
+            status: w[3],
+            round: (w[1] >> 52) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKind, FaultPlan, FaultyRoundMdp, STOPPED};
+    use pa_core::Automaton;
+    use pa_lehmann_rabin::RoundConfig;
+
+    #[test]
+    fn round_caps_are_validated_once() {
+        assert!(FaultyStateCodec::new(3, MAX_PACKED_ROUND).is_ok());
+        assert!(matches!(
+            FaultyStateCodec::new(3, MAX_PACKED_ROUND + 1),
+            Err(FaultError::RoundCapUnencodable { .. })
+        ));
+        assert!(FaultyStateCodec::new(1, 1).is_err());
+    }
+
+    #[test]
+    fn faulty_states_round_trip_through_the_codec() {
+        let plan = FaultPlan::single(2, 1, FaultKind::CrashRestart { downtime: 3 }).unwrap();
+        let m = FaultyRoundMdp::new(RoundConfig::new(4).unwrap(), plan).unwrap();
+        let codec = FaultyStateCodec::new(4, m.round_cap()).unwrap();
+        // Walk a few levels of the real model and round-trip every state.
+        let mut frontier = m.start_states();
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                assert_eq!(codec.unpack(&codec.pack(s)), *s);
+                for step in m.steps(s) {
+                    next.extend(step.target.support().cloned());
+                }
+            }
+            frontier = next;
+            frontier.dedup();
+        }
+    }
+
+    #[test]
+    fn status_and_round_use_their_own_lanes() {
+        let m = FaultyRoundMdp::new(
+            RoundConfig::new(3).unwrap(),
+            FaultPlan::single(1, 2, FaultKind::CrashStop).unwrap(),
+        )
+        .unwrap();
+        let codec = FaultyStateCodec::new(3, m.round_cap()).unwrap();
+        let s = &m.start_states()[0];
+        assert_eq!(s.status_of(2), STOPPED);
+        let w = codec.pack(s);
+        assert_eq!(w[3], u64::from(STOPPED) << 8);
+        assert_eq!(w[1] >> 52, 1, "round 1 in the high lane");
+        assert_eq!(codec.unpack(&w), *s);
+    }
+}

@@ -50,7 +50,7 @@ pub const TAG_CRASH: u8 = 1;
 
 /// A state of the fault-wrapped round model: the fault-free round state
 /// plus per-process fault status and the current round number.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FaultyRoundState {
     /// The wrapped round state (crashed processes simply have no budget
     /// and no obligation in it).
@@ -85,6 +85,33 @@ impl FaultyRoundState {
             }
         }
         mask
+    }
+
+    /// The state relabelled by ring rotation `k`: the wrapped round state
+    /// rotates ([`RoundState::rotated`]) and the status nibbles rotate
+    /// with the processes; the round counter is position-free.
+    ///
+    /// Rotation is only a symmetry of the *model* when the fault plan is
+    /// empty (scripted events name processes); the quotient entry points
+    /// enforce that with [`crate::FaultError::SymmetryBroken`].
+    pub fn rotated(&self, k: usize) -> FaultyRoundState {
+        let n = self.inner.config.n();
+        let mut status = 0u64;
+        for i in 0..n {
+            let nibble = (self.status >> (4 * ((i + k) % n))) & 0xF;
+            status |= nibble << (4 * i);
+        }
+        FaultyRoundState {
+            inner: self.inner.rotated(k),
+            status,
+            round: self.round,
+        }
+    }
+}
+
+impl pa_mdp::RingState for FaultyRoundState {
+    fn rotated(&self, k: usize) -> FaultyRoundState {
+        FaultyRoundState::rotated(self, k)
     }
 }
 
@@ -195,10 +222,18 @@ impl FaultyRoundMdp {
         state.round >= self.cap && (0..self.base.config().n).all(|i| state.status_of(i) == STOPPED)
     }
 
+    /// Rounds saturate at this cap: one past the last scripted event.
+    pub fn round_cap(&self) -> u32 {
+        self.cap
+    }
+
     /// Tags the `EndRound` choices of dead states with [`TAG_CRASH`] so
     /// [`pa_mdp::tagged_absorbing_violations`] can certify they are
     /// absorbing self-loops before either solver runs.
-    pub fn crash_tags(&self, explored: &Explored<FaultyRoundState>) -> ChoiceTags {
+    pub fn crash_tags<SP: pa_mdp::StateSpace<FaultyRoundState>>(
+        &self,
+        explored: &Explored<FaultyRoundState, SP>,
+    ) -> ChoiceTags {
         tag_choices(self, explored, |s, a| {
             if *a == RoundAction::EndRound && self.is_dead(s) {
                 TAG_CRASH
@@ -375,7 +410,7 @@ impl Automaton for FaultyRoundMdp {
 mod tests {
     use super::*;
     use pa_lehmann_rabin::{Pc, ProcState, Side};
-    use pa_mdp::{explore, tagged_absorbing_violations};
+    use pa_mdp::{tagged_absorbing_violations, Explore};
 
     fn trying_config() -> Config {
         let mut c = Config::initial(3).unwrap();
@@ -457,10 +492,27 @@ mod tests {
         )
         .unwrap();
         let m = wrapped(plan);
-        let e = explore(&m, faulty_round_cost, 1_000_000).unwrap();
+        let e = Explore::new(&m)
+            .cost(faulty_round_cost)
+            .limit(1_000_000)
+            .run()
+            .unwrap();
         let tags = m.crash_tags(&e);
         assert!(tags.count(TAG_CRASH) > 0, "total crash must be reachable");
         assert!(tagged_absorbing_violations(&e.mdp, &tags, TAG_CRASH).is_empty());
+    }
+
+    #[test]
+    fn rotation_relabels_status_nibbles_with_the_ring() {
+        let m = wrapped(FaultPlan::single(1, 1, FaultKind::CrashStop).unwrap());
+        let s = m.start_states()[0].clone();
+        assert_eq!(s.status_of(1), STOPPED);
+        let r = s.rotated(1);
+        assert_eq!(r.status_of(0), STOPPED, "old process 1 is new process 0");
+        assert_eq!(r.status_of(1), 0);
+        assert_eq!(r.status_of(2), 0);
+        assert_eq!(r.round, s.round);
+        assert_eq!(s.rotated(3), s, "rotating by n is the identity");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use pa_lehmann_rabin::{time_to_budget, Config, Pc, ProcState, RoundConfig, Side}
 use pa_mc::{
     chain_target, estimate_reach, McConfig, McEstimate, OptimalReplay, UniformChain, UniformPolicy,
 };
-use pa_mdp::{par_explore, Objective};
+use pa_mdp::{Explore, Objective};
 use pa_prob::stats::Z_99;
 use pa_prob::{Prob, ProbInterval};
 
@@ -72,7 +72,11 @@ pub fn sampled_arrow_under(
     };
     let to = set_pred_under(arrow.to())?;
     let n = cfg.n;
-    let explored = par_explore(&model, faulty_round_cost, limit)?;
+    let explored = Explore::new(&model)
+        .cost(faulty_round_cost)
+        .limit(limit)
+        .parallel()
+        .run()?;
     let budget = time_to_budget(arrow.time());
     let analysis = explored
         .query_where(|s| to(&s.inner.config, s.crashed_mask(n)))
@@ -104,7 +108,7 @@ pub fn sampled_arrow_under(
     };
     let estimate = estimate_reach(
         &model,
-        &explored.states[worst],
+        &explored.state(worst),
         |s| to(&s.inner.config, s.crashed_mask(n)),
         faulty_round_cost,
         &replay,
@@ -118,7 +122,7 @@ pub fn sampled_arrow_under(
         arrow: arrow.to_string(),
         claimed: arrow.prob().value(),
         exact,
-        worst_state: explored.states[worst].to_string(),
+        worst_state: explored.state(worst).to_string(),
         estimate,
         interval,
         contains_exact: interval.contains(Prob::clamped(exact)),
@@ -159,9 +163,28 @@ pub fn estimate_reach_uniform(
     within: u32,
     mc: &McConfig,
 ) -> Result<McEstimate, FaultError> {
+    estimate_reach_uniform_from(n, plan, trying_start(n)?, target, within, mc)
+}
+
+/// [`estimate_reach_uniform`] from an explicit start configuration — the
+/// form the hybrid survival map uses to sample a faulted arrow from a
+/// canonical representative of its *source* region (fault plans break
+/// rotation symmetry, so faulted columns cannot run on the quotient).
+///
+/// # Errors
+///
+/// Same as [`estimate_reach_uniform`].
+pub fn estimate_reach_uniform_from(
+    n: usize,
+    plan: &FaultPlan,
+    start: Config,
+    target: &SetExpr,
+    within: u32,
+    mc: &McConfig,
+) -> Result<McEstimate, FaultError> {
     let cfg = RoundConfig::new(n)?;
     let to = set_pred_under(target)?;
-    let model = crate::FaultyRoundMdp::new(cfg, plan.clone())?.with_starts(vec![trying_start(n)?]);
+    let model = crate::FaultyRoundMdp::new(cfg, plan.clone())?.with_starts(vec![start]);
     let start = model
         .start_states()
         .into_iter()
@@ -202,11 +225,13 @@ pub fn exact_reach_uniform(
     let to = set_pred_under(target)?;
     let model = crate::FaultyRoundMdp::new(cfg, plan.clone())?.with_starts(vec![trying_start(n)?]);
     let chain = UniformChain::new(&model);
-    let explored = par_explore(
-        &chain,
-        UniformChain::<crate::FaultyRoundMdp>::cost(faulty_round_cost),
-        limit,
-    )?;
+    let explored = Explore::new(&chain)
+        .cost(UniformChain::<crate::FaultyRoundMdp>::cost(
+            faulty_round_cost,
+        ))
+        .limit(limit)
+        .parallel()
+        .run()?;
     let mut pred =
         chain_target(|s: &crate::FaultyRoundState| to(&s.inner.config, s.crashed_mask(n)));
     let analysis = explored
@@ -255,6 +280,38 @@ mod tests {
     }
 
     #[test]
+    fn sampled_interval_contains_the_quotient_exact_value_at_n3_and_n4() {
+        // The PR 7 containment gate, extended to the quotient path: the
+        // quotient engine explores a different (orbit-collapsed, bit-
+        // packed) model, yet computes the same estimand as the full-space
+        // check the trajectories replay against — so its exact value must
+        // land inside the sampled 99% Wilson interval too.
+        let (arrow, _why) = paper::all_arrows().remove(3);
+        let plan = FaultPlan::none();
+        for n in [3usize, 4] {
+            let cfg = RoundConfig::new(n).unwrap();
+            let sampled =
+                sampled_arrow_under(cfg, &arrow, &plan, 1_000_000, &McConfig::new(4_000, 42, 0))
+                    .unwrap()
+                    .expect("G is non-empty on the fault-free ring");
+            let quotient =
+                crate::check_arrow_under_quotient(cfg, &arrow, &plan, 1_000_000).unwrap();
+            let exact = quotient.measured.lo().value();
+            assert_eq!(
+                exact.to_bits(),
+                sampled.exact.to_bits(),
+                "n={n}: quotient exact {exact} vs full exact {}",
+                sampled.exact
+            );
+            assert!(
+                sampled.interval.contains(Prob::clamped(exact)),
+                "n={n}: interval {} must contain quotient-exact {exact}",
+                sampled.interval
+            );
+        }
+    }
+
+    #[test]
     fn uniform_interval_contains_chain_exact_value_at_n3() {
         let target = SetExpr::named("C");
         let exact = exact_reach_uniform(3, &FaultPlan::none(), &target, 13, 1_000_000).unwrap();
@@ -288,7 +345,12 @@ mod tests {
                 .unwrap()
                 .expect("G is non-empty on the fault-free ring");
             let to = set_pred_under(arrow.to()).unwrap();
-            let explored = par_explore(&model, faulty_round_cost, 1_000_000).unwrap();
+            let explored = Explore::new(&model)
+                .cost(faulty_round_cost)
+                .limit(1_000_000)
+                .parallel()
+                .run()
+                .unwrap();
             let budget = time_to_budget(arrow.time());
             let analysis = explored
                 .query_where(|s| to(&s.inner.config, s.crashed_mask(n)))
@@ -313,7 +375,7 @@ mod tests {
             for seed in 0..100u64 {
                 let estimate = estimate_reach(
                     &model,
-                    &explored.states[worst],
+                    &explored.state(worst),
                     |s| to(&s.inner.config, s.crashed_mask(n)),
                     faulty_round_cost,
                     &replay,

@@ -10,12 +10,18 @@
 //! property the regression tests pin down.
 
 use pa_core::{Arrow, ArrowCheck, SetExpr};
-use pa_lehmann_rabin::{paper, reachable_configs, regions, time_to_budget, Config, RoundConfig};
-use pa_mdp::{par_explore, Objective};
+use pa_lehmann_rabin::{
+    paper, reachable_configs, reachable_configs_quotient, regions, time_to_budget, Config,
+    RoundConfig,
+};
+use pa_mdp::{Explore, Explored, Objective, PackedSpace, RingRotation, StateSpace};
 use pa_prob::{Prob, ProbInterval};
 use serde::Serialize;
 
-use crate::{faulty_round_cost, FaultError, FaultKind, FaultPlan, FaultyRoundMdp};
+use crate::{
+    faulty_round_cost, FaultError, FaultKind, FaultPlan, FaultyRoundMdp, FaultyRoundState,
+    FaultyStateCodec,
+};
 
 /// Default cap on explored states for survival analyses, matching
 /// [`pa_lehmann_rabin::DEFAULT_STATE_LIMIT`].
@@ -143,7 +149,40 @@ pub fn check_arrow_under(
     plan: &FaultPlan,
     limit: usize,
 ) -> Result<ArrowCheck, FaultError> {
-    let Some((model, states_checked)) = arrow_model(cfg, arrow, plan, limit)? else {
+    check_arrow_under_impl(cfg, arrow, plan, limit, false)
+}
+
+/// [`check_arrow_under`] on the rotation-quotient model with bit-packed
+/// states ([`FaultyStateCodec`]): starts are orbit representatives
+/// (`states_checked` counts orbits) and successors canonicalize during
+/// exploration. This is what holds the zero-fault column of large-`n`
+/// survival maps inside memory.
+///
+/// # Errors
+///
+/// [`FaultError::SymmetryBroken`] unless `plan` is empty — scripted fault
+/// events name specific processes, and rotation is only an automorphism of
+/// the fault-free model. Otherwise as [`check_arrow_under`].
+pub fn check_arrow_under_quotient(
+    cfg: RoundConfig,
+    arrow: &Arrow,
+    plan: &FaultPlan,
+    limit: usize,
+) -> Result<ArrowCheck, FaultError> {
+    if !plan.is_empty() {
+        return Err(FaultError::SymmetryBroken);
+    }
+    check_arrow_under_impl(cfg, arrow, plan, limit, true)
+}
+
+fn check_arrow_under_impl(
+    cfg: RoundConfig,
+    arrow: &Arrow,
+    plan: &FaultPlan,
+    limit: usize,
+    quotient: bool,
+) -> Result<ArrowCheck, FaultError> {
+    let Some((model, states_checked)) = arrow_model_impl(cfg, arrow, plan, limit, quotient)? else {
         return Ok(ArrowCheck {
             arrow: arrow.clone(),
             measured: ProbInterval::exact(Prob::ONE),
@@ -153,9 +192,36 @@ pub fn check_arrow_under(
     };
     let to = set_pred_under(arrow.to())?;
     let n = cfg.n;
-    let explored = par_explore(&model, faulty_round_cost, limit)?;
-    let target = explored.target_where(|s| to(&s.inner.config, s.crashed_mask(n)));
     let budget = time_to_budget(arrow.time());
+    if quotient {
+        let space = PackedSpace::new(FaultyStateCodec::new(n, model.round_cap())?);
+        let explored = Explore::new(&model)
+            .cost(faulty_round_cost)
+            .limit(limit)
+            .parallel()
+            .symmetry(RingRotation::new(n))
+            .run_in(space)?;
+        finish_arrow_under(&explored, &to, n, budget, arrow, states_checked)
+    } else {
+        let explored = Explore::new(&model)
+            .cost(faulty_round_cost)
+            .limit(limit)
+            .parallel()
+            .run()?;
+        finish_arrow_under(&explored, &to, n, budget, arrow, states_checked)
+    }
+}
+
+/// The solver tail shared by the full-space and quotient fault checks.
+fn finish_arrow_under<SP: StateSpace<FaultyRoundState>>(
+    explored: &Explored<FaultyRoundState, SP>,
+    to: &impl Fn(&Config, u32) -> bool,
+    n: usize,
+    budget: u32,
+    arrow: &Arrow,
+    states_checked: usize,
+) -> Result<ArrowCheck, FaultError> {
+    let target = explored.target_where(|s| to(&s.inner.config, s.crashed_mask(n)));
     let values = explored
         .query()
         .objective(Objective::MinProb)
@@ -168,7 +234,7 @@ pub fn check_arrow_under(
     for &i in explored.mdp.initial_states() {
         if values[i] < worst {
             worst = values[i];
-            worst_state = Some(explored.states[i].to_string());
+            worst_state = Some(explored.state(i).to_string());
         }
     }
     Ok(ArrowCheck {
@@ -200,13 +266,25 @@ pub(crate) fn arrow_model(
     plan: &FaultPlan,
     limit: usize,
 ) -> Result<Option<(FaultyRoundMdp, usize)>, FaultError> {
+    arrow_model_impl(cfg, arrow, plan, limit, false)
+}
+
+pub(crate) fn arrow_model_impl(
+    cfg: RoundConfig,
+    arrow: &Arrow,
+    plan: &FaultPlan,
+    limit: usize,
+    quotient: bool,
+) -> Result<Option<(FaultyRoundMdp, usize)>, FaultError> {
     let from = set_pred_under(arrow.from())?;
     let n = cfg.n;
     let mask0 = start_crash_mask(plan);
-    let starts: Vec<Config> = reachable_configs(n, limit)?
-        .into_iter()
-        .filter(|c| from(c, mask0))
-        .collect();
+    let reachable = if quotient {
+        reachable_configs_quotient(n, limit)?
+    } else {
+        reachable_configs(n, limit)?
+    };
+    let starts: Vec<Config> = reachable.into_iter().filter(|c| from(c, mask0)).collect();
     if starts.is_empty() {
         return Ok(None);
     }
@@ -288,6 +366,150 @@ pub fn survival_map_with_grid(
     })
 }
 
+/// One sampled cell of a [`HybridSurvivalMap`]: the uniform-adversary
+/// success probability from the canonical (lexicographically least
+/// reachable) source configuration, with its 99% Wilson interval. This is
+/// an *estimate of a proxy* — the uniform adversary, not the worst case —
+/// because scripted faults break rotation symmetry, putting the faulted
+/// columns beyond the quotient-exact engine at large `n`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SampledSurvivalCell {
+    /// Name of the fault configuration.
+    pub fault: String,
+    /// Classification of the point estimate against the claimed bound.
+    pub survival: Survival,
+    /// The point estimate.
+    pub estimate: f64,
+    /// Lower end of the 99% Wilson interval.
+    pub lo: f64,
+    /// Upper end of the 99% Wilson interval.
+    pub hi: f64,
+    /// Trajectories sampled (0 for a vacuous cell).
+    pub trials: u64,
+}
+
+/// One row of a hybrid survival map: the exact quotient zero-fault cell
+/// plus sampled faulted cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct HybridSurvivalRow {
+    /// The arrow, rendered (`U —t→_p U'`).
+    pub arrow: String,
+    /// The claimed probability.
+    pub claimed: f64,
+    /// The zero-fault cell, exact on the rotation quotient.
+    pub exact: SurvivalCell,
+    /// Sampled cells for the faulted grid columns.
+    pub sampled: Vec<SampledSurvivalCell>,
+}
+
+/// The survival map for rings beyond the full-space engine's reach: the
+/// zero-fault column is exact on the rotation-quotient model
+/// ([`check_arrow_under_quotient`]), and faulted columns are Monte-Carlo
+/// sampled ([`crate::estimate_reach_uniform_from`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct HybridSurvivalMap {
+    /// Ring size.
+    pub n: usize,
+    /// Column names, in order (the first is the exact zero-fault column).
+    pub faults: Vec<String>,
+    /// One row per paper arrow, in chain order.
+    pub rows: Vec<HybridSurvivalRow>,
+}
+
+/// Builds the hybrid survival map of a ring of `n` over [`default_grid`].
+///
+/// # Errors
+///
+/// Propagates [`check_arrow_under_quotient`] and sampling errors.
+pub fn survival_map_hybrid(
+    n: usize,
+    limit: usize,
+    mc: &pa_mc::McConfig,
+) -> Result<HybridSurvivalMap, FaultError> {
+    survival_map_hybrid_with_grid(n, limit, &default_grid(), mc)
+}
+
+/// [`survival_map_hybrid`] over an explicit fault grid whose first column
+/// must be the zero-fault identity.
+///
+/// # Errors
+///
+/// As [`survival_map_hybrid`]; [`FaultError::SymmetryBroken`] if the
+/// grid's first column is not fault-free.
+pub fn survival_map_hybrid_with_grid(
+    n: usize,
+    limit: usize,
+    grid: &[(String, FaultPlan)],
+    mc: &pa_mc::McConfig,
+) -> Result<HybridSurvivalMap, FaultError> {
+    let cfg = RoundConfig::new(n)?;
+    let (zero_name, zero_plan) = grid.first().ok_or(FaultError::SymmetryBroken)?;
+    if !zero_plan.is_empty() {
+        return Err(FaultError::SymmetryBroken);
+    }
+    // One quotient sweep of the protocol serves every sampled column.
+    let reps = reachable_configs_quotient(n, limit)?;
+    let mut rows = Vec::new();
+    for (arrow, _why) in paper::all_arrows() {
+        let claimed = arrow.prob().value();
+        let check = check_arrow_under_quotient(cfg, &arrow, zero_plan, limit)?;
+        let measured = check.measured.lo().value();
+        let exact = SurvivalCell {
+            fault: zero_name.clone(),
+            survival: classify(measured, claimed),
+            measured,
+        };
+        let mut sampled = Vec::new();
+        for (name, plan) in &grid[1..] {
+            let from = set_pred_under(arrow.from())?;
+            let mask0 = start_crash_mask(plan);
+            let start = reps.iter().filter(|c| from(c, mask0)).min().cloned();
+            let cell = match start {
+                // Empty source region: the claim is vacuous.
+                None => SampledSurvivalCell {
+                    fault: name.clone(),
+                    survival: Survival::Holds,
+                    estimate: 1.0,
+                    lo: 1.0,
+                    hi: 1.0,
+                    trials: 0,
+                },
+                Some(start) => {
+                    let est = crate::estimate_reach_uniform_from(
+                        n,
+                        plan,
+                        start,
+                        arrow.to(),
+                        time_to_budget(arrow.time()),
+                        mc,
+                    )?;
+                    let interval = est.interval(pa_prob::stats::Z_99);
+                    SampledSurvivalCell {
+                        fault: name.clone(),
+                        survival: classify(est.point(), claimed),
+                        estimate: est.point(),
+                        lo: interval.lo().value(),
+                        hi: interval.hi().value(),
+                        trials: est.trials(),
+                    }
+                }
+            };
+            sampled.push(cell);
+        }
+        rows.push(HybridSurvivalRow {
+            arrow: arrow.to_string(),
+            claimed,
+            exact,
+            sampled,
+        });
+    }
+    Ok(HybridSurvivalMap {
+        n,
+        faults: grid.iter().map(|(name, _)| name.clone()).collect(),
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +528,46 @@ mod tests {
             assert!(region_pred_under(atom).is_ok());
         }
         assert!(region_pred_under("X").is_err());
+    }
+
+    #[test]
+    fn quotient_zero_fault_check_matches_full_space_bitwise() {
+        let cfg = RoundConfig::new(3).unwrap();
+        for (arrow, _why) in paper::all_arrows() {
+            let full = check_arrow_under(cfg, &arrow, &FaultPlan::none(), 1_000_000).unwrap();
+            let quot =
+                check_arrow_under_quotient(cfg, &arrow, &FaultPlan::none(), 1_000_000).unwrap();
+            assert_eq!(full.measured.lo(), quot.measured.lo(), "{arrow}");
+            assert!(quot.states_checked <= full.states_checked);
+            assert!(quot.states_checked > 0);
+        }
+    }
+
+    #[test]
+    fn quotient_rejects_nonempty_plans() {
+        let cfg = RoundConfig::new(3).unwrap();
+        let plan = FaultPlan::single(2, 0, FaultKind::CrashStop).unwrap();
+        assert!(matches!(
+            check_arrow_under_quotient(cfg, &paper::arrow_p_to_c(), &plan, 1_000_000),
+            Err(FaultError::SymmetryBroken)
+        ));
+    }
+
+    #[test]
+    fn hybrid_map_exact_column_matches_the_exact_map_at_n3() {
+        let exact_map = survival_map(3, 1_000_000).unwrap();
+        let hybrid = survival_map_hybrid(3, 1_000_000, &pa_mc::McConfig::new(400, 9, 0)).unwrap();
+        assert_eq!(hybrid.faults, exact_map.faults);
+        for (row_h, row_e) in hybrid.rows.iter().zip(&exact_map.rows) {
+            assert_eq!(row_h.arrow, row_e.arrow);
+            // Quotient-exact zero-fault cell equals the full-space cell.
+            assert_eq!(row_h.exact.measured, row_e.cells[0].measured);
+            assert_eq!(row_h.exact.survival, Survival::Holds);
+            assert_eq!(row_h.sampled.len(), exact_map.faults.len() - 1);
+            for cell in &row_h.sampled {
+                assert!(cell.lo <= cell.estimate && cell.estimate <= cell.hi);
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use pa_faults::{
     check_arrow_under, faulty_round_cost, survival_map, FaultModel, FaultPlan, FaultyRoundMdp,
 };
 use pa_lehmann_rabin::{check_arrow_with_limit, paper, round_cost, RoundConfig, RoundMdp};
-use pa_mdp::{explore, Objective};
+use pa_mdp::{Explore, Objective};
 use serde::Serialize;
 
 const LIMIT: usize = 5_000_000;
@@ -38,19 +38,19 @@ fn same_seed_twice_is_bitwise_identical() {
     assert_eq!(plan_a, plan_b);
 
     let cfg = RoundConfig::new(3).unwrap();
-    let ea = explore(
-        &FaultyRoundMdp::new(cfg, plan_a.clone()).unwrap(),
-        faulty_round_cost,
-        LIMIT,
-    )
-    .unwrap();
-    let eb = explore(
-        &FaultyRoundMdp::new(cfg, plan_b).unwrap(),
-        faulty_round_cost,
-        LIMIT,
-    )
-    .unwrap();
-    assert_eq!(ea.states, eb.states);
+    let ma = FaultyRoundMdp::new(cfg, plan_a.clone()).unwrap();
+    let mb = FaultyRoundMdp::new(cfg, plan_b).unwrap();
+    let ea = Explore::new(&ma)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    let eb = Explore::new(&mb)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    assert_eq!(ea.states(), eb.states());
     assert_eq!(ea.mdp.initial_states(), eb.mdp.initial_states());
     assert_eq!(ea.mdp.num_states(), eb.mdp.num_states());
     for s in 0..ea.mdp.num_states() {
@@ -75,13 +75,21 @@ fn zero_fault_wrapping_explores_the_identical_mdp() {
     let plain = RoundMdp::new(cfg);
     let wrapped = FaultyRoundMdp::new(cfg, FaultPlan::none()).unwrap();
 
-    let ep = explore(&plain, round_cost, LIMIT).unwrap();
-    let ew = explore(&wrapped, faulty_round_cost, LIMIT).unwrap();
+    let ep = Explore::new(&plain)
+        .cost(round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    let ew = Explore::new(&wrapped)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
     assert_eq!(ep.mdp.num_states(), ew.mdp.num_states());
     assert_eq!(ep.mdp.initial_states(), ew.mdp.initial_states());
     for s in 0..ep.mdp.num_states() {
         assert_eq!(ep.mdp.choices(s), ew.mdp.choices(s), "state {s}");
-        assert_eq!(ep.states[s], ew.states[s].inner, "state {s}");
+        assert_eq!(ep.states()[s], ew.states()[s].inner, "state {s}");
     }
 }
 
@@ -90,13 +98,18 @@ fn zero_fault_wrapping_explores_the_identical_mdp() {
 #[test]
 fn zero_fault_query_values_are_bitwise_unchanged() {
     let cfg = RoundConfig::new(3).unwrap();
-    let ep = explore(&RoundMdp::new(cfg), round_cost, LIMIT).unwrap();
-    let ew = explore(
-        &FaultyRoundMdp::new(cfg, FaultPlan::none()).unwrap(),
-        faulty_round_cost,
-        LIMIT,
-    )
-    .unwrap();
+    let plain = RoundMdp::new(cfg);
+    let ep = Explore::new(&plain)
+        .cost(round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    let wrapped = FaultyRoundMdp::new(cfg, FaultPlan::none()).unwrap();
+    let ew = Explore::new(&wrapped)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
     let tp = ep.target_where(|rs| pa_lehmann_rabin::regions::in_c(&rs.config));
     let tw = ew.target_where(|s| pa_lehmann_rabin::regions::in_c(&s.inner.config));
     assert_eq!(tp, tw);
@@ -148,8 +161,12 @@ fn zero_fault_step_enumeration_matches_locally() {
     let cfg = RoundConfig::new(3).unwrap();
     let plain = RoundMdp::new(cfg);
     let wrapped = FaultyRoundMdp::new(cfg, FaultPlan::none()).unwrap();
-    let ew = explore(&wrapped, faulty_round_cost, LIMIT).unwrap();
-    for ws in ew.states.iter().take(500) {
+    let ew = Explore::new(&wrapped)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    for ws in ew.states().iter().take(500) {
         let ps = plain.steps(&ws.inner);
         let wsteps = wrapped.steps(ws);
         assert_eq!(ps.len(), wsteps.len());

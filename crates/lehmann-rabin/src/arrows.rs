@@ -3,10 +3,14 @@
 //! model.
 
 use pa_core::{Arrow, ArrowCheck, Derivation, SetExpr};
-use pa_mdp::{par_explore, ExpectedCost, Objective, QueryObjective};
+use pa_mdp::{
+    ExpectedCost, Explore, Explored, Objective, PackedSpace, QueryObjective, RingRotation,
+    StateSpace,
+};
 use pa_prob::{Prob, ProbInterval};
 
-use crate::{regions, round_cost, time_to_budget, Config, LrError, RoundMdp};
+use crate::packed::RoundStateCodec;
+use crate::{regions, round_cost, time_to_budget, Config, LrError, RoundMdp, RoundState};
 
 /// Default cap on explored round states.
 pub const DEFAULT_STATE_LIMIT: usize = 20_000_000;
@@ -155,8 +159,28 @@ pub fn set_pred(set: &SetExpr) -> Result<impl Fn(&Config) -> bool + Send + Sync,
 /// Propagates ring-size validation and state-limit errors.
 pub fn reachable_configs(n: usize, limit: usize) -> Result<Vec<Config>, LrError> {
     let protocol = crate::LrProtocol::new(n, crate::UserModel::full())?;
-    let explored = par_explore(&protocol, |_, _| 1, limit)?;
-    Ok(explored.states)
+    let explored = Explore::new(&protocol).limit(limit).parallel().run()?;
+    Ok(explored.into_states())
+}
+
+/// The rotation-quotient of [`reachable_configs`]: one representative (the
+/// lexicographically least rotation) per orbit of reachable
+/// configurations — up to `n`-fold fewer states. Region membership and
+/// analysis values are rotation-invariant, so quantifying over
+/// representatives is equivalent to quantifying over `rstates(M)` (see
+/// DESIGN §13).
+///
+/// # Errors
+///
+/// Propagates ring-size validation and state-limit errors.
+pub fn reachable_configs_quotient(n: usize, limit: usize) -> Result<Vec<Config>, LrError> {
+    let protocol = crate::LrProtocol::new(n, crate::UserModel::full())?;
+    let explored = Explore::new(&protocol)
+        .limit(limit)
+        .parallel()
+        .symmetry(RingRotation::new(n))
+        .run()?;
+    Ok(explored.into_states())
 }
 
 /// Exactly checks an arrow claim `U —t→_p U'` on the round model: for every
@@ -185,13 +209,44 @@ pub fn check_arrow_with_limit(
     arrow: &Arrow,
     limit: usize,
 ) -> Result<ArrowCheck, LrError> {
+    check_arrow_impl(mdp, arrow, limit, false)
+}
+
+/// [`check_arrow_with_limit`] on the rotation-quotient round model:
+/// starts are the orbit representatives of `U ∩ rstates(M)` (so
+/// `states_checked` counts *orbits*, not configurations), successors are
+/// canonicalized during exploration, and states are held bit-packed
+/// ([`RoundStateCodec`]). Both the arrow regions and the round cost are
+/// rotation-invariant, so the verdict and the measured probability equal
+/// the full-space check's — the quotient-equivalence tests pin this to
+/// `1e-7` (and bitwise for bounded horizons) on `n = 3..5`.
+///
+/// # Errors
+///
+/// See [`check_arrow`].
+pub fn check_arrow_quotient(
+    mdp: &RoundMdp,
+    arrow: &Arrow,
+    limit: usize,
+) -> Result<ArrowCheck, LrError> {
+    check_arrow_impl(mdp, arrow, limit, true)
+}
+
+fn check_arrow_impl(
+    mdp: &RoundMdp,
+    arrow: &Arrow,
+    limit: usize,
+    quotient: bool,
+) -> Result<ArrowCheck, LrError> {
     let from = set_pred(arrow.from())?;
     let to = set_pred(arrow.to())?;
     let n = mdp.config().n;
-    let starts: Vec<Config> = reachable_configs(n, limit)?
-        .into_iter()
-        .filter(|c| from(c))
-        .collect();
+    let reachable = if quotient {
+        reachable_configs_quotient(n, limit)?
+    } else {
+        reachable_configs(n, limit)?
+    };
+    let starts: Vec<Config> = reachable.into_iter().filter(|c| from(c)).collect();
     if starts.is_empty() {
         return Ok(ArrowCheck {
             arrow: arrow.clone(),
@@ -206,9 +261,37 @@ pub fn check_arrow_with_limit(
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = par_explore(&model, round_cost, limit)?;
-    let target = explored.target_where(|rs| to(&rs.config));
     let budget = time_to_budget(arrow.time());
+    if quotient {
+        let space = PackedSpace::new(RoundStateCodec::new(n)?);
+        let explored = Explore::new(&model)
+            .cost(round_cost)
+            .limit(limit)
+            .parallel()
+            .symmetry(RingRotation::new(n))
+            .run_in(space)?;
+        finish_arrow(&explored, &to, budget, arrow, states_checked)
+    } else {
+        let explored = Explore::new(&model)
+            .cost(round_cost)
+            .limit(limit)
+            .parallel()
+            .run()?;
+        finish_arrow(&explored, &to, budget, arrow, states_checked)
+    }
+}
+
+/// The solver tail shared by the full-space and quotient arrow checks,
+/// generic over the state space so the two paths run byte-identical
+/// analysis code.
+fn finish_arrow<SP: StateSpace<RoundState>>(
+    explored: &Explored<RoundState, SP>,
+    to: &impl Fn(&Config) -> bool,
+    budget: u32,
+    arrow: &Arrow,
+    states_checked: usize,
+) -> Result<ArrowCheck, LrError> {
+    let target = explored.target_where(|rs| to(&rs.config));
     let values = explored
         .query()
         .objective(Objective::MinProb)
@@ -221,7 +304,7 @@ pub fn check_arrow_with_limit(
     for &i in explored.mdp.initial_states() {
         if values[i] < worst {
             worst = values[i];
-            worst_state = Some(explored.states[i].config.to_string());
+            worst_state = Some(explored.state(i).config.to_string());
         }
     }
     Ok(ArrowCheck {
@@ -249,33 +332,37 @@ pub fn max_expected_time(
     target_set: &SetExpr,
     limit: usize,
 ) -> Result<f64, LrError> {
-    let from = set_pred(from_set)?;
-    let to = set_pred(target_set)?;
-    let n = mdp.config().n;
-    let starts: Vec<Config> = reachable_configs(n, limit)?
-        .into_iter()
-        .filter(|c| from(c))
-        .collect();
-    if starts.is_empty() {
-        return Ok(0.0);
-    }
-    let to_for_absorb = set_pred(target_set)?;
-    let model = mdp
-        .clone()
-        .with_starts(starts)
-        .with_absorb(move |c| to_for_absorb(c));
-    let explored = par_explore(&model, round_cost, limit)?;
-    let target = explored.target_where(|rs| to(&rs.config));
-    let analysis = explored
-        .query()
-        .objective(QueryObjective::MaxCost)
-        .target(target)
-        .run()?;
-    let expected = ExpectedCost {
-        values: analysis.values,
-    };
-    let worst = expected.max_over(explored.mdp.initial_states().iter().copied())?;
-    Ok(worst + 1.0)
+    expected_time_impl(
+        mdp,
+        from_set,
+        target_set,
+        limit,
+        QueryObjective::MaxCost,
+        false,
+    )
+}
+
+/// [`max_expected_time`] on the rotation-quotient round model (packed
+/// states, orbit-representative starts). Pinned equal to the full-space
+/// value within `1e-7` on `n = 3..5` by the quotient-equivalence tests.
+///
+/// # Errors
+///
+/// Same as [`max_expected_time`].
+pub fn max_expected_time_quotient(
+    mdp: &RoundMdp,
+    from_set: &SetExpr,
+    target_set: &SetExpr,
+    limit: usize,
+) -> Result<f64, LrError> {
+    expected_time_impl(
+        mdp,
+        from_set,
+        target_set,
+        limit,
+        QueryObjective::MaxCost,
+        true,
+    )
 }
 
 /// The best-case counterpart of [`max_expected_time`]: the expected time
@@ -293,13 +380,54 @@ pub fn min_expected_time(
     target_set: &SetExpr,
     limit: usize,
 ) -> Result<f64, LrError> {
+    expected_time_impl(
+        mdp,
+        from_set,
+        target_set,
+        limit,
+        QueryObjective::MinCost,
+        false,
+    )
+}
+
+/// [`min_expected_time`] on the rotation-quotient round model.
+///
+/// # Errors
+///
+/// Same as [`max_expected_time`].
+pub fn min_expected_time_quotient(
+    mdp: &RoundMdp,
+    from_set: &SetExpr,
+    target_set: &SetExpr,
+    limit: usize,
+) -> Result<f64, LrError> {
+    expected_time_impl(
+        mdp,
+        from_set,
+        target_set,
+        limit,
+        QueryObjective::MinCost,
+        true,
+    )
+}
+
+fn expected_time_impl(
+    mdp: &RoundMdp,
+    from_set: &SetExpr,
+    target_set: &SetExpr,
+    limit: usize,
+    objective: QueryObjective,
+    quotient: bool,
+) -> Result<f64, LrError> {
     let from = set_pred(from_set)?;
     let to = set_pred(target_set)?;
     let n = mdp.config().n;
-    let starts: Vec<Config> = reachable_configs(n, limit)?
-        .into_iter()
-        .filter(|c| from(c))
-        .collect();
+    let reachable = if quotient {
+        reachable_configs_quotient(n, limit)?
+    } else {
+        reachable_configs(n, limit)?
+    };
+    let starts: Vec<Config> = reachable.into_iter().filter(|c| from(c)).collect();
     if starts.is_empty() {
         return Ok(0.0);
     }
@@ -308,13 +436,34 @@ pub fn min_expected_time(
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = par_explore(&model, round_cost, limit)?;
+    if quotient {
+        let space = PackedSpace::new(RoundStateCodec::new(n)?);
+        let explored = Explore::new(&model)
+            .cost(round_cost)
+            .limit(limit)
+            .parallel()
+            .symmetry(RingRotation::new(n))
+            .run_in(space)?;
+        finish_expected(&explored, &to, objective)
+    } else {
+        let explored = Explore::new(&model)
+            .cost(round_cost)
+            .limit(limit)
+            .parallel()
+            .run()?;
+        finish_expected(&explored, &to, objective)
+    }
+}
+
+/// The expected-cost solver tail shared by the full-space and quotient
+/// paths.
+fn finish_expected<SP: StateSpace<RoundState>>(
+    explored: &Explored<RoundState, SP>,
+    to: &impl Fn(&Config) -> bool,
+    objective: QueryObjective,
+) -> Result<f64, LrError> {
     let target = explored.target_where(|rs| to(&rs.config));
-    let analysis = explored
-        .query()
-        .objective(QueryObjective::MinCost)
-        .target(target)
-        .run()?;
+    let analysis = explored.query().objective(objective).target(target).run()?;
     let expected = ExpectedCost {
         values: analysis.values,
     };
@@ -401,6 +550,46 @@ mod tests {
         assert!(lo <= hi, "best case {lo} must not exceed worst case {hi}");
         assert!(lo >= 4.0, "a meal takes flip, wait, second, crit");
         assert!(hi <= 63.0);
+    }
+
+    #[test]
+    fn quotient_reachable_configs_are_canonical_representatives() {
+        use pa_mdp::Symmetry;
+        let full = reachable_configs(4, 1_000_000).unwrap();
+        let quot = reachable_configs_quotient(4, 1_000_000).unwrap();
+        assert!(quot.len() < full.len(), "{} !< {}", quot.len(), full.len());
+        let rot = RingRotation::new(4);
+        assert!(quot.iter().all(|c| rot.canon(c) == *c));
+        // Every reachable configuration's orbit has exactly one
+        // representative among the quotient states.
+        let set: std::collections::HashSet<_> = quot.iter().cloned().collect();
+        assert_eq!(set.len(), quot.len());
+        assert!(full.iter().all(|c| set.contains(&rot.canon(c))));
+    }
+
+    #[test]
+    fn quotient_check_matches_full_space_bitwise_at_n3() {
+        let mdp = RoundMdp::new(RoundConfig::new(3).unwrap());
+        for arrow in [paper::arrow_f_to_gp(), paper::arrow_p_to_c()] {
+            let full = check_arrow(&mdp, &arrow).unwrap();
+            let quot = check_arrow_quotient(&mdp, &arrow, DEFAULT_STATE_LIMIT).unwrap();
+            // Bounded-horizon induction over the quotient visits the same
+            // per-orbit values in the same outcome order: bitwise equal.
+            assert_eq!(full.measured.lo(), quot.measured.lo(), "{arrow}");
+            assert_eq!(full.holds(), quot.holds());
+            assert!(quot.states_checked > 0);
+            assert!(quot.states_checked <= full.states_checked);
+        }
+    }
+
+    #[test]
+    fn quotient_expected_time_agrees_at_n3() {
+        let mdp = RoundMdp::new(RoundConfig::new(3).unwrap());
+        let t = SetExpr::named("T");
+        let c = SetExpr::named("C");
+        let full = max_expected_time(&mdp, &t, &c, 5_000_000).unwrap();
+        let quot = max_expected_time_quotient(&mdp, &t, &c, 5_000_000).unwrap();
+        assert!((full - quot).abs() < 1e-7, "full {full} vs quotient {quot}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! adversary can still surely prevent progress.
 
 use pa_core::{Automaton, Step};
-use pa_mdp::{cost_bounded_reach_levels, par_explore, Objective};
+use pa_mdp::{cost_bounded_reach_levels, Explore, Objective};
 use pa_prob::FiniteDist;
 
 use crate::{
@@ -391,11 +391,11 @@ pub fn check_lemma(n: usize, spec: &LemmaSpec, limit: usize) -> Result<LemmaChec
             .with_starts(starts)
             .with_absorb(move |c: &Config| goal(c, i));
         let model = ForcedRoundMdp::new(inner, (spec.forced)(i, n));
-        let explored = par_explore(
-            &model,
-            |s: &ForcedState, a: &RoundAction| round_cost(&s.round, a),
-            limit,
-        )?;
+        let explored = Explore::new(&model)
+            .cost(|s: &ForcedState, a: &RoundAction| round_cost(&s.round, a))
+            .limit(limit)
+            .parallel()
+            .run()?;
         let target = explored.target_where(|fs| (spec.goal)(&fs.round.config, i));
         let values = explored
             .query()
@@ -448,7 +448,11 @@ pub fn progress_time_lower_bound(
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = par_explore(&model, round_cost, limit)?;
+    let explored = Explore::new(&model)
+        .cost(round_cost)
+        .limit(limit)
+        .parallel()
+        .run()?;
     let target = explored.target_where(|rs| to(&rs.config));
     let initials: Vec<usize> = explored.mdp.initial_states().to_vec();
     let mut first_positive: Option<u32> = None;

@@ -18,6 +18,9 @@
 //!   derivation, and the 60/63 expected-time bounds.
 //! * [`check_arrow`] / [`max_expected_time`] — exact verification of those
 //!   claims against *all* round adversaries.
+//! * [`check_arrow_quotient`] / [`RoundStateCodec`] — the same checks on
+//!   the rotation-quotient model with bit-packed states: up to `n`-fold
+//!   fewer states, which is what pushes exact verification past `n = 7`.
 //! * [`sims`] — concrete schedulers (round-robin, random, adaptive
 //!   anti-progress) plugged into the `pa-sim` Monte-Carlo runner.
 //! * [`lemmas`] — the appendix lemmas A.4–A.10 verified on conditioned
@@ -52,6 +55,7 @@ mod error;
 pub mod events;
 mod invariant;
 pub mod lemmas;
+mod packed;
 mod pc;
 mod protocol;
 pub mod regions;
@@ -61,11 +65,13 @@ mod state;
 mod witness;
 
 pub use arrows::{
-    check_arrow, check_arrow_with_limit, max_expected_time, min_expected_time, paper,
-    reachable_configs, region_pred, set_pred, DEFAULT_STATE_LIMIT,
+    check_arrow, check_arrow_quotient, check_arrow_with_limit, max_expected_time,
+    max_expected_time_quotient, min_expected_time, min_expected_time_quotient, paper,
+    reachable_configs, reachable_configs_quotient, region_pred, set_pred, DEFAULT_STATE_LIMIT,
 };
 pub use error::LrError;
 pub use invariant::{adjacent_exclusion, lemma_6_1_invariant, verify_lemma_6_1};
+pub use packed::{ConfigCodec, RoundStateCodec};
 pub use pc::{Pc, ProcState, Side};
 pub use protocol::{LrAction, LrProtocol, UserModel};
 pub use round::{round_cost, time_to_budget, RoundAction, RoundConfig, RoundMdp, RoundState};

@@ -34,7 +34,7 @@ use crate::{Config, LrAction, LrError, LrProtocol, UserModel};
 
 /// A state of the round MDP: the protocol configuration plus the
 /// scheduler's intra-round bookkeeping.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RoundState {
     /// The protocol configuration.
     pub config: Config,
@@ -52,6 +52,31 @@ impl RoundState {
         ((self.budget >> (4 * i)) & 0xF) as u8
     }
 
+    /// The round state relabelled by ring rotation `k`: the configuration
+    /// rotates (see [`Config::rotated`]) and the per-process obligation
+    /// bits and budget nibbles move with their processes. The round
+    /// scheduler treats all positions identically, so rotation commutes
+    /// with [`RoundMdp`]'s step relation — the hypothesis behind quotient
+    /// exploration with [`pa_mdp::RingRotation`].
+    pub fn rotated(&self, k: usize) -> RoundState {
+        let n = self.config.n();
+        let config = self.config.rotated(k);
+        let mut obliged = 0u32;
+        let mut budget = 0u64;
+        for i in 0..n {
+            let j = (i + k) % n;
+            if self.obliged & (1 << j) != 0 {
+                obliged |= 1 << i;
+            }
+            budget |= ((self.budget >> (4 * j)) & 0xF) << (4 * i);
+        }
+        RoundState {
+            config,
+            obliged,
+            budget,
+        }
+    }
+
     fn with_step_taken(&self, i: usize, config: Config) -> RoundState {
         let b = self.budget_of(i) - 1;
         let mask = !(0xFu64 << (4 * i));
@@ -60,6 +85,12 @@ impl RoundState {
             obliged: self.obliged & !(1 << i),
             budget: (self.budget & mask) | (u64::from(b) << (4 * i)),
         }
+    }
+}
+
+impl pa_mdp::RingState for RoundState {
+    fn rotated(&self, k: usize) -> RoundState {
+        RoundState::rotated(self, k)
     }
 }
 

@@ -139,6 +139,25 @@ impl Config {
         right_holder || left_holder
     }
 
+    /// The configuration relabelled by ring rotation `k`: new process `i`
+    /// is old process `i + k`, new `Res_j` is old `Res_{j+k}` (mod `n`).
+    ///
+    /// Rotation is a protocol automorphism — the ring is anonymous, so the
+    /// step relation commutes with it (the ring-rotation property tests
+    /// pin this). It is the group action behind
+    /// [`pa_mdp::RingRotation`] quotient exploration.
+    pub fn rotated(&self, k: usize) -> Config {
+        let n = self.n();
+        let procs = (0..n).map(|i| self.procs[(i + k) % n]).collect();
+        let mut res = 0u32;
+        for j in 0..n {
+            if self.res & (1 << ((j + k) % n)) != 0 {
+                res |= 1 << j;
+            }
+        }
+        Config { procs, res }
+    }
+
     /// The second half of Lemma 6.1: it is never the case that both
     /// process `i` holds `Res_i` (from the left) and process `i+1` holds it
     /// (from the right) — at most one process holds each resource.
@@ -149,6 +168,12 @@ impl Config {
         let right_holder = xi.pc.holds_both() || (xi.pc.holds_first() && xi.side == Side::Right);
         let left_holder = xi1.pc.holds_both() || (xi1.pc.holds_first() && xi1.side == Side::Left);
         !(right_holder && left_holder)
+    }
+}
+
+impl pa_mdp::RingState for Config {
+    fn rotated(&self, k: usize) -> Config {
+        Config::rotated(self, k)
     }
 }
 

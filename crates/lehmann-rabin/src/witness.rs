@@ -11,7 +11,7 @@
 //! that forces repeated flip retries in the composed `T —13→ C` claim.
 
 use pa_core::Arrow;
-use pa_mdp::{par_explore, Objective};
+use pa_mdp::{Explore, Objective};
 
 use crate::{
     reachable_configs, round_cost, set_pred, time_to_budget, Config, LrError, RoundAction, RoundMdp,
@@ -79,7 +79,11 @@ pub fn worst_case_witness(mdp: &RoundMdp, arrow: &Arrow, limit: usize) -> Result
         .clone()
         .with_starts(starts)
         .with_absorb(move |c| to_for_absorb(c));
-    let explored = par_explore(&model, round_cost, limit)?;
+    let explored = Explore::new(&model)
+        .cost(round_cost)
+        .limit(limit)
+        .parallel()
+        .run()?;
     let target = explored.target_where(|rs| to(&rs.config));
     let budget = time_to_budget(arrow.time());
     let analysis = explored
@@ -134,18 +138,18 @@ pub fn worst_case_witness(mdp: &RoundMdp, arrow: &Arrow, limit: usize) -> Result
         // implicit model's step order (preserved by exploration).
         let action = {
             use pa_core::Automaton;
-            model.steps(&explored.states[state])[choice_idx as usize].action
+            model.steps(&explored.state(state))[choice_idx as usize].action
         };
         state = next;
         steps.push(WitnessStep {
             action,
-            config: explored.states[state].config.clone(),
+            config: explored.state(state).config,
             time: budget - remaining,
         });
     }
 
     Ok(Witness {
-        start: explored.states[worst_start].config.clone(),
+        start: explored.state(worst_start).config,
         min_prob: values[worst_start],
         steps,
         reached,

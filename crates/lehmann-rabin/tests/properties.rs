@@ -5,7 +5,7 @@ use pa_lehmann_rabin::{
     lemma_6_1_invariant, regions, Config, LrAction, LrProtocol, Pc, ProcState, RoundConfig,
     RoundMdp, Side, UserModel,
 };
-use pa_mdp::{explore, Objective, Query};
+use pa_mdp::{Explore, Objective, Query};
 use pa_prob::rng::SplitMix64;
 use proptest::prelude::*;
 use rand::RngExt;
@@ -218,6 +218,58 @@ proptest! {
     }
 
     #[test]
+    fn rotation_canon_is_idempotent_and_orbit_invariant(c in consistent_config(), k in 0usize..6) {
+        // The two laws the `pa_mdp::Symmetry` contract demands, on real
+        // protocol configurations: canon(canon(s)) == canon(s) and
+        // canon(rotate(s, k)) == canon(s) for every rotation amount.
+        use pa_mdp::{RingRotation, Symmetry};
+        let n = c.n();
+        let sym = RingRotation::new(n);
+        let canon = sym.canon(&c);
+        prop_assert_eq!(sym.canon(&canon), canon.clone(), "idempotent on {}", c);
+        prop_assert_eq!(sym.canon(&rotate(&c, k % n)), canon, "orbit-invariant on {}", c);
+    }
+
+    #[test]
+    fn round_state_canon_is_idempotent_and_orbit_invariant(c in consistent_config(), k in 0usize..6) {
+        // Same laws one layer up, on round states (config + obligations +
+        // budgets), which is what quotient exploration actually
+        // canonicalizes.
+        use pa_mdp::{RingRotation, Symmetry};
+        let n = c.n();
+        let mdp = RoundMdp::new(RoundConfig::new(n).unwrap());
+        let s = mdp.fresh(c);
+        let sym = RingRotation::new(n);
+        let canon = sym.canon(&s);
+        prop_assert_eq!(sym.canon(&canon), canon.clone(), "idempotent");
+        prop_assert_eq!(sym.canon(&s.rotated(k % n)), canon, "orbit-invariant");
+    }
+
+    #[test]
+    fn round_state_codec_round_trips_along_random_walks(
+        c in consistent_config(),
+        picks in prop::collection::vec((0usize..16, any::<u64>()), 1..20),
+    ) {
+        // The bit-packed codec must be lossless on every state the round
+        // model can actually reach, not just on fresh starts: walk a
+        // random trajectory and round-trip each state on the way.
+        use pa_lehmann_rabin::RoundStateCodec;
+        use pa_mdp::StateCodec;
+        let n = c.n();
+        let codec = RoundStateCodec::new(n).unwrap();
+        let mdp = RoundMdp::new(RoundConfig::new(n).unwrap());
+        let mut state = mdp.fresh(c);
+        for (pick, seed) in picks {
+            prop_assert_eq!(&codec.unpack(&codec.pack(&state)), &state);
+            let steps = mdp.steps(&state);
+            prop_assert!(!steps.is_empty());
+            let step = &steps[pick % steps.len()];
+            let mut rng = SplitMix64::new(seed);
+            state = step.target.sample(&mut rng).clone();
+        }
+    }
+
+    #[test]
     fn value_iteration_from_rotated_start_agrees(
         c in small_consistent_config(),
         r in 1usize..4,
@@ -232,8 +284,16 @@ proptest! {
         let r = r % n;
         let protocol = LrProtocol::new(n, UserModel::full()).unwrap();
         let rot = rotate(&c, r);
-        let ea = explore(&FromStart { protocol, start: c }, |_, _| 1, 500_000).unwrap();
-        let eb = explore(&FromStart { protocol, start: rot }, |_, _| 1, 500_000).unwrap();
+        let ea = Explore::new(&FromStart { protocol, start: c })
+            .cost(|_, _| 1)
+            .limit(500_000)
+            .run()
+            .unwrap();
+        let eb = Explore::new(&FromStart { protocol, start: rot })
+            .cost(|_, _| 1)
+            .limit(500_000)
+            .run()
+            .unwrap();
         prop_assert_eq!(ea.mdp.num_states(), eb.mdp.num_states(), "isomorphic spaces");
         let ta = ea.target_where(regions::in_c);
         let tb = eb.target_where(regions::in_c);

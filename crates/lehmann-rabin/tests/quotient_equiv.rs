@@ -1,0 +1,74 @@
+//! Quotient-vs-full lifting checks: every paper arrow and the expected-
+//! time bracket, pinned equal between the full-space engine and the
+//! rotation-quotient engine on `n = 3..5`.
+//!
+//! Bounded-horizon arrow checks are pinned **bitwise** (the quotient's
+//! backward induction performs the same per-orbit f64 operations in the
+//! same outcome order); the unbounded expected-time solves are pinned to
+//! `1e-7` (value iteration stops on a tolerance, and the two engines sweep
+//! different state orders).
+
+use pa_core::SetExpr;
+use pa_lehmann_rabin::{
+    check_arrow_quotient, check_arrow_with_limit, max_expected_time, max_expected_time_quotient,
+    min_expected_time, min_expected_time_quotient, paper, RoundConfig, RoundMdp,
+};
+
+const LIMIT: usize = 30_000_000;
+
+#[test]
+fn arrow_checks_agree_bitwise_on_n3_to_n5() {
+    for n in 3..=5usize {
+        let mdp = RoundMdp::new(RoundConfig::new(n).unwrap());
+        for (arrow, _why) in paper::all_arrows() {
+            let full = check_arrow_with_limit(&mdp, &arrow, LIMIT).unwrap();
+            let quot = check_arrow_quotient(&mdp, &arrow, LIMIT).unwrap();
+            assert_eq!(
+                full.measured.lo(),
+                quot.measured.lo(),
+                "n={n} {arrow}: full {} vs quotient {}",
+                full.measured.lo(),
+                quot.measured.lo()
+            );
+            assert_eq!(full.holds(), quot.holds(), "n={n} {arrow}");
+            assert!(
+                quot.states_checked <= full.states_checked,
+                "n={n} {arrow}: quotient quantifies over orbits"
+            );
+        }
+    }
+}
+
+#[test]
+fn composed_arrow_agrees_bitwise_on_n3_to_n4() {
+    let arrow = paper::arrow_t_to_c();
+    for n in 3..=4usize {
+        let mdp = RoundMdp::new(RoundConfig::new(n).unwrap());
+        let full = check_arrow_with_limit(&mdp, &arrow, LIMIT).unwrap();
+        let quot = check_arrow_quotient(&mdp, &arrow, LIMIT).unwrap();
+        assert_eq!(full.measured.lo(), quot.measured.lo(), "n={n} {arrow}");
+        assert_eq!(full.holds(), quot.holds(), "n={n} {arrow}");
+    }
+}
+
+#[test]
+fn expected_time_bracket_agrees_within_1e7_on_n3_to_n4() {
+    let t = SetExpr::named("T");
+    let c = SetExpr::named("C");
+    for n in 3..=4usize {
+        let mdp = RoundMdp::new(RoundConfig::new(n).unwrap());
+        let full_hi = max_expected_time(&mdp, &t, &c, LIMIT).unwrap();
+        let quot_hi = max_expected_time_quotient(&mdp, &t, &c, LIMIT).unwrap();
+        assert!(
+            (full_hi - quot_hi).abs() < 1e-7,
+            "n={n} max: full {full_hi} vs quotient {quot_hi}"
+        );
+        let full_lo = min_expected_time(&mdp, &t, &c, LIMIT).unwrap();
+        let quot_lo = min_expected_time_quotient(&mdp, &t, &c, LIMIT).unwrap();
+        assert!(
+            (full_lo - quot_lo).abs() < 1e-7,
+            "n={n} min: full {full_lo} vs quotient {quot_lo}"
+        );
+        assert!(quot_lo <= quot_hi + 1e-9, "bracket stays ordered");
+    }
+}

@@ -8,7 +8,7 @@ use pa_mc::{
 use pa_prob::stats::Z_99;
 use pa_prob::{FiniteDist, Prob};
 
-use pa_mdp::{par_explore, Objective};
+use pa_mdp::{Explore, Objective};
 
 /// A race to position 3 with a real scheduling decision each round:
 /// `safe` advances one position with certainty, `risky` advances two with
@@ -64,7 +64,12 @@ fn at_goal(p: &Pos) -> bool {
 #[test]
 fn optimal_replay_interval_contains_exact_min_prob() {
     let budget = 2; // Min policy: two risky jumps, P = 1/4; safe can't make it.
-    let explored = par_explore(&Race, race_cost, 10_000).unwrap();
+    let explored = Explore::new(&Race)
+        .cost(race_cost)
+        .limit(10_000)
+        .parallel()
+        .run()
+        .unwrap();
     let analysis = explored
         .query_where(at_goal)
         .objective(Objective::MinProb)
@@ -101,7 +106,12 @@ fn optimal_replay_interval_contains_exact_min_prob() {
 fn uniform_policy_interval_contains_chain_exact_value() {
     let budget = 3;
     let chain = UniformChain::new(&Race);
-    let explored = par_explore(&chain, UniformChain::<Race>::cost(race_cost), 10_000).unwrap();
+    let explored = Explore::new(&chain)
+        .cost(UniformChain::<Race>::cost(race_cost))
+        .limit(10_000)
+        .parallel()
+        .run()
+        .unwrap();
     let mut target = chain_target(at_goal);
     let analysis = explored
         .query_where(|s| target(s))

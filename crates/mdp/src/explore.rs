@@ -1,48 +1,96 @@
 //! State-space exploration: building an [`ExplicitMdp`] from an implicit
 //! [`pa_core::Automaton`].
 //!
-//! Two explorers share one deterministic contract:
+//! The single entry point is the [`Explore`] builder:
 //!
-//! * [`explore`] — serial FIFO breadth-first search, interning states with
-//!   the crate's [`FxHashMap`] (SipHash dominated the profile; model states
-//!   are not attacker-controlled, see [`crate::fxhash`]).
-//! * [`par_explore`] — level-synchronized parallel BFS. Each BFS level is
-//!   split into contiguous shards (adaptively oversharded when the fresh
-//!   yield of the busiest shard runs hot — see [`next_shard_factor`]);
-//!   workers expand their shard against a
-//!   read-only snapshot of the intern table, deduplicating *new* successor
-//!   states in a worker-local `FxHashMap`. The main thread then merges
-//!   shard outputs **in shard order**, assigning global state ids in
-//!   exactly the order the serial explorer would (shard order = level
-//!   order; within a shard, encounter order). The result — state ids,
-//!   choice lists, transitions, and even the state at which a
-//!   [`MdpError::StateLimitExceeded`] fires — is identical to [`explore`]
-//!   for every worker count, which the property tests assert.
+//! ```ignore
+//! let explored = Explore::new(&model)
+//!     .cost(round_cost)             // default: every transition costs 1
+//!     .workers(4)                   // default: serial
+//!     .symmetry(RingRotation::new(n)) // default: no reduction
+//!     .capacity_hint(1 << 20)
+//!     .limit(20_000_000)
+//!     .run()?;                      // or .run_in(PackedSpace::new(codec))
+//! ```
+//!
+//! Serial and parallel runs share one deterministic contract:
+//!
+//! * serial — FIFO breadth-first search, interning states through a
+//!   [`StateSpace`] (hashing with the crate's [`FxHashMap`]; SipHash
+//!   dominated the profile, and model states are not attacker-controlled,
+//!   see [`crate::fxhash`]).
+//! * parallel — level-synchronized BFS. Each BFS level is split into
+//!   contiguous shards (adaptively oversharded when the fresh yield of the
+//!   busiest shard runs hot — see [`next_shard_factor`]); workers expand
+//!   their shard against a read-only snapshot of the intern table,
+//!   deduplicating *new* successor states in a worker-local `FxHashMap`.
+//!   The main thread then merges shard outputs **in shard order**,
+//!   assigning global state ids in exactly the order the serial explorer
+//!   would (shard order = level order; within a shard, encounter order).
+//!   The result — state ids, choice lists, transitions, and even the state
+//!   at which a [`MdpError::StateLimitExceeded`] fires — is identical to
+//!   the serial run for every worker count, which the property tests
+//!   assert.
+//!
+//! With a [`Symmetry`] installed, every start state and every successor is
+//! canonicalized to its orbit representative before interning, so the
+//! explorers build the *quotient* MDP (up to `order()`-fold smaller).
+//! Canonicalization happens at the same points in both engines, so the
+//! determinism contract extends to quotient runs. The cost function must
+//! be constant on orbits (all shipped cost functions depend only on the
+//! action).
+//!
+//! The pre-builder free functions [`explore`], [`par_explore`], and
+//! [`par_explore_workers`] remain as deprecated thin wrappers for one
+//! release.
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 
 use pa_core::Automaton;
 
 use crate::fxhash::FxHashMap;
+use crate::space::{BoxedSpace, StateSpace};
+use crate::symmetry::Symmetry;
 use crate::{Choice, ExplicitMdp, MdpError};
 
 /// The result of exploring an implicit model: the explicit MDP plus the
-/// bidirectional mapping between dense indices and concrete states.
+/// state store mapping dense indices to concrete states.
 ///
 /// Choice order is preserved: `mdp.choices(i)[k]` corresponds to
-/// `automaton.steps(&states[i])[k]`, so an optimal policy over the explicit
-/// model can be replayed on the implicit one.
+/// `automaton.steps(&state(i))[k]`, so an optimal policy over the explicit
+/// model can be replayed on the implicit one. The space parameter defaults
+/// to the boxed representation; [`crate::PackedSpace`] substitutes a
+/// fixed-width encoded store with the same dense ids.
 #[derive(Debug, Clone)]
-pub struct Explored<S> {
-    /// Concrete state of each index.
-    pub states: Vec<S>,
-    /// Index of each concrete state.
-    pub index: FxHashMap<S, usize>,
+pub struct Explored<S, SP = BoxedSpace<S>> {
+    /// The state store: dense id ↔ concrete state.
+    pub space: SP,
     /// The explicit model.
     pub mdp: ExplicitMdp,
+    marker: PhantomData<fn() -> S>,
 }
 
-impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
+impl<S, SP: StateSpace<S>> Explored<S, SP> {
+    /// Wraps a state store and model pair.
+    fn new(space: SP, mdp: ExplicitMdp) -> Explored<S, SP> {
+        Explored {
+            space,
+            mdp,
+            marker: PhantomData,
+        }
+    }
+
+    /// Decodes the concrete state with dense index `i`.
+    pub fn state(&self, i: usize) -> S {
+        self.space.state(i)
+    }
+
+    /// Number of explored states.
+    pub fn num_states(&self) -> usize {
+        self.space.len()
+    }
+
     /// Builds a dense boolean target vector from a state predicate.
     ///
     /// This is the bridge between the two target conventions in this crate:
@@ -50,8 +98,10 @@ impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
     /// there), while exploration-level code thinks in predicates over
     /// concrete states. [`Explored::query_where`] composes the two
     /// directly; [`crate::Query::target`] also accepts index lists.
-    pub fn target_where(&self, pred: impl FnMut(&S) -> bool) -> Vec<bool> {
-        self.states.iter().map(pred).collect()
+    pub fn target_where(&self, mut pred: impl FnMut(&S) -> bool) -> Vec<bool> {
+        let mut out = vec![false; self.space.len()];
+        self.space.for_each_state(|i, s| out[i] = pred(s));
+        out
     }
 
     /// Starts a [`crate::Query`] over the explored model (flattening it to
@@ -70,18 +120,41 @@ impl<S: Clone + Eq + std::hash::Hash> Explored<S> {
     /// reached. This is the lookup direction policy replay needs: a
     /// trajectory's concrete state maps back to the index the extracted
     /// [`crate::BoundedPolicy`] was computed over.
+    ///
+    /// On a quotient model the store holds orbit representatives only —
+    /// canonicalize the probe with the same [`Symmetry`] before looking it
+    /// up.
     pub fn index_of(&self, state: &S) -> Option<usize> {
-        self.index.get(state).copied()
+        self.space.get(state)
     }
 
     /// Indices of states satisfying a predicate.
     pub fn states_where(&self, mut pred: impl FnMut(&S) -> bool) -> Vec<usize> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| pred(s))
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.space.for_each_state(|i, s| {
+            if pred(s) {
+                out.push(i);
+            }
+        });
+        out
+    }
+
+    /// Estimated resident bytes of the state store (see
+    /// [`StateSpace::mem_bytes`]).
+    pub fn mem_bytes(&self) -> u64 {
+        self.space.mem_bytes()
+    }
+}
+
+impl<S: Clone + Eq + std::hash::Hash> Explored<S, BoxedSpace<S>> {
+    /// The explored states in id order (boxed representation only).
+    pub fn states(&self) -> &[S] {
+        self.space.states()
+    }
+
+    /// Consumes the exploration into its state vector.
+    pub fn into_states(self) -> Vec<S> {
+        self.space.into_states()
     }
 }
 
@@ -98,61 +171,216 @@ fn record_explored(mdp: &ExplicitMdp) {
     pa_telemetry::counter("mdp.explore.transitions").add(mdp.num_transitions() as u64);
 }
 
-/// Explores the reachable state space of an implicit automaton into an
-/// [`ExplicitMdp`], assigning each transition the cost given by `cost_of`.
-///
-/// # Errors
-///
-/// Returns [`MdpError::StateLimitExceeded`] if more than `limit` states are
-/// discovered, and propagates model-validation errors (which indicate a bug
-/// in the implicit model, e.g. an unnormalized step distribution).
-pub fn explore<M: Automaton>(
-    automaton: &M,
-    mut cost_of: impl FnMut(&M::State, &M::Action) -> u32,
+/// Worker-count selection for an [`Explore`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workers {
+    /// Serial FIFO BFS (the default).
+    Serial,
+    /// Parallel with the environment-resolved count
+    /// ([`crate::resolve_workers`] with `None`).
+    Auto,
+    /// Parallel with an explicit count.
+    Exact(usize),
+}
+
+/// Builder for state-space exploration — see the [module docs](self) for
+/// the contract and an example.
+pub struct Explore<
+    'a,
+    M: Automaton,
+    F = fn(&<M as Automaton>::State, &<M as Automaton>::Action) -> u32,
+> {
+    automaton: &'a M,
+    cost_of: F,
     limit: usize,
-) -> Result<Explored<M::State>, MdpError> {
+    workers: Workers,
+    symmetry: Option<Box<dyn Symmetry<M::State> + 'a>>,
+    capacity_hint: usize,
+}
+
+/// The default cost function: every transition costs one unit.
+fn unit_cost<S, A>(_s: &S, _a: &A) -> u32 {
+    1
+}
+
+impl<'a, M: Automaton> Explore<'a, M> {
+    /// Starts a builder over `automaton` with unit costs, no state limit,
+    /// serial execution, and no symmetry reduction.
+    pub fn new(automaton: &'a M) -> Explore<'a, M> {
+        Explore {
+            automaton,
+            cost_of: unit_cost::<M::State, M::Action>,
+            limit: usize::MAX,
+            workers: Workers::Serial,
+            symmetry: None,
+            capacity_hint: 0,
+        }
+    }
+}
+
+impl<'a, M: Automaton, F> Explore<'a, M, F> {
+    /// Sets the transition cost function (replacing the unit default).
+    /// With a symmetry installed the function must be constant on orbits.
+    pub fn cost<F2: Fn(&M::State, &M::Action) -> u32>(self, cost_of: F2) -> Explore<'a, M, F2> {
+        Explore {
+            automaton: self.automaton,
+            cost_of,
+            limit: self.limit,
+            workers: self.workers,
+            symmetry: self.symmetry,
+            capacity_hint: self.capacity_hint,
+        }
+    }
+
+    /// Caps the number of explored states;
+    /// [`MdpError::StateLimitExceeded`] fires beyond it.
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Requests parallel exploration: `Some(k)` for an explicit worker
+    /// count, `None` for the environment-resolved default (as in
+    /// [`crate::resolve_workers`]). A count of 1 runs the serial engine,
+    /// which produces the identical result by contract.
+    pub fn workers(mut self, workers: impl Into<Option<usize>>) -> Self {
+        self.workers = match workers.into() {
+            Some(k) => Workers::Exact(k),
+            None => Workers::Auto,
+        };
+        self
+    }
+
+    /// Requests parallel exploration with the environment-resolved worker
+    /// count (sugar for `.workers(None)`).
+    pub fn parallel(mut self) -> Self {
+        self.workers = Workers::Auto;
+        self
+    }
+
+    /// Installs a symmetry: states are canonicalized to orbit
+    /// representatives before interning, building the quotient MDP.
+    pub fn symmetry(mut self, symmetry: impl Symmetry<M::State> + 'a) -> Self {
+        self.symmetry = Some(Box::new(symmetry));
+        self
+    }
+
+    /// Pre-reserves the state store (and interner) for roughly `states`
+    /// entries, avoiding rehash stalls on explorations of known size.
+    pub fn capacity_hint(mut self, states: usize) -> Self {
+        self.capacity_hint = states;
+        self
+    }
+}
+
+impl<M, F> Explore<'_, M, F>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+    F: Fn(&M::State, &M::Action) -> u32 + Sync,
+{
+    /// Runs the exploration into the default boxed state store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::StateLimitExceeded`] if more than the configured
+    /// limit of states is discovered, [`MdpError::NoInitialStates`] for a
+    /// model without start states, and propagates model-validation errors
+    /// (which indicate a bug in the implicit model, e.g. an unnormalized
+    /// step distribution).
+    pub fn run(self) -> Result<Explored<M::State>, MdpError> {
+        self.run_in(BoxedSpace::default())
+    }
+
+    /// Runs the exploration into an explicit state store (e.g. a
+    /// [`crate::PackedSpace`] holding fixed-width encoded states).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Explore::run`].
+    pub fn run_in<SP>(self, mut space: SP) -> Result<Explored<M::State, SP>, MdpError>
+    where
+        SP: StateSpace<M::State> + Send + Sync,
+    {
+        if self.capacity_hint > 0 {
+            space.reserve(self.capacity_hint.min(self.limit));
+        }
+        let sym = self.symmetry.as_deref();
+        let workers = match self.workers {
+            Workers::Serial => 1,
+            Workers::Auto => crate::csr::resolve_workers(None),
+            Workers::Exact(k) => crate::csr::resolve_workers(Some(k)),
+        };
+        let mdp = if workers <= 1 {
+            let mut cost_of = &self.cost_of;
+            serial_core(self.automaton, &mut cost_of, self.limit, sym, &mut space)?
+        } else {
+            par_core(
+                self.automaton,
+                &self.cost_of,
+                self.limit,
+                sym,
+                &mut space,
+                workers,
+            )?
+        };
+        record_explored(&mdp);
+        Ok(Explored::new(space, mdp))
+    }
+}
+
+/// Serial FIFO BFS over `automaton`, interning (canonicalized) states into
+/// `space`. Shared by the builder's serial path and the deprecated
+/// [`explore`] wrapper (whose `FnMut` cost signature predates the builder).
+fn serial_core<M: Automaton, SP: StateSpace<M::State>>(
+    automaton: &M,
+    cost_of: &mut impl FnMut(&M::State, &M::Action) -> u32,
+    limit: usize,
+    sym: Option<&dyn Symmetry<M::State>>,
+    space: &mut SP,
+) -> Result<ExplicitMdp, MdpError> {
     let _span = pa_telemetry::span("mdp.explore.seconds");
-    let mut states: Vec<M::State> = Vec::new();
-    let mut index: FxHashMap<M::State, usize> = FxHashMap::default();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut choices: Vec<Vec<Choice>> = Vec::new();
 
-    // Interns a state by reference, cloning only on first sight — the hot
+    // Interns a state (canonicalizing first under a symmetry); the hot
     // path (an already-known successor) is a single hash lookup.
-    let intern = |s: &M::State,
-                  states: &mut Vec<M::State>,
-                  index: &mut FxHashMap<M::State, usize>,
-                  queue: &mut VecDeque<usize>|
-     -> Result<usize, MdpError> {
-        if let Some(&id) = index.get(s) {
-            return Ok(id);
-        }
-        let id = states.len();
-        if id >= limit {
-            return Err(MdpError::StateLimitExceeded { limit });
-        }
-        states.push(s.clone());
-        index.insert(s.clone(), id);
-        queue.push_back(id);
-        Ok(id)
-    };
+    let intern =
+        |s: &M::State, space: &mut SP, queue: &mut VecDeque<usize>| -> Result<usize, MdpError> {
+            let canon;
+            let s = match sym {
+                Some(sym) => {
+                    canon = sym.canon(s);
+                    &canon
+                }
+                None => s,
+            };
+            let (id, new) = space.intern(s);
+            if new {
+                if space.len() > limit {
+                    return Err(MdpError::StateLimitExceeded { limit });
+                }
+                queue.push_back(id);
+            }
+            Ok(id)
+        };
 
     let mut initial = Vec::new();
     for s in automaton.start_states() {
-        initial.push(intern(&s, &mut states, &mut index, &mut queue)?);
+        initial.push(intern(&s, space, &mut queue)?);
     }
     if initial.is_empty() {
         return Err(MdpError::NoInitialStates);
     }
 
     while let Some(id) = queue.pop_front() {
-        let state = states[id].clone();
+        let state = space.state(id);
         let mut cs = Vec::new();
         for step in automaton.steps(&state) {
             let cost = cost_of(&state, &step.action);
             let mut transitions = Vec::with_capacity(step.target.len());
             for (t, p) in step.target.iter() {
-                let ti = intern(t, &mut states, &mut index, &mut queue)?;
+                let ti = intern(t, space, &mut queue)?;
                 transitions.push((ti, p.value()));
             }
             cs.push(Choice { cost, transitions });
@@ -161,9 +389,7 @@ pub fn explore<M: Automaton>(
         choices.push(cs);
     }
 
-    let mdp = ExplicitMdp::new(choices, initial)?;
-    record_explored(&mdp);
-    Ok(Explored { states, index, mdp })
+    ExplicitMdp::new(choices, initial)
 }
 
 /// Cap on the adaptive oversharding factor: more than 8 shards per worker
@@ -218,26 +444,36 @@ struct ShardOutput<S> {
 }
 
 /// Expands `chunk` (state ids of the current level) against the read-only
-/// snapshot: successors already in `index` become [`Succ::Known`], new ones
-/// are deduplicated into a shard-local intern map.
-fn expand_shard<M: Automaton>(
+/// snapshot: successors already interned become [`Succ::Known`], new ones
+/// are deduplicated into a shard-local intern map. Under a symmetry, each
+/// successor is canonicalized first — the same point at which the serial
+/// engine canonicalizes, preserving the determinism contract.
+fn expand_shard<M: Automaton, SP: StateSpace<M::State>>(
     automaton: &M,
     cost_of: &(impl Fn(&M::State, &M::Action) -> u32 + Sync),
-    states: &[M::State],
-    index: &FxHashMap<M::State, usize>,
+    sym: Option<&dyn Symmetry<M::State>>,
+    space: &SP,
     chunk: &[usize],
 ) -> ShardOutput<M::State> {
     let mut fresh: Vec<M::State> = Vec::new();
     let mut local: FxHashMap<M::State, usize> = FxHashMap::default();
     let mut expansions = Vec::with_capacity(chunk.len());
     for &id in chunk {
-        let state = &states[id];
+        let state = space.state(id);
         let mut cs = Vec::new();
-        for step in automaton.steps(state) {
-            let cost = cost_of(state, &step.action);
+        for step in automaton.steps(&state) {
+            let cost = cost_of(&state, &step.action);
             let mut transitions = Vec::with_capacity(step.target.len());
             for (t, p) in step.target.iter() {
-                let succ = if let Some(&g) = index.get(t) {
+                let canon;
+                let t = match sym {
+                    Some(sym) => {
+                        canon = sym.canon(t);
+                        &canon
+                    }
+                    None => t,
+                };
+                let succ = if let Some(g) = space.get(t) {
                     Succ::Known(g)
                 } else if let Some(&l) = local.get(t) {
                     Succ::Fresh(l)
@@ -256,70 +492,47 @@ fn expand_shard<M: Automaton>(
     ShardOutput { fresh, expansions }
 }
 
-/// Parallel [`explore`] with the default worker count (available
-/// parallelism, overridable via `PA_MDP_WORKERS`). Drop-in replacement:
-/// produces bit-for-bit the same [`Explored`] as the serial explorer.
-///
-/// # Errors
-///
-/// Same as [`explore`].
-pub fn par_explore<M>(
+/// Level-synchronized parallel BFS (see the [module docs](self) for the
+/// merge contract). `workers` is already resolved and `> 1`.
+fn par_core<M, F, SP>(
     automaton: &M,
-    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
+    cost_of: &F,
     limit: usize,
-) -> Result<Explored<M::State>, MdpError>
+    sym: Option<&dyn Symmetry<M::State>>,
+    space: &mut SP,
+    workers: usize,
+) -> Result<ExplicitMdp, MdpError>
 where
     M: Automaton + Sync,
     M::State: Send + Sync,
+    F: Fn(&M::State, &M::Action) -> u32 + Sync,
+    SP: StateSpace<M::State> + Send + Sync,
 {
-    par_explore_workers(automaton, cost_of, limit, None)
-}
-
-/// [`par_explore`] with an explicit worker count (used by the determinism
-/// property tests; `None` resolves as in [`crate::resolve_workers`]).
-///
-/// # Errors
-///
-/// Same as [`explore`].
-pub fn par_explore_workers<M>(
-    automaton: &M,
-    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
-    limit: usize,
-    workers: Option<usize>,
-) -> Result<Explored<M::State>, MdpError>
-where
-    M: Automaton + Sync,
-    M::State: Send + Sync,
-{
-    let workers = crate::csr::resolve_workers(workers);
-    if workers <= 1 {
-        // One worker: the sharded frontier machinery only adds overhead,
-        // and the serial BFS produces the identical result by contract.
-        return explore(automaton, |s, a| cost_of(s, a), limit);
-    }
     // Below this level width, shard spawn overhead dominates expansion.
     const PAR_MIN_LEVEL: usize = 128;
 
-    let mut states: Vec<M::State> = Vec::new();
-    let mut index: FxHashMap<M::State, usize> = FxHashMap::default();
     let mut choices: Vec<Vec<Choice>> = Vec::new();
 
-    // Level 0: intern the start states serially, exactly like `explore`.
+    // Level 0: intern the start states serially, exactly like the serial
+    // engine.
     let mut initial = Vec::new();
     let mut level: Vec<usize> = Vec::new();
     for s in automaton.start_states() {
-        let id = if let Some(&id) = index.get(&s) {
-            id
-        } else {
-            let id = states.len();
-            if id >= limit {
+        let canon;
+        let s = match sym {
+            Some(sym) => {
+                canon = sym.canon(&s);
+                &canon
+            }
+            None => &s,
+        };
+        let (id, new) = space.intern(s);
+        if new {
+            if space.len() > limit {
                 return Err(MdpError::StateLimitExceeded { limit });
             }
-            states.push(s.clone());
-            index.insert(s, id);
             level.push(id);
-            id
-        };
+        }
         initial.push(id);
     }
     if initial.is_empty() {
@@ -327,7 +540,6 @@ where
     }
 
     let _span = pa_telemetry::span("mdp.explore.seconds");
-    let cost_of = &cost_of;
     // Adaptive oversharding: shards per level = workers × this factor,
     // adjusted between levels by `next_shard_factor`.
     let mut shard_factor: usize = 1;
@@ -337,20 +549,18 @@ where
             pa_telemetry::gauge("mdp.explore.peak_frontier").set_max(level.len() as i64);
         }
         // Expand the level in shards (in parallel when it pays off)...
-        let outputs: Vec<ShardOutput<M::State>> = if workers <= 1 || level.len() < PAR_MIN_LEVEL {
-            vec![expand_shard(automaton, cost_of, &states, &index, &level)]
+        let outputs: Vec<ShardOutput<M::State>> = if level.len() < PAR_MIN_LEVEL {
+            vec![expand_shard(automaton, cost_of, sym, space, &level)]
         } else {
             let shards = (workers * shard_factor).min(level.len());
             let chunk = level.len().div_ceil(shards);
-            let states_ref: &[M::State] = &states;
-            let index_ref = &index;
+            let space_ref: &SP = space;
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = level
                     .chunks(chunk)
                     .map(|shard| {
-                        scope.spawn(move |_| {
-                            expand_shard(automaton, cost_of, states_ref, index_ref, shard)
-                        })
+                        scope
+                            .spawn(move |_| expand_shard(automaton, cost_of, sym, space_ref, shard))
                     })
                     .collect();
                 handles
@@ -395,18 +605,13 @@ where
             for s in out.fresh {
                 // A state can be fresh in two shards at once; the first
                 // shard (earlier in level order) wins, as in serial BFS.
-                let id = if let Some(&id) = index.get(&s) {
-                    id
-                } else {
-                    let id = states.len();
-                    if id >= limit {
+                let (id, new) = space.intern(&s);
+                if new {
+                    if space.len() > limit {
                         return Err(MdpError::StateLimitExceeded { limit });
                     }
-                    states.push(s.clone());
-                    index.insert(s, id);
                     next_level.push(id);
-                    id
-                };
+                }
                 local_to_global.push(id);
             }
             for cs in out.expansions {
@@ -429,13 +634,88 @@ where
                 choices.push(resolved);
             }
         }
-        debug_assert_eq!(choices.len() + next_level.len(), states.len());
+        debug_assert_eq!(choices.len() + next_level.len(), space.len());
         level = next_level;
     }
 
-    let mdp = ExplicitMdp::new(choices, initial)?;
+    ExplicitMdp::new(choices, initial)
+}
+
+/// Explores the reachable state space of an implicit automaton into an
+/// [`ExplicitMdp`], assigning each transition the cost given by `cost_of`.
+///
+/// # Errors
+///
+/// Returns [`MdpError::StateLimitExceeded`] if more than `limit` states are
+/// discovered, and propagates model-validation errors (which indicate a bug
+/// in the implicit model, e.g. an unnormalized step distribution).
+#[deprecated(
+    since = "0.8.0",
+    note = "use `Explore::new(automaton).cost(..).limit(..).run()`"
+)]
+pub fn explore<M: Automaton>(
+    automaton: &M,
+    mut cost_of: impl FnMut(&M::State, &M::Action) -> u32,
+    limit: usize,
+) -> Result<Explored<M::State>, MdpError> {
+    let mut space = BoxedSpace::default();
+    let mdp = serial_core(automaton, &mut cost_of, limit, None, &mut space)?;
     record_explored(&mdp);
-    Ok(Explored { states, index, mdp })
+    Ok(Explored::new(space, mdp))
+}
+
+/// Parallel exploration with the default worker count (available
+/// parallelism, overridable via `PA_MDP_WORKERS`). Drop-in replacement:
+/// produces bit-for-bit the same [`Explored`] as the serial explorer.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `Explore::new(automaton).cost(..).parallel().limit(..).run()`"
+)]
+pub fn par_explore<M>(
+    automaton: &M,
+    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
+    limit: usize,
+) -> Result<Explored<M::State>, MdpError>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+{
+    Explore::new(automaton)
+        .cost(cost_of)
+        .limit(limit)
+        .parallel()
+        .run()
+}
+
+/// Parallel exploration with an explicit worker count (`None` resolves as
+/// in [`crate::resolve_workers`]).
+///
+/// # Errors
+///
+/// Same as [`explore`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `Explore::new(automaton).cost(..).workers(k).limit(..).run()`"
+)]
+pub fn par_explore_workers<M>(
+    automaton: &M,
+    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
+    limit: usize,
+    workers: Option<usize>,
+) -> Result<Explored<M::State>, MdpError>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+{
+    Explore::new(automaton)
+        .cost(cost_of)
+        .limit(limit)
+        .workers(workers)
+        .run()
 }
 
 /// The outcome of an exhaustive invariant check over the reachable states.
@@ -558,6 +838,7 @@ pub fn check_invariant<M: Automaton>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symmetry::RingState;
     use pa_core::TableAutomaton;
 
     fn coin_walk() -> TableAutomaton<u8, &'static str> {
@@ -574,23 +855,27 @@ mod tests {
     #[test]
     fn explore_builds_consistent_mapping() {
         let m = coin_walk();
-        let e = explore(&m, |_, _| 1, 1000).unwrap();
-        assert_eq!(e.states.len(), 3);
+        let e = Explore::new(&m).limit(1000).run().unwrap();
+        assert_eq!(e.num_states(), 3);
         assert_eq!(e.mdp.num_states(), 3);
-        for (i, s) in e.states.iter().enumerate() {
-            assert_eq!(e.index[s], i);
+        for (i, s) in e.states().iter().enumerate() {
+            assert_eq!(e.index_of(s), Some(i));
         }
         // Initial state is state 0 of the automaton.
         let init = e.mdp.initial_states()[0];
-        assert_eq!(e.states[init], 0);
+        assert_eq!(e.state(init), 0);
     }
 
     #[test]
     fn explore_respects_costs() {
         let m = coin_walk();
-        let e = explore(&m, |_, a| if *a == "flip" { 1 } else { 0 }, 1000).unwrap();
-        let s0 = e.index[&0];
-        let s1 = e.index[&1];
+        let e = Explore::new(&m)
+            .cost(|_, a| if *a == "flip" { 1 } else { 0 })
+            .limit(1000)
+            .run()
+            .unwrap();
+        let s0 = e.index_of(&0).unwrap();
+        let s1 = e.index_of(&1).unwrap();
         assert_eq!(e.mdp.choices(s0)[0].cost, 1);
         assert_eq!(e.mdp.choices(s1)[0].cost, 0);
     }
@@ -599,18 +884,31 @@ mod tests {
     fn explore_enforces_limit() {
         let m = coin_walk();
         assert!(matches!(
-            explore(&m, |_, _| 1, 2),
+            Explore::new(&m).limit(2).run(),
             Err(MdpError::StateLimitExceeded { limit: 2 })
         ));
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let m = coin_walk();
+        let built = Explore::new(&m).limit(1000).run().unwrap();
+        let wrapped = explore(&m, |_, _| 1, 1000).unwrap();
+        assert_eq!(built.states(), wrapped.states());
+        let par = par_explore(&m, |_, _| 1, 1000).unwrap();
+        assert_eq!(built.states(), par.states());
+        let par2 = par_explore_workers(&m, |_, _| 1, 1000, Some(2)).unwrap();
+        assert_eq!(built.states(), par2.states());
+    }
+
+    #[test]
     fn par_explore_matches_serial_exactly() {
         let m = coin_walk();
-        let serial = explore(&m, |_, _| 1, 1000).unwrap();
+        let serial = Explore::new(&m).limit(1000).run().unwrap();
         for workers in [1, 2, 5] {
-            let par = par_explore_workers(&m, |_, _| 1, 1000, Some(workers)).unwrap();
-            assert_eq!(par.states, serial.states, "workers={workers}");
+            let par = Explore::new(&m).limit(1000).workers(workers).run().unwrap();
+            assert_eq!(par.states(), serial.states(), "workers={workers}");
             for s in 0..serial.mdp.num_states() {
                 assert_eq!(
                     par.mdp.choices(s),
@@ -671,10 +969,14 @@ mod tests {
     #[test]
     fn adaptive_sharding_leaves_exploration_unchanged() {
         let m = skewed_fanout();
-        let serial = explore(&m, |_, _| 1, 1_000_000).unwrap();
+        let serial = Explore::new(&m).limit(1_000_000).run().unwrap();
         for workers in [2, 3, 8] {
-            let par = par_explore_workers(&m, |_, _| 1, 1_000_000, Some(workers)).unwrap();
-            assert_eq!(par.states, serial.states, "workers={workers}");
+            let par = Explore::new(&m)
+                .limit(1_000_000)
+                .workers(workers)
+                .run()
+                .unwrap();
+            assert_eq!(par.states(), serial.states(), "workers={workers}");
             for s in 0..serial.mdp.num_states() {
                 assert_eq!(
                     par.mdp.choices(s),
@@ -689,7 +991,7 @@ mod tests {
     fn par_explore_enforces_limit_like_serial() {
         let m = coin_walk();
         assert!(matches!(
-            par_explore_workers(&m, |_, _| 1, 2, Some(3)),
+            Explore::new(&m).limit(2).workers(3).run(),
             Err(MdpError::StateLimitExceeded { limit: 2 })
         ));
     }
@@ -697,10 +999,109 @@ mod tests {
     #[test]
     fn target_where_matches_predicate() {
         let m = coin_walk();
-        let e = explore(&m, |_, _| 1, 1000).unwrap();
+        let e = Explore::new(&m).limit(1000).run().unwrap();
         let t = e.target_where(|s| *s == 2);
         assert_eq!(t.iter().filter(|b| **b).count(), 1);
         assert_eq!(e.states_where(|s| *s == 2).len(), 1);
+    }
+
+    /// A ring automaton over rotation-closed `Vec<u8>` states: each step
+    /// increments one position (saturating at 2), so the full space is all
+    /// `{0,1,2}^n` vectors and the quotient is their necklace classes.
+    #[derive(Clone)]
+    struct RingCounter {
+        n: usize,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    struct RingVec(Vec<u8>);
+
+    impl RingState for RingVec {
+        fn rotated(&self, k: usize) -> RingVec {
+            let n = self.0.len();
+            RingVec((0..n).map(|i| self.0[(i + k) % n]).collect())
+        }
+    }
+
+    impl Automaton for RingCounter {
+        type State = RingVec;
+        type Action = usize;
+
+        fn start_states(&self) -> Vec<RingVec> {
+            vec![RingVec(vec![0; self.n])]
+        }
+
+        fn steps(&self, s: &RingVec) -> Vec<pa_core::Step<RingVec, usize>> {
+            (0..self.n)
+                .filter(|&i| s.0[i] < 2)
+                .map(|i| {
+                    let mut t = s.clone();
+                    t.0[i] += 1;
+                    pa_core::Step::deterministic(i, t)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn symmetry_builds_the_quotient() {
+        use crate::symmetry::{RingRotation, Symmetry};
+        let m = RingCounter { n: 4 };
+        let full = Explore::new(&m).limit(100_000).run().unwrap();
+        let quot = Explore::new(&m)
+            .limit(100_000)
+            .symmetry(RingRotation::new(4))
+            .run()
+            .unwrap();
+        // Full space: 3^4 = 81 vectors; necklaces of {0,1,2}^4: 24.
+        assert_eq!(full.num_states(), 81);
+        assert_eq!(quot.num_states(), 24);
+        // Every quotient state is canonical and every full state's orbit
+        // representative is present.
+        let sym = RingRotation::new(4);
+        for i in 0..quot.num_states() {
+            let s = quot.state(i);
+            assert_eq!(sym.canon(&s), s);
+        }
+        for i in 0..full.num_states() {
+            let rep = sym.canon(&full.state(i));
+            assert!(quot.index_of(&rep).is_some());
+        }
+    }
+
+    #[test]
+    fn quotient_exploration_is_deterministic_across_workers() {
+        use crate::symmetry::RingRotation;
+        let m = RingCounter { n: 5 };
+        let serial = Explore::new(&m)
+            .limit(100_000)
+            .symmetry(RingRotation::new(5))
+            .run()
+            .unwrap();
+        for workers in [2, 4] {
+            let par = Explore::new(&m)
+                .limit(100_000)
+                .symmetry(RingRotation::new(5))
+                .workers(workers)
+                .run()
+                .unwrap();
+            assert_eq!(par.states(), serial.states(), "workers={workers}");
+            for s in 0..serial.mdp.num_states() {
+                assert_eq!(par.mdp.choices(s), serial.mdp.choices(s));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_hint_does_not_change_the_result() {
+        let m = coin_walk();
+        let plain = Explore::new(&m).limit(1000).run().unwrap();
+        let hinted = Explore::new(&m)
+            .limit(1000)
+            .capacity_hint(512)
+            .run()
+            .unwrap();
+        assert_eq!(plain.states(), hinted.states());
     }
 
     #[test]

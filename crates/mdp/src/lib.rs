@@ -5,9 +5,12 @@
 //! verifies them mechanically, PRISM-style, by quantifying over *all*
 //! adversaries of a schema at once:
 //!
-//! * [`explore`] — build an [`ExplicitMdp`] from any implicit
+//! * [`Explore`] — build an [`ExplicitMdp`] from any implicit
 //!   [`pa_core::Automaton`], assigning each transition a time cost
 //!   (0 = scheduling step inside a time unit, 1 = time-unit boundary).
+//!   The builder selects serial or parallel execution, an optional
+//!   [`Symmetry`] (quotient construction, e.g. [`RingRotation`]), and the
+//!   state representation ([`BoxedSpace`] or bit-packed [`PackedSpace`]).
 //! * [`Query`] — the single analysis entry point: a builder unifying
 //!   objective ([`QueryObjective`]: bounded/unbounded reachability per
 //!   Definition 3.1, worst/best-case expected time per Section 6.2),
@@ -34,7 +37,7 @@
 //! connected components first ([`SccDecomposition`]) and solves them in
 //! reverse topological order — far fewer state updates on the layered
 //! round models this workspace targets (see the `query` module docs for
-//! selection guidance). [`par_explore`] parallelizes state-space
+//! selection guidance). [`Explore::workers`] parallelizes state-space
 //! exploration the same way (level-synchronized, deterministic merge). The
 //! [`mod@reference`] module retains nested-model oracles — both a Jacobi
 //! twin (bitwise comparison) and the original Gauss–Seidel engine
@@ -45,7 +48,7 @@
 //!
 //! ```
 //! use pa_core::TableAutomaton;
-//! use pa_mdp::{explore, QueryObjective};
+//! use pa_mdp::{Explore, QueryObjective};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A process that wins a coin flip once per time unit.
@@ -53,7 +56,7 @@
 //!     .start("try")
 //!     .step("try", "flip", [("won", 0.5), ("try", 0.5)])?
 //!     .build()?;
-//! let e = explore(&m, |_, _| 1, 10_000)?;
+//! let e = Explore::new(&m).limit(10_000).run()?;
 //! let analysis = e
 //!     .query_where(|s| *s == "won")
 //!     .objective(QueryObjective::MinProb)
@@ -78,15 +81,17 @@ mod model;
 pub mod query;
 pub mod reference;
 mod scc;
+pub mod space;
+pub mod symmetry;
 mod tag;
 mod value_iter;
 
 pub use csr::{resolve_workers, CsrMdp, SolveStats};
 pub use error::MdpError;
 pub use expected::{has_zero_cost_cycle, min_expected_cost, ExpectedCost};
-pub use explore::{
-    check_invariant, explore, par_explore, par_explore_workers, Explored, InvariantResult,
-};
+pub use explore::{check_invariant, Explore, Explored, InvariantResult};
+#[allow(deprecated)]
+pub use explore::{explore, par_explore, par_explore_workers};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use horizon::{cost_bounded_reach_levels, BoundedPolicy, Objective};
 pub use model::{Choice, ExplicitMdp};
@@ -94,5 +99,7 @@ pub use query::{
     default_solver, set_default_solver, Analysis, IntoTarget, Query, QueryObjective, Solver,
 };
 pub use scc::SccDecomposition;
+pub use space::{BoxedSpace, PackedSpace, StateCodec, StateSpace};
+pub use symmetry::{RingRotation, RingState, Symmetry};
 pub use tag::{tag_choices, tagged_absorbing_violations, ChoiceTags, TAG_NONE};
 pub use value_iter::{prob0_max, prob0_min, prob1, IterOptions};

@@ -55,15 +55,16 @@ impl ChoiceTags {
 /// explored model — that means the automaton is not the one that was
 /// explored (or is nondeterministic in its step enumeration, which the
 /// exploration contract forbids).
-pub fn tag_choices<M: Automaton>(
+pub fn tag_choices<M: Automaton, SP: crate::StateSpace<M::State>>(
     automaton: &M,
-    explored: &Explored<M::State>,
+    explored: &Explored<M::State, SP>,
     mut tag_of: impl FnMut(&M::State, &M::Action) -> u8,
 ) -> ChoiceTags {
-    let mut tags = Vec::with_capacity(explored.states.len());
+    let mut tags = Vec::with_capacity(explored.num_states());
     let mut tagged = 0u64;
-    for (s, state) in explored.states.iter().enumerate() {
-        let steps = automaton.steps(state);
+    for s in 0..explored.num_states() {
+        let state = explored.state(s);
+        let steps = automaton.steps(&state);
         assert_eq!(
             steps.len(),
             explored.mdp.choices(s).len(),
@@ -72,7 +73,7 @@ pub fn tag_choices<M: Automaton>(
         let row: Vec<u8> = steps
             .iter()
             .map(|step| {
-                let t = tag_of(state, &step.action);
+                let t = tag_of(&state, &step.action);
                 if t != TAG_NONE {
                     tagged += 1;
                 }
@@ -117,7 +118,7 @@ pub fn tagged_absorbing_violations(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore;
+    use crate::Explore;
     use pa_core::TableAutomaton;
 
     const TAG_CRASH: u8 = 1;
@@ -137,21 +138,21 @@ mod tests {
     #[test]
     fn tags_align_with_choice_order() {
         let m = model();
-        let e = explore(&m, |_, _| 1, 100).unwrap();
+        let e = Explore::new(&m).limit(100).run().unwrap();
         let tags = tag_choices(
             &m,
             &e,
             |_, a| if *a == "stay" { TAG_CRASH } else { TAG_NONE },
         );
         assert_eq!(tags.count(TAG_CRASH), 1);
-        let s1 = e.index[&1];
+        let s1 = e.index_of(&1).unwrap();
         assert_eq!(tags.tag(s1, 0), TAG_CRASH);
     }
 
     #[test]
     fn absorbing_self_loops_pass_the_audit() {
         let m = model();
-        let e = explore(&m, |_, _| 1, 100).unwrap();
+        let e = Explore::new(&m).limit(100).run().unwrap();
         let tags = tag_choices(
             &m,
             &e,
@@ -163,7 +164,7 @@ mod tests {
     #[test]
     fn non_absorbing_tagged_choices_are_reported() {
         let m = model();
-        let e = explore(&m, |_, _| 1, 100).unwrap();
+        let e = Explore::new(&m).limit(100).run().unwrap();
         // Mis-tag the probabilistic branch as a crash choice.
         let tags = tag_choices(
             &m,
@@ -171,14 +172,14 @@ mod tests {
             |_, a| if *a == "bad" { TAG_CRASH } else { TAG_NONE },
         );
         let bad = tagged_absorbing_violations(&e.mdp, &tags, TAG_CRASH);
-        let s0 = e.index[&0];
+        let s0 = e.index_of(&0).unwrap();
         assert_eq!(bad, vec![(s0, 1)]);
     }
 
     #[test]
     fn untagged_choices_are_never_audited() {
         let m = model();
-        let e = explore(&m, |_, _| 1, 100).unwrap();
+        let e = Explore::new(&m).limit(100).run().unwrap();
         let tags = tag_choices(&m, &e, |_, _| TAG_NONE);
         assert!(tagged_absorbing_violations(&e.mdp, &tags, TAG_CRASH).is_empty());
     }

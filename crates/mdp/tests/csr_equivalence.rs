@@ -6,13 +6,13 @@
 //! * the CSR fixpoints agree with the original Gauss–Seidel engine up to
 //!   iteration tolerance (the two methods converge to the same fixpoint
 //!   along different trajectories, so only tolerance equality is owed);
-//! * [`par_explore_workers`] reproduces the serial [`explore`] exactly —
+//! * a parallel [`Explore`] run reproduces the serial one exactly —
 //!   same states in the same order, same choices, same limit errors.
 
 use pa_core::{Automaton, Step};
 use pa_mdp::{
-    explore, min_expected_cost, par_explore_workers, reference, Choice, CsrMdp, ExpectedCost,
-    ExplicitMdp, IterOptions, MdpError, Objective, Query, QueryObjective, Solver,
+    min_expected_cost, reference, Choice, CsrMdp, ExpectedCost, ExplicitMdp, Explore, IterOptions,
+    MdpError, Objective, Query, QueryObjective, Solver,
 };
 use pa_prob::FiniteDist;
 use proptest::prelude::*;
@@ -280,10 +280,15 @@ proptest! {
     fn par_explore_reproduces_serial_exploration(n in 2u64..80, fanout in 1u64..4) {
         let g = ScrambleGraph { n, fanout };
         let cost = |s: &u64, a: &u64| ((s ^ a) % 2) as u32;
-        let serial = explore(&g, cost, 10_000).unwrap();
+        let serial = Explore::new(&g).cost(cost).limit(10_000).run().unwrap();
         for workers in [1usize, 2, 5] {
-            let par = par_explore_workers(&g, cost, 10_000, Some(workers)).unwrap();
-            prop_assert_eq!(&par.states, &serial.states, "workers={}", workers);
+            let par = Explore::new(&g)
+                .cost(cost)
+                .limit(10_000)
+                .workers(workers)
+                .run()
+                .unwrap();
+            prop_assert_eq!(par.states(), serial.states(), "workers={}", workers);
             prop_assert_eq!(par.mdp.initial_states(), serial.mdp.initial_states());
             prop_assert_eq!(par.mdp.num_states(), serial.mdp.num_states());
             for s in 0..serial.mdp.num_states() {
@@ -296,10 +301,10 @@ proptest! {
     fn par_explore_hits_the_same_state_limit(n in 8u64..60, limit in 1usize..8) {
         let g = ScrambleGraph { n, fanout: 3 };
         let cost = |_: &u64, _: &u64| 1u32;
-        let serial = explore(&g, cost, limit);
-        let par = par_explore_workers(&g, cost, limit, Some(3));
+        let serial = Explore::new(&g).cost(cost).limit(limit).run();
+        let par = Explore::new(&g).cost(cost).limit(limit).workers(3).run();
         match (serial, par) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a.states, b.states),
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.states(), b.states()),
             (
                 Err(MdpError::StateLimitExceeded { limit: a }),
                 Err(MdpError::StateLimitExceeded { limit: b }),

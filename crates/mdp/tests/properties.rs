@@ -3,8 +3,8 @@
 
 use pa_core::TableAutomaton;
 use pa_mdp::{
-    explore, par_explore_workers, prob0_max, prob0_min, Choice, ExpectedCost, ExplicitMdp,
-    IterOptions, MdpError, Objective, Query, QueryObjective,
+    prob0_max, prob0_min, Choice, ExpectedCost, ExplicitMdp, Explore, IterOptions, MdpError,
+    Objective, Query, QueryObjective,
 };
 use proptest::prelude::*;
 
@@ -119,9 +119,13 @@ fn skewed_automaton() -> impl Strategy<Value = TableAutomaton<u32, &'static str>
 proptest! {
     #[test]
     fn adaptive_parallel_exploration_matches_serial(m in skewed_automaton(), workers in 2usize..9) {
-        let serial = explore(&m, |_, _| 1, 1_000_000).unwrap();
-        let par = par_explore_workers(&m, |_, _| 1, 1_000_000, Some(workers)).unwrap();
-        prop_assert_eq!(&par.states, &serial.states);
+        let serial = Explore::new(&m).limit(1_000_000).run().unwrap();
+        let par = Explore::new(&m)
+            .limit(1_000_000)
+            .workers(workers)
+            .run()
+            .unwrap();
+        prop_assert_eq!(par.states(), serial.states());
         prop_assert_eq!(par.mdp.initial_states(), serial.mdp.initial_states());
         for s in 0..serial.mdp.num_states() {
             prop_assert_eq!(par.mdp.choices(s), serial.mdp.choices(s));

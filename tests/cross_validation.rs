@@ -5,7 +5,7 @@
 use timebounds::lehmann_rabin::{
     check_arrow, paper, regions, round_cost, sims, RoundConfig, RoundMdp,
 };
-use timebounds::mdp::{cost_bounded_reach_levels, explore, Objective};
+use timebounds::mdp::{cost_bounded_reach_levels, Explore, Objective};
 use timebounds::prob::stats::Z_99;
 use timebounds::prob::Prob;
 use timebounds::sim::MonteCarlo;
@@ -64,7 +64,11 @@ fn exact_curve_lower_bounds_simulated_cdf() {
     let mdp = RoundMdp::new(RoundConfig::new(3).unwrap())
         .with_starts(vec![all_trying.clone()])
         .with_absorb(regions::in_c);
-    let explored = explore(&mdp, round_cost, 10_000_000).unwrap();
+    let explored = Explore::new(&mdp)
+        .cost(round_cost)
+        .limit(10_000_000)
+        .run()
+        .unwrap();
     let target = explored.target_where(|rs| regions::in_c(&rs.config));
     let start = explored.mdp.initial_states()[0];
     let mut exact_curve = vec![0.0f64]; // t = 0
@@ -107,7 +111,11 @@ fn extracted_worst_case_policy_reproduces_its_value() {
     let mdp = RoundMdp::new(RoundConfig::new(3).unwrap())
         .with_starts(vec![all_trying])
         .with_absorb(regions::in_c);
-    let explored = explore(&mdp, round_cost, 10_000_000).unwrap();
+    let explored = Explore::new(&mdp)
+        .cost(round_cost)
+        .limit(10_000_000)
+        .run()
+        .unwrap();
     let target = explored.target_where(|rs| regions::in_c(&rs.config));
     let budget = 12u32; // time 13
     let analysis = Query::over(&explored.mdp)

@@ -6,7 +6,7 @@ use timebounds::core::{
     schema, Adversary, Automaton, EventSchema, Eventually, ExecTree, FirstEnabled, FnAdversary,
     Fragment, Patient, ReachWithin, TableAutomaton, TimedAction, TimedState,
 };
-use timebounds::mdp::{explore, Objective};
+use timebounds::mdp::{Explore, Objective};
 
 type M = TableAutomaton<&'static str, &'static str>;
 
@@ -32,7 +32,7 @@ fn exec_tree_and_mdp_agree_on_bounded_reachability() {
             .lo()
             .value();
 
-        let e = explore(&m, |_, _| 1, 1000).unwrap();
+        let e = Explore::new(&m).cost(|_, _| 1).limit(1000).run().unwrap();
         let v = e
             .query_where(|s| *s == "won")
             .objective(Objective::MinProb)
@@ -92,7 +92,7 @@ fn patient_construction_matches_cost_encoding() {
 #[test]
 fn unbounded_reach_is_the_limit_of_bounded() {
     let m = retry_machine();
-    let e = explore(&m, |_, _| 1, 1000).unwrap();
+    let e = Explore::new(&m).cost(|_, _| 1).limit(1000).run().unwrap();
     let unbounded = e
         .query_where(|s| *s == "won")
         .objective(Objective::MinProb)
