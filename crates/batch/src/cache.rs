@@ -29,14 +29,49 @@
 //! while any racing jobs block on the same slot, so a model is built
 //! exactly once per key no matter how the scheduler interleaves jobs.
 //! Misses therefore equal the number of distinct keys demanded and hits
-//! equal `accesses − misses` — both independent of worker count, which the
-//! determinism tests (and the `compare_bench` gate on the v5 `batch`
-//! block) rely on.
+//! equal `accesses − misses − rebuilds` — all independent of worker
+//! count, which the determinism tests (and the `compare_bench` gate on
+//! the v5 `batch` block) rely on.
 //!
 //! Build work runs inside the cache's own [`TelemetryScope`] (entered
 //! *nested* over the building job's scope), so exploration metrics are
 //! attributed to the cache rather than to whichever job happened to get
 //! there first — keeping per-job scoped metrics deterministic.
+//!
+//! # Eviction
+//!
+//! A cache built with [`ModelCache::with_budget`] enforces a byte budget
+//! over the resident model slots (full-space and quotient; the small
+//! reachable-config vectors are not budgeted). Each successful build is
+//! accounted at [`SharedModel::mem_bytes`] — the flattened CSR arrays
+//! plus the nested explicit model. When the resident total exceeds the
+//! budget, least-recently-used slots are dropped (never the slot that was
+//! just touched, and never an error slot) until the total fits or nothing
+//! evictable remains.
+//!
+//! Eviction keeps the key's map entry as a tombstone, so the lifetime
+//! accounting stays stable: *misses* still count first-ever builds of
+//! distinct keys, a re-demand of an evicted key is a *rebuild* (counted
+//! separately, [`ModelCache::rebuilds`]), and `accesses = hits + misses +
+//! rebuilds` holds under any eviction schedule. A rebuild re-runs the
+//! exact deterministic exploration pipeline of the first build, so the
+//! rebuilt model is bitwise identical and eviction is never observable in
+//! results — only in the [`ModelCache::evictions`] /
+//! [`ModelCache::resident_bytes`] counters and their telemetry mirrors
+//! (`batch.cache.evictions`, `batch.cache.rebuilds`,
+//! `batch.cache.resident_bytes`).
+//!
+//! # Per-batch statistics
+//!
+//! With a long-lived cache (the `pa-serve` daemon), the lifetime counters
+//! above depend on what previous batches warmed and what the budget
+//! evicted. The canonical [`crate::BatchReport`] must not: its digest is
+//! pinned bitwise across worker counts, cache warmth, and eviction
+//! schedules. [`CacheSession`] is the per-batch view jobs actually get —
+//! it forwards every lookup to the shared cache and derives
+//! [`crate::CacheStats`] purely from the batch's own access sequence
+//! (distinct keys demanded = misses, the rest hits), reproducing exactly
+//! the numbers a cold dedicated cache would report.
 //!
 //! # Quotient models
 //!
@@ -48,7 +83,7 @@
 //! [`pa_mdp::StateSpace`], so the full-space and quotient models run the
 //! same analysis code; the tests pin their arrow answers bitwise equal.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -58,6 +93,8 @@ use pa_faults::{
 use pa_lehmann_rabin::{reachable_configs, reachable_configs_quotient, Config, RoundConfig};
 use pa_mdp::{BoxedSpace, CsrMdp, Explore, Explored, PackedSpace, RingRotation, StateSpace};
 use pa_telemetry::TelemetryScope;
+
+use crate::report::CacheStats;
 
 /// A fault-wrapped round model explored from **all** reachable
 /// configurations, with no absorption — valid for every arrow and
@@ -101,9 +138,42 @@ impl<SP: StateSpace<FaultyRoundState>> SharedModel<SP> {
             .filter(|&i| pred(&self.explored.state(i).inner.config, self.mask0))
             .collect()
     }
+
+    /// Heap bytes this model is accounted at when a cache enforces a byte
+    /// budget: the flattened CSR arrays plus the nested explicit model
+    /// (the state store is excluded — it is representation-dependent and
+    /// dominated by the other two on every model this workspace builds).
+    pub fn mem_bytes(&self) -> u64 {
+        self.csr.mem_bytes() + self.explored.mdp.mem_bytes()
+    }
 }
 
-type Slot<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+/// One keyed slot plus its build provenance: whether running its
+/// initializer is the key's first-ever build (a lifetime *miss*) or a
+/// post-eviction *rebuild*.
+struct SlotCell<T> {
+    once: OnceLock<Result<Arc<T>, String>>,
+    first: bool,
+}
+
+impl<T> SlotCell<T> {
+    fn new(first: bool) -> Arc<SlotCell<T>> {
+        Arc::new(SlotCell {
+            once: OnceLock::new(),
+            first,
+        })
+    }
+}
+
+/// A map entry: the live slot (`None` once evicted — the entry itself is
+/// kept as a tombstone so miss accounting survives eviction), the bytes
+/// the slot is accounted at (0 while building, for error slots, and after
+/// eviction), and the LRU stamp of the last access.
+struct Entry<T> {
+    slot: Option<Arc<SlotCell<T>>>,
+    bytes: u64,
+    last_use: u64,
+}
 
 /// Cumulative access counts of one cache map.
 #[derive(Debug, Default)]
@@ -112,14 +182,29 @@ struct MapStats {
     misses: AtomicU64,
 }
 
-/// The keyed model cache shared by every job of a batch run.
+/// Which budgeted map an eviction victim lives in.
+enum Victim {
+    Model((usize, FaultPlan)),
+    Quotient(usize),
+}
+
+/// The keyed model cache shared by every job of a batch run — or, under
+/// `pa-serve`, by every batch of a daemon's lifetime.
 pub struct ModelCache {
-    configs: Mutex<HashMap<usize, Slot<Vec<Config>>>>,
-    models: Mutex<HashMap<(usize, FaultPlan), Slot<SharedModel>>>,
-    quotient_models: Mutex<HashMap<usize, Slot<QuotientModel>>>,
+    configs: Mutex<HashMap<usize, Entry<Vec<Config>>>>,
+    models: Mutex<HashMap<(usize, FaultPlan), Entry<SharedModel>>>,
+    quotient_models: Mutex<HashMap<usize, Entry<QuotientModel>>>,
     config_stats: MapStats,
     model_stats: MapStats,
     quotient_stats: MapStats,
+    /// Byte budget over resident model slots; `None` = unbounded.
+    budget: Option<u64>,
+    /// Bytes currently accounted across live model + quotient slots.
+    resident: AtomicU64,
+    /// Monotonic LRU clock; every access stamps its entry.
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    rebuilds: AtomicU64,
     scope: TelemetryScope,
 }
 
@@ -129,43 +214,20 @@ impl Default for ModelCache {
     }
 }
 
-fn get_or_build<K: Clone + Eq + std::hash::Hash, T>(
-    map: &Mutex<HashMap<K, Slot<T>>>,
-    stats: &MapStats,
-    scope: &TelemetryScope,
-    key: &K,
-    hit_metric: &'static str,
-    miss_metric: &'static str,
-    build: impl FnOnce() -> Result<T, String>,
-) -> Result<Arc<T>, String> {
-    let slot: Slot<T> = map
-        .lock()
-        .expect("cache map poisoned")
-        .entry(key.clone())
-        .or_default()
-        .clone();
-    let mut built = false;
-    let result = slot.get_or_init(|| {
-        built = true;
-        stats.misses.fetch_add(1, Ordering::Relaxed);
-        // Attribute build work (exploration, CSR flattening) to the
-        // cache's scope, nested over the triggering job's scope.
-        let _in_cache = scope.enter();
-        pa_telemetry::counter(miss_metric).inc();
-        let _span = pa_telemetry::span("batch.cache.build_seconds");
-        build().map(Arc::new)
-    });
-    if !built {
-        stats.hits.fetch_add(1, Ordering::Relaxed);
-        let _in_cache = scope.enter();
-        pa_telemetry::counter(hit_metric).inc();
-    }
-    result.clone()
-}
-
 impl ModelCache {
-    /// An empty cache with its own `"cache"` telemetry scope.
+    /// An unbounded cache with its own `"cache"` telemetry scope.
     pub fn new() -> ModelCache {
+        ModelCache::with_budget_opt(None)
+    }
+
+    /// A cache that evicts least-recently-used model slots once their
+    /// accounted bytes exceed `budget` (see the module docs for what is
+    /// accounted and what eviction can — and cannot — change).
+    pub fn with_budget(budget: u64) -> ModelCache {
+        ModelCache::with_budget_opt(Some(budget))
+    }
+
+    fn with_budget_opt(budget: Option<u64>) -> ModelCache {
         ModelCache {
             configs: Mutex::new(HashMap::new()),
             models: Mutex::new(HashMap::new()),
@@ -173,30 +235,188 @@ impl ModelCache {
             config_stats: MapStats::default(),
             model_stats: MapStats::default(),
             quotient_stats: MapStats::default(),
+            budget,
+            resident: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
             scope: TelemetryScope::new("cache"),
         }
     }
 
+    /// Core lookup: find-or-create the key's slot (stamping LRU), run the
+    /// build exactly once per slot, account the result's bytes, and tally
+    /// hit / miss / rebuild. Returns `(result, lru_stamp)` so budgeted
+    /// callers can protect the touched entry while enforcing the budget.
+    #[allow(clippy::too_many_arguments)]
+    fn get_or_build<K: Clone + Eq + std::hash::Hash, T>(
+        &self,
+        map: &Mutex<HashMap<K, Entry<T>>>,
+        stats: &MapStats,
+        key: &K,
+        hit_metric: &'static str,
+        miss_metric: &'static str,
+        size_of: impl FnOnce(&T) -> u64,
+        build: impl FnOnce() -> Result<T, String>,
+    ) -> (Result<Arc<T>, String>, u64) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let cell = {
+            use std::collections::hash_map::Entry as MapEntry;
+            let mut map = map.lock().expect("cache map poisoned");
+            match map.entry(key.clone()) {
+                MapEntry::Vacant(vacant) => {
+                    let cell = SlotCell::new(true);
+                    vacant.insert(Entry {
+                        slot: Some(cell.clone()),
+                        bytes: 0,
+                        last_use: stamp,
+                    });
+                    cell
+                }
+                MapEntry::Occupied(mut occupied) => {
+                    let entry = occupied.get_mut();
+                    entry.last_use = stamp;
+                    match &entry.slot {
+                        Some(cell) => cell.clone(),
+                        None => {
+                            // The entry is a tombstone of an evicted
+                            // slot: building it again is a rebuild, not
+                            // a first-demand miss.
+                            let cell = SlotCell::new(false);
+                            entry.slot = Some(cell.clone());
+                            cell
+                        }
+                    }
+                }
+            }
+        };
+        let mut built = false;
+        let result = cell.once.get_or_init(|| {
+            built = true;
+            if cell.first {
+                stats.misses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            }
+            // Attribute build work (exploration, CSR flattening) to the
+            // cache's scope, nested over the triggering job's scope.
+            let _in_cache = self.scope.enter();
+            if cell.first {
+                pa_telemetry::counter(miss_metric).inc();
+            } else {
+                pa_telemetry::counter("batch.cache.rebuilds").inc();
+            }
+            let _span = pa_telemetry::span("batch.cache.build_seconds");
+            build().map(Arc::new)
+        });
+        if built {
+            if let Ok(value) = result {
+                let bytes = size_of(value);
+                if bytes > 0 {
+                    let mut map = map.lock().expect("cache map poisoned");
+                    if let Some(entry) = map.get_mut(key) {
+                        // Only account while our cell is still the live
+                        // slot (a racing eviction cannot have removed it:
+                        // victims need bytes > 0, and ours still has 0).
+                        if entry
+                            .slot
+                            .as_ref()
+                            .is_some_and(|live| Arc::ptr_eq(live, &cell))
+                        {
+                            entry.bytes = bytes;
+                            self.resident.fetch_add(bytes, Ordering::Relaxed);
+                        }
+                    }
+                    let _in_cache = self.scope.enter();
+                    pa_telemetry::gauge("batch.cache.resident_bytes")
+                        .set(self.resident.load(Ordering::Relaxed) as i64);
+                }
+            }
+        } else {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+            let _in_cache = self.scope.enter();
+            pa_telemetry::counter(hit_metric).inc();
+        }
+        (result.clone(), stamp)
+    }
+
+    /// Evicts least-recently-used model slots (skipping the entry stamped
+    /// `protect` and anything without accounted bytes — in-flight builds,
+    /// error slots, tombstones) until the resident total fits the budget
+    /// or no victim remains.
+    fn enforce_budget(&self, protect: u64) {
+        let Some(budget) = self.budget else { return };
+        while self.resident.load(Ordering::Relaxed) > budget {
+            let mut victim: Option<(u64, Victim)> = None;
+            {
+                let models = self.models.lock().expect("cache map poisoned");
+                for (key, entry) in models.iter() {
+                    if entry.bytes > 0
+                        && entry.last_use != protect
+                        && victim.as_ref().is_none_or(|(lu, _)| entry.last_use < *lu)
+                    {
+                        victim = Some((entry.last_use, Victim::Model(key.clone())));
+                    }
+                }
+            }
+            {
+                let quotients = self.quotient_models.lock().expect("cache map poisoned");
+                for (key, entry) in quotients.iter() {
+                    if entry.bytes > 0
+                        && entry.last_use != protect
+                        && victim.as_ref().is_none_or(|(lu, _)| entry.last_use < *lu)
+                    {
+                        victim = Some((entry.last_use, Victim::Quotient(*key)));
+                    }
+                }
+            }
+            match victim {
+                Some((_, Victim::Model(key))) => self.evict(&self.models, &key),
+                Some((_, Victim::Quotient(key))) => self.evict(&self.quotient_models, &key),
+                None => break,
+            }
+        }
+    }
+
+    /// Drops one slot, leaving the entry as a tombstone (see module docs).
+    fn evict<K: Eq + std::hash::Hash, T>(&self, map: &Mutex<HashMap<K, Entry<T>>>, key: &K) {
+        let mut map = map.lock().expect("cache map poisoned");
+        if let Some(entry) = map.get_mut(key) {
+            if entry.bytes > 0 {
+                self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                entry.bytes = 0;
+                entry.slot = None;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                let _in_cache = self.scope.enter();
+                pa_telemetry::counter("batch.cache.evictions").inc();
+                pa_telemetry::gauge("batch.cache.resident_bytes")
+                    .set(self.resident.load(Ordering::Relaxed) as i64);
+            }
+        }
+    }
+
     /// The reachable user-model configurations of a ring of `n`, explored
-    /// once per ring size.
+    /// once per ring size. Config slots are small and never budgeted.
     ///
     /// # Errors
     ///
     /// Stringified ring-validation or exploration errors (shared verbatim
     /// with every waiter of the slot).
     pub fn reachable(&self, n: usize, limit: usize) -> Result<Arc<Vec<Config>>, String> {
-        get_or_build(
+        self.get_or_build(
             &self.configs,
             &self.config_stats,
-            &self.scope,
             &n,
             "batch.cache.config_hits",
             "batch.cache.config_misses",
+            |_| 0,
             || reachable_configs(n, limit).map_err(|e| e.to_string()),
         )
+        .0
     }
 
-    /// The shared model of `(n, plan)`, built on first demand.
+    /// The shared model of `(n, plan)`, built on first demand (and rebuilt
+    /// bitwise identically if the budget evicted it since).
     ///
     /// # Errors
     ///
@@ -208,13 +428,13 @@ impl ModelCache {
         limit: usize,
     ) -> Result<Arc<SharedModel>, String> {
         let key = (n, plan.clone());
-        get_or_build(
+        let (result, stamp) = self.get_or_build(
             &self.models,
             &self.model_stats,
-            &self.scope,
             &key,
             "batch.cache.model_hits",
             "batch.cache.model_misses",
+            SharedModel::mem_bytes,
             || {
                 let configs = self.reachable(n, limit)?;
                 let cfg = RoundConfig::new(n).map_err(|e| e.to_string())?;
@@ -240,7 +460,9 @@ impl ModelCache {
                     csr,
                 })
             },
-        )
+        );
+        self.enforce_budget(stamp);
+        result
     }
 
     /// The quotient model of the fault-free ring of `n`: explored from the
@@ -260,13 +482,13 @@ impl ModelCache {
     ///
     /// Stringified ring-validation, codec, or exploration errors.
     pub fn model_quotient(&self, n: usize, limit: usize) -> Result<Arc<QuotientModel>, String> {
-        get_or_build(
+        let (result, stamp) = self.get_or_build(
             &self.quotient_models,
             &self.quotient_stats,
-            &self.scope,
             &n,
             "batch.cache.quotient_hits",
             "batch.cache.quotient_misses",
+            SharedModel::mem_bytes,
             || {
                 let configs = reachable_configs_quotient(n, limit).map_err(|e| e.to_string())?;
                 let cfg = RoundConfig::new(n).map_err(|e| e.to_string())?;
@@ -290,7 +512,9 @@ impl ModelCache {
                     csr,
                 })
             },
-        )
+        );
+        self.enforce_budget(stamp);
+        result
     }
 
     /// Model-map hits (accesses that found a built or in-flight slot).
@@ -298,8 +522,9 @@ impl ModelCache {
         self.model_stats.hits.load(Ordering::Relaxed)
     }
 
-    /// Model-map misses (slots this cache actually built). Equals the
-    /// number of distinct `(n, plan)` keys demanded.
+    /// Model-map misses: first-ever builds, equal to the number of
+    /// distinct `(n, plan)` keys demanded over the cache's lifetime
+    /// (eviction does not reset them — a re-demand is a rebuild).
     pub fn model_misses(&self) -> u64 {
         self.model_stats.misses.load(Ordering::Relaxed)
     }
@@ -324,23 +549,152 @@ impl ModelCache {
         self.quotient_stats.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct full-space models currently cached.
-    pub fn distinct_models(&self) -> usize {
-        self.models.lock().expect("cache map poisoned").len()
+    /// Slots dropped by the byte budget over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct quotient models currently cached.
+    /// Builds that replaced an evicted slot (bitwise identical to the
+    /// original build — see the module docs).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently accounted across live model and quotient slots.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Number of full-space models currently live (tombstones of evicted
+    /// keys are not counted).
+    pub fn distinct_models(&self) -> usize {
+        self.models
+            .lock()
+            .expect("cache map poisoned")
+            .values()
+            .filter(|e| e.slot.is_some())
+            .count()
+    }
+
+    /// Number of quotient models currently live.
     pub fn distinct_quotient_models(&self) -> usize {
         self.quotient_models
             .lock()
             .expect("cache map poisoned")
-            .len()
+            .values()
+            .filter(|e| e.slot.is_some())
+            .count()
     }
 
     /// The cache's telemetry scope (exploration and flattening metrics of
     /// every build land here).
     pub fn scope(&self) -> &TelemetryScope {
         &self.scope
+    }
+}
+
+/// The per-batch view of a shared [`ModelCache`] that jobs actually get
+/// ([`crate::JobCtx::cache`]).
+///
+/// Every lookup forwards to the shared cache; alongside, the session
+/// records the batch's own access sequence and derives the canonical
+/// [`CacheStats`] from it alone: per map, *misses* are the distinct keys
+/// this batch demanded and *hits* are the remaining accesses — exactly
+/// what a cold, dedicated, unbounded cache would have reported for the
+/// same job set. That keeps the [`crate::BatchReport`] digest invariant
+/// under cache warmth, eviction schedules, and worker counts, which the
+/// `pa-serve` determinism contract (and the bench `serve` block) pin.
+pub struct CacheSession<'c> {
+    cache: &'c ModelCache,
+    state: Mutex<SessionState>,
+}
+
+#[derive(Default)]
+struct SessionState {
+    model_accesses: u64,
+    model_keys: HashSet<(usize, FaultPlan)>,
+    config_accesses: u64,
+    config_keys: HashSet<usize>,
+}
+
+impl<'c> CacheSession<'c> {
+    /// A fresh session over `cache` with zeroed per-batch statistics.
+    pub fn new(cache: &'c ModelCache) -> CacheSession<'c> {
+        CacheSession {
+            cache,
+            state: Mutex::new(SessionState::default()),
+        }
+    }
+
+    /// The shared cache behind this session.
+    pub fn cache(&self) -> &'c ModelCache {
+        self.cache
+    }
+
+    /// [`ModelCache::model`], counted as one model access — and, on the
+    /// key's first demand *this batch*, one config access too (a dedicated
+    /// cache would have built the model, consuming the config slot once).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCache::model`].
+    pub fn model(
+        &self,
+        n: usize,
+        plan: &FaultPlan,
+        limit: usize,
+    ) -> Result<Arc<SharedModel>, String> {
+        {
+            let mut st = self.state.lock().expect("session stats poisoned");
+            st.model_accesses += 1;
+            if st.model_keys.insert((n, plan.clone())) {
+                st.config_accesses += 1;
+                st.config_keys.insert(n);
+            }
+        }
+        self.cache.model(n, plan, limit)
+    }
+
+    /// [`ModelCache::reachable`], counted as one config access.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCache::reachable`].
+    pub fn reachable(&self, n: usize, limit: usize) -> Result<Arc<Vec<Config>>, String> {
+        {
+            let mut st = self.state.lock().expect("session stats poisoned");
+            st.config_accesses += 1;
+            st.config_keys.insert(n);
+        }
+        self.cache.reachable(n, limit)
+    }
+
+    /// [`ModelCache::model_quotient`] (quotient demands have no canonical
+    /// counter — the v1 canonical schema predates them).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCache::model_quotient`].
+    pub fn model_quotient(&self, n: usize, limit: usize) -> Result<Arc<QuotientModel>, String> {
+        self.cache.model_quotient(n, limit)
+    }
+
+    /// The canonical per-batch statistics (see the type docs for why they
+    /// are a function of the job set only).
+    pub fn stats(&self) -> CacheStats {
+        let st = self.state.lock().expect("session stats poisoned");
+        CacheStats {
+            model_hits: st.model_accesses - st.model_keys.len() as u64,
+            model_misses: st.model_keys.len() as u64,
+            config_hits: st.config_accesses - st.config_keys.len() as u64,
+            config_misses: st.config_keys.len() as u64,
+            distinct_models: st.model_keys.len(),
+        }
     }
 }
 
@@ -360,6 +714,10 @@ mod tests {
         // The model build consumed the config cache once.
         assert_eq!(cache.config_misses(), 1);
         assert_eq!(cache.distinct_models(), 1);
+        // Unbounded cache: nothing evicted, nothing rebuilt.
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.rebuilds(), 0);
+        assert_eq!(cache.resident_bytes(), a.mem_bytes());
     }
 
     #[test]
@@ -375,6 +733,8 @@ mod tests {
         // Both models reused the one reachable-config exploration.
         assert_eq!(cache.config_misses(), 1);
         assert_eq!(cache.config_hits(), 1);
+        // Resident accounting sums the live slots.
+        assert_eq!(cache.resident_bytes(), a.mem_bytes() + b.mem_bytes());
     }
 
     #[test]
@@ -446,5 +806,112 @@ mod tests {
         assert_eq!(first.err(), second.err());
         assert_eq!(cache.model_misses(), 1, "failed build is not retried");
         assert_eq!(cache.model_hits(), 1);
+        // Error slots are never accounted or evicted.
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_rebuilds_bitwise_identical() {
+        // Budget fits one n=3 model but not two: demanding a second plan
+        // must evict the least-recently-used first one.
+        let unbounded = ModelCache::new();
+        let none = FaultPlan::none();
+        let crash = FaultPlan::single(2, 0, FaultKind::CrashStop).unwrap();
+        let reference = unbounded.model(3, &none, 1_000_000).unwrap();
+        let one_model = reference.mem_bytes();
+
+        let cache = ModelCache::with_budget(one_model + one_model / 2);
+        let first = cache.model(3, &none, 1_000_000).unwrap();
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.resident_bytes(), first.mem_bytes());
+
+        let second = cache.model(3, &crash, 1_000_000).unwrap();
+        assert_eq!(cache.evictions(), 1, "LRU slot evicted to fit");
+        assert_eq!(cache.resident_bytes(), second.mem_bytes());
+        assert_eq!(cache.distinct_models(), 1, "tombstone is not live");
+        assert_eq!(cache.model_misses(), 2);
+        assert_eq!(cache.rebuilds(), 0);
+
+        // Re-demanding the evicted key rebuilds — not a miss, and the
+        // rebuilt model is bitwise identical to the unbounded build.
+        let rebuilt = cache.model(3, &none, 1_000_000).unwrap();
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(cache.rebuilds(), 1);
+        assert_eq!(cache.model_misses(), 2, "rebuild is not a miss");
+        assert_eq!(cache.evictions(), 2, "the other slot got evicted");
+        assert_eq!(cache.resident_bytes(), rebuilt.mem_bytes());
+        assert_eq!(rebuilt.mem_bytes(), reference.mem_bytes());
+        assert_eq!(
+            rebuilt.explored.num_states(),
+            reference.explored.num_states()
+        );
+        for (arrow, _why) in pa_lehmann_rabin::paper::all_arrows() {
+            assert_eq!(
+                arrow_worst(rebuilt.as_ref(), &arrow).to_bits(),
+                arrow_worst(reference.as_ref(), &arrow).to_bits(),
+                "{arrow}: rebuilt model must answer bitwise identically"
+            );
+        }
+        // Accesses decompose exactly: 3 calls = 2 misses + 1 rebuild.
+        assert_eq!(cache.model_hits(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_the_sum_of_live_slots() {
+        let cache = ModelCache::new();
+        assert_eq!(cache.resident_bytes(), 0);
+        let full = cache.model(3, &FaultPlan::none(), 1_000_000).unwrap();
+        assert_eq!(cache.resident_bytes(), full.mem_bytes());
+        let quot = cache.model_quotient(3, 1_000_000).unwrap();
+        assert_eq!(cache.resident_bytes(), full.mem_bytes() + quot.mem_bytes());
+        assert!(quot.mem_bytes() > 0, "quotient slots are accounted too");
+    }
+
+    #[test]
+    fn oversized_budget_never_evicts_and_tiny_budget_keeps_newest() {
+        let none = FaultPlan::none();
+        // A budget of one byte cannot hold anything, but the just-built
+        // slot is protected: the cache stays one-model resident, evicting
+        // only when the next build displaces it.
+        let cache = ModelCache::with_budget(1);
+        let a = cache.model(3, &none, 1_000_000).unwrap();
+        assert_eq!(cache.evictions(), 0, "sole slot is never self-evicted");
+        assert_eq!(cache.resident_bytes(), a.mem_bytes());
+        let crash = FaultPlan::single(2, 0, FaultKind::CrashStop).unwrap();
+        let b = cache.model(3, &crash, 1_000_000).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.resident_bytes(), b.mem_bytes());
+    }
+
+    #[test]
+    fn session_stats_are_warmth_and_eviction_invariant() {
+        let none = FaultPlan::none();
+        let crash = FaultPlan::single(2, 0, FaultKind::CrashStop).unwrap();
+        let drive = |session: &CacheSession| {
+            session.model(3, &none, 1_000_000).unwrap();
+            session.model(3, &crash, 1_000_000).unwrap();
+            session.model(3, &none, 1_000_000).unwrap();
+            session.stats()
+        };
+
+        // Cold, unbounded — the baseline a dedicated cache would report.
+        let cold = ModelCache::new();
+        let baseline = drive(&CacheSession::new(&cold));
+        assert_eq!(baseline.model_misses, 2);
+        assert_eq!(baseline.model_hits, 1);
+        assert_eq!(baseline.config_misses, 1);
+        assert_eq!(baseline.config_hits, 1);
+        assert_eq!(baseline.distinct_models, 2);
+
+        // Warm: a second session over the same cache reports identically.
+        assert_eq!(drive(&CacheSession::new(&cold)), baseline);
+
+        // Evicting: a budget that thrashes reports identically too.
+        let one = cold.model(3, &none, 1_000_000).unwrap().mem_bytes();
+        let tight = ModelCache::with_budget(one + one / 2);
+        assert_eq!(drive(&CacheSession::new(&tight)), baseline);
+        assert!(tight.evictions() > 0, "budget did force evictions");
+        assert_eq!(drive(&CacheSession::new(&tight)), baseline);
     }
 }

@@ -29,15 +29,17 @@ use pa_mdp::{ExpectedCost, InvariantResult, Query, QueryObjective};
 use pa_prob::Prob;
 use pa_telemetry::TelemetryScope;
 
-use crate::cache::ModelCache;
-use crate::report::{BatchReport, CacheStats};
+use crate::cache::{CacheSession, ModelCache};
+use crate::report::BatchReport;
 use crate::spec::{BatchOptions, JobKind, JobResult, JobSpec, JobStatus, JobValue};
 
-/// What a running job sees: the shared cache plus the cancellation and
-/// timeout checkpoint. Custom job bodies receive it too.
+/// What a running job sees: the batch's session view of the shared model
+/// cache plus the cancellation and timeout checkpoint. Custom job bodies
+/// receive it too.
 pub struct JobCtx<'a> {
-    /// The batch-wide model cache.
-    pub cache: &'a ModelCache,
+    /// The batch's session over the shared model cache (canonical cache
+    /// statistics are per-session — see [`CacheSession`]).
+    pub cache: &'a CacheSession<'a>,
     /// The job being run.
     pub spec: &'a JobSpec,
     cancel: &'a AtomicBool,
@@ -100,6 +102,23 @@ impl std::error::Error for BatchError {}
 /// [`BatchError::NoJobs`] on an empty list. Job-level failures surface as
 /// [`JobStatus`] values inside the report instead.
 pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchReport, BatchError> {
+    run_batch_in(specs, options, &ModelCache::new())
+}
+
+/// [`run_batch`] over a caller-supplied [`ModelCache`], so a long-lived
+/// service can keep models warm across batches (the `pa-serve` daemon
+/// does). The canonical report — and therefore its digest — is computed
+/// from a per-batch [`CacheSession`] and is bitwise identical whether the
+/// cache is cold, warm, or evicting under a byte budget.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_in(
+    specs: &[JobSpec],
+    options: &BatchOptions,
+    cache: &ModelCache,
+) -> Result<BatchReport, BatchError> {
     if specs.is_empty() {
         return Err(BatchError::NoJobs);
     }
@@ -111,7 +130,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchRepor
         }
     }
 
-    let cache = ModelCache::new();
+    let session = CacheSession::new(cache);
     let default_cancel = Arc::new(AtomicBool::new(false));
     let cancel: &AtomicBool = options.cancel.as_deref().unwrap_or(&default_cancel);
     let workers = options.workers.max(1);
@@ -122,7 +141,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchRepor
     let started = Instant::now();
     let order_ref = &order;
     let slots_ref = &slots;
-    let cache_ref = &cache;
+    let session_ref = &session;
     let next_ref = &next;
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers.min(specs.len()) {
@@ -132,7 +151,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchRepor
                     break;
                 }
                 let spec = &specs[order_ref[i]];
-                let result = run_one(spec, cache_ref, cancel, timeout);
+                let result = run_one(spec, session_ref, cancel, timeout);
                 *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -151,13 +170,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchRepor
         jobs,
         workers,
         wall_seconds: started.elapsed().as_secs_f64(),
-        cache: CacheStats {
-            model_hits: cache.model_hits(),
-            model_misses: cache.model_misses(),
-            config_hits: cache.config_hits(),
-            config_misses: cache.config_misses(),
-            distinct_models: cache.distinct_models(),
-        },
+        cache: session.stats(),
         cache_snapshot: cache.scope().snapshot(),
     })
 }
@@ -165,7 +178,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> Result<BatchRepor
 /// Runs one job under its own telemetry scope and classifies the outcome.
 fn run_one(
     spec: &JobSpec,
-    cache: &ModelCache,
+    cache: &CacheSession<'_>,
     cancel: &AtomicBool,
     timeout: Option<Duration>,
 ) -> JobResult {

@@ -275,6 +275,20 @@ fn main() -> Result<(), Box<dyn Error>> {
             report.symmetry.frontier.seconds,
             report.symmetry.peak_rss_mib,
         );
+        println!(
+            "serve: {} socket batches of {} jobs, digest invariant: {} ({}); \
+             {} evictions / {} rebuilds under budget; admission {} accepted / \
+             {} backpressured / {} bad lines",
+            report.serve.socket_batches,
+            report.serve.jobs,
+            report.serve.digest_invariant,
+            report.serve.digest,
+            report.serve.evictions,
+            report.serve.rebuilds,
+            report.serve.jobs_accepted,
+            report.serve.backpressure_rejections,
+            report.serve.lines_rejected,
+        );
         return Ok(());
     }
     let full = args.iter().any(|a| a == "--full");

@@ -31,6 +31,13 @@
 //!    within the ratio tolerance, the full-vs-quotient lifting check
 //!    bitwise equal (hard fail — a drift means quotient lifting is
 //!    unsound), and every frontier arrow verdict holding outright.
+//! 8. **Service invariants** (schema ≥ v8): socket-submitted batches must
+//!    digest identically to direct `run_batch` runs (hard fail — a drift
+//!    means the wire codec, eviction rebuilds, or canonical cache stats
+//!    leaked scheduling), the service digest must equal both its baseline
+//!    and the batch block's invariance digest, the LRU eviction and
+//!    rebuild counters must be live under the tiny-budget probe, and the
+//!    admission/backpressure/malformed-line tallies are exact.
 
 use crate::json::Json;
 
@@ -163,6 +170,19 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "batch",
             "mc",
             "symmetry",
+        ],
+    ),
+    (
+        "pa-bench/mdp-throughput/v8",
+        &[
+            "rings",
+            "telemetry",
+            "telemetry_overhead",
+            "faults",
+            "batch",
+            "mc",
+            "symmetry",
+            "serve",
         ],
     ),
     ("pa-bench/mc/v1", &["mc"]),
@@ -488,6 +508,62 @@ fn gate_symmetry(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn gate_serve(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // Every tally in the block is deterministic (the probe's submissions
+    // and malformed corpus are fixed), so they all gate exactly.
+    for metric in [
+        "jobs",
+        "socket_batches",
+        "jobs_accepted",
+        "backpressure_rejections",
+        "lines_rejected",
+        "batches_run",
+    ] {
+        let base = baseline
+            .path(&["serve", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["serve", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("serve.{metric}"), base, cur),
+            None => gate.fail(format!("serve.{metric}: missing from current artifact")),
+        }
+    }
+    // Socket == direct is the service's headline contract; a false here
+    // is a correctness bug in the wire codec or the eviction path, not a
+    // perf regression.
+    gate.check_true(
+        "serve.digest_invariant",
+        current
+            .path(&["serve", "digest_invariant"])
+            .and_then(Json::as_bool),
+    );
+    gate.check_exact_str(
+        "serve.digest",
+        baseline.path(&["serve", "digest"]).and_then(Json::as_str),
+        current.path(&["serve", "digest"]).and_then(Json::as_str),
+    );
+    // Cross-block: the service digest must equal the batch block's —
+    // both hash the same n = 3 model suite, so a divergence means the
+    // socket path changed a measured value.
+    gate.check_exact_str(
+        "serve.digest == batch.invariance_digest",
+        current
+            .path(&["batch", "invariance_digest"])
+            .and_then(Json::as_str),
+        current.path(&["serve", "digest"]).and_then(Json::as_str),
+    );
+    // Liveness: the tiny-budget daemon must actually evict and rebuild,
+    // otherwise its digest equality passed vacuously.
+    gate.check_positive(
+        "serve.evictions",
+        current.path(&["serve", "evictions"]).and_then(Json::as_f64),
+    );
+    gate.check_positive(
+        "serve.rebuilds",
+        current.path(&["serve", "rebuilds"]).and_then(Json::as_f64),
+    );
+}
+
 /// Runs every gate the artifacts' schema requires. Failures (including
 /// schema mismatches, unknown schemas, and missing blocks) are collected
 /// in the returned [`Gate`]; an empty `failures` list means pass.
@@ -553,6 +629,9 @@ pub fn compare_docs(baseline: &Json, current: &Json, tolerance_pct: f64) -> Gate
     }
     if has("symmetry") {
         gate_symmetry(&mut gate, baseline, current);
+    }
+    if has("serve") {
+        gate_serve(&mut gate, baseline, current);
     }
     gate
 }

@@ -13,9 +13,10 @@
 pub mod batch_suite;
 pub mod compare;
 pub mod experiments;
-pub mod json;
 pub mod mc_suite;
 pub mod perf;
 mod table;
+
+pub use pa_serve::json;
 
 pub use table::{render_table, Row, Verdict};

@@ -25,7 +25,12 @@
 //! and reduction factors per ring size, quotient-only rows past the full
 //! engine's reach), the full-vs-quotient bitwise lifting check, and the
 //! exact-frontier re-verification of every paper arrow on orbit
-//! representatives — all gated by `compare_bench`.
+//! representatives — all gated by `compare_bench`. Schema v8 adds the
+//! [`ServeBench`] block: the `pa-serve` daemon probe (socket-submitted
+//! batches must digest identically to direct `run_batch` runs across
+//! worker counts and cache budgets, LRU evictions must actually fire
+//! under a tiny budget, and the admission/backpressure tallies are gated
+//! exactly).
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -354,6 +359,180 @@ pub fn batch_bench() -> Result<BatchBench, Box<dyn std::error::Error>> {
     })
 }
 
+/// The service block of `BENCH_mdp.json` (schema v8): the `n = 3`
+/// model-backed suite submitted to a `pa-serve` daemon over real unix
+/// sockets, across worker counts and cache budgets (one small enough to
+/// force LRU evictions), compared digest-for-digest against the direct
+/// [`pa_batch::run_batch`] run — plus a backpressure/malformed-input
+/// probe whose admission tallies are deterministic and gated exactly.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBench {
+    /// Jobs per submitted batch.
+    pub jobs: u64,
+    /// The canonical-report digest shared by the direct run and every
+    /// socket run. Equals `batch.invariance_digest` (same job set);
+    /// `compare_bench` gates both equalities.
+    pub digest: String,
+    /// Whether every socket-submitted batch (cold and warm, every worker
+    /// count, every budget) digested identically to the direct run. Must
+    /// be `true`; gated hard by `compare_bench`.
+    pub digest_invariant: bool,
+    /// Socket batches compared (2 batches × 3 budget/worker combos).
+    pub socket_batches: u64,
+    /// LRU evictions under the 1-byte budget. Must be positive — a zero
+    /// means the eviction path went dead while its digest gate passed
+    /// vacuously.
+    pub evictions: u64,
+    /// Rebuilds of evicted models under the 1-byte budget. Must be
+    /// positive for the same reason.
+    pub rebuilds: u64,
+    /// Jobs admitted across every server in the block. Deterministic
+    /// (`socket_batches × jobs` + the probe's admissions); gated exactly.
+    pub jobs_accepted: u64,
+    /// Jobs rejected by the probe's depth-2 queue. Deterministic; gated
+    /// exactly.
+    pub backpressure_rejections: u64,
+    /// Malformed lines rejected by the probe. Deterministic; gated
+    /// exactly.
+    pub lines_rejected: u64,
+    /// Batches executed across every server. Deterministic; gated exactly.
+    pub batches_run: u64,
+}
+
+/// Submits `specs` over a fresh unix socket `batches` times on one
+/// connection and returns the reported digests (then drains the daemon).
+fn serve_socket_digests(
+    server: &std::sync::Arc<pa_serve::Server>,
+    tag: &str,
+    specs: &[pa_batch::JobSpec],
+    workers: usize,
+    batches: usize,
+) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    use crate::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path =
+        std::env::temp_dir().join(format!("pa-bench-serve-{}-{tag}.sock", std::process::id()));
+    let daemon = {
+        let server = std::sync::Arc::clone(server);
+        let path = path.clone();
+        std::thread::spawn(move || server.serve_unix(&path))
+    };
+    let stream = {
+        let mut attempt = 0;
+        loop {
+            match UnixStream::connect(&path) {
+                Ok(s) => break s,
+                Err(e) if attempt < 500 => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    let _ = e;
+                }
+                Err(e) => return Err(format!("connect {}: {e}", path.display()).into()),
+            }
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut exchange = |line: &str| -> Result<Json, Box<dyn std::error::Error>> {
+        writeln!(&stream, "{line}")?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        Ok(Json::parse(response.trim_end())?)
+    };
+    let mut digests = Vec::new();
+    for _ in 0..batches {
+        for spec in specs {
+            let ack = exchange(&pa_serve::spec_to_wire(spec)?)?;
+            if ack.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("job rejected: {ack:?}").into());
+            }
+        }
+        let done = exchange(&format!("{{\"op\":\"run\",\"workers\":{workers}}}"))?;
+        let digest = done
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("run failed: {done:?}"))?;
+        digests.push(digest.to_string());
+    }
+    exchange("{\"op\":\"drain\"}")?;
+    daemon
+        .join()
+        .map_err(|_| "serve daemon panicked")?
+        .map_err(|e| format!("serve daemon: {e}"))?;
+    Ok(digests)
+}
+
+/// Builds the [`ServeBench`] block. Three daemons run the digest matrix
+/// (unbounded × 1 worker, unbounded × 4 workers, 1-byte budget × 4
+/// workers — two batches each, so the warm repeat exercises tombstone
+/// rebuilds under the tiny budget); a fourth daemon runs the
+/// admission probe (queue depth 2, three submissions, three malformed
+/// lines) through an in-memory stream.
+pub fn serve_bench() -> Result<ServeBench, Box<dyn std::error::Error>> {
+    use pa_batch::{run_batch, BatchOptions};
+    use pa_serve::{CustomRegistry, ServeConfig, Server};
+
+    let specs = crate::batch_suite::model_specs(&[3]);
+    let direct = run_batch(&specs, &BatchOptions::with_workers(1))?;
+    let expected = direct.digest();
+
+    let mut digest_invariant = true;
+    let mut socket_batches = 0u64;
+    let mut evictions = 0u64;
+    let mut rebuilds = 0u64;
+    let mut jobs_accepted = 0u64;
+    let mut batches_run = 0u64;
+    for (i, (budget, workers)) in [(None, 1usize), (None, 4), (Some(1), 4)].iter().enumerate() {
+        let config = ServeConfig {
+            cache_budget: *budget,
+            ..ServeConfig::default()
+        };
+        let server = std::sync::Arc::new(Server::new(config, CustomRegistry::new())?);
+        let digests = serve_socket_digests(&server, &format!("m{i}"), &specs, *workers, 2)?;
+        socket_batches += digests.len() as u64;
+        digest_invariant &= digests.iter().all(|d| *d == expected);
+        evictions += server.cache().evictions();
+        rebuilds += server.cache().rebuilds();
+        jobs_accepted += server.jobs_accepted();
+        batches_run += server.batches_run();
+    }
+
+    // Admission probe: a depth-2 queue rejects the third submission; the
+    // malformed corpus is skipped per line without touching the batch.
+    let probe = Server::new(
+        ServeConfig {
+            queue_depth: 2,
+            ..ServeConfig::default()
+        },
+        CustomRegistry::new(),
+    )?;
+    let mut input = String::new();
+    for spec in specs.iter().take(3) {
+        input.push_str(&pa_serve::spec_to_wire(spec)?);
+        input.push('\n');
+    }
+    input.push_str("not json\n{\"op\":\"frobnicate\"}\n{\"op\":\"job\",\"n\":3}\n");
+    input.push_str("{\"op\":\"run\",\"workers\":1}\n");
+    let mut sink = Vec::new();
+    probe.handle_stream(std::io::Cursor::new(input.into_bytes()), &mut sink)?;
+    jobs_accepted += probe.jobs_accepted();
+    batches_run += probe.batches_run();
+
+    Ok(ServeBench {
+        jobs: specs.len() as u64,
+        digest: expected,
+        digest_invariant,
+        socket_batches,
+        evictions,
+        rebuilds,
+        jobs_accepted,
+        backpressure_rejections: probe.jobs_rejected(),
+        lines_rejected: probe.lines_rejected(),
+        batches_run,
+    })
+}
+
 /// One ring size's rotation-quotient measurement on the protocol
 /// automaton: orbit count, reduction factor and the cost of exploring the
 /// quotient. Past the largest ring where the full space is still
@@ -587,6 +766,10 @@ pub struct BenchReport {
     /// factors, the bitwise lifting check and the exact-frontier
     /// re-verification, all gated by `compare_bench`.
     pub symmetry: SymmetryBench,
+    /// The service block (schema v8): socket-vs-direct digest equality
+    /// across worker counts and cache budgets, eviction liveness, and the
+    /// exact admission tallies, all gated by `compare_bench`.
+    pub serve: ServeBench,
 }
 
 fn read_cpu_model() -> String {
@@ -946,8 +1129,10 @@ pub fn bench_report_sized(
     let mc = crate::mc_suite::mc_bench(3, 4_000, 42, 5_000_000)?;
     eprintln!("measuring the rotation quotient…");
     let symmetry = symmetry_bench(max_n)?;
+    eprintln!("probing the analysis service over unix sockets…");
+    let serve = serve_bench()?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v7".to_string(),
+        schema: "pa-bench/mdp-throughput/v8".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
@@ -958,6 +1143,7 @@ pub fn bench_report_sized(
         batch,
         mc,
         symmetry,
+        serve,
     })
 }
 

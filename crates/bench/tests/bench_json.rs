@@ -17,7 +17,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v7")
+        Some("pa-bench/mdp-throughput/v8")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
@@ -190,6 +190,38 @@ fn bench_report_emits_a_valid_telemetry_block() {
             .and_then(Json::as_array)
             .map(<[_]>::len),
         Some(5)
+    );
+
+    // The serve block (schema v8) carries the socket-vs-direct digest
+    // probe: every socket batch digested identically to the direct run,
+    // the tiny-budget daemon actually evicted and rebuilt, and the
+    // admission tallies are the deterministic values the gate pins.
+    assert_eq!(
+        doc.path(&["serve", "digest_invariant"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let serve_metric = |name: &str| {
+        doc.path(&["serve", name])
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("serve.{name} missing"))
+    };
+    assert_eq!(serve_metric("socket_batches"), 6.0);
+    assert!(serve_metric("evictions") > 0.0);
+    assert!(serve_metric("rebuilds") > 0.0);
+    assert_eq!(
+        serve_metric("jobs_accepted"),
+        6.0 * serve_metric("jobs") + 2.0,
+        "matrix admissions plus the probe's two"
+    );
+    assert_eq!(serve_metric("backpressure_rejections"), 1.0);
+    assert_eq!(serve_metric("lines_rejected"), 3.0);
+    assert_eq!(serve_metric("batches_run"), 7.0);
+    assert_eq!(
+        doc.path(&["serve", "digest"]).and_then(Json::as_str),
+        doc.path(&["batch", "invariance_digest"])
+            .and_then(Json::as_str),
+        "serve and batch hash the same n=3 suite"
     );
 
     // Residual trajectory and rounds-to-fire histogram made it through.
@@ -510,6 +542,72 @@ fn compare_bench_fails_frontier_arrow_violation() {
     assert!(!run_gate(&baseline, &current, "20"));
 }
 
+fn serve_block(digest: &str, invariant: bool, evictions: u64, accepted: u64) -> String {
+    format!(
+        r#"{{"jobs":37,"digest":"{digest}","digest_invariant":{invariant},"socket_batches":6,"evictions":{evictions},"rebuilds":3,"jobs_accepted":{accepted},"backpressure_rejections":1,"lines_rejected":3,"batches_run":7}}"#
+    )
+}
+
+/// A v8 artifact: the v7 fixture plus the `serve` block. The serve digest
+/// matches the batch block's `invariance_digest` unless overridden.
+fn gate_artifact_v8(digest: &str, invariant: bool, evictions: u64, accepted: u64) -> String {
+    let mut doc = gate_artifact_v7(184, true, true)
+        .replace("pa-bench/mdp-throughput/v7", "pa-bench/mdp-throughput/v8");
+    assert_eq!(doc.pop(), Some('}'));
+    doc.push_str(&format!(
+        r#","serve":{}}}"#,
+        serve_block(digest, invariant, evictions, accepted)
+    ));
+    doc
+}
+
+#[test]
+fn compare_bench_passes_v8_artifacts_with_serve_block() {
+    let artifact = gate_artifact_v8("00deadbeef00cafe", true, 4, 224);
+    assert!(run_gate(&artifact, &artifact, "20"));
+}
+
+#[test]
+fn compare_bench_fails_serve_digest_mismatch_with_batch() {
+    // Same digest in baseline and current, but different from the batch
+    // block's invariance digest: the cross-block equality must fail.
+    let artifact = gate_artifact_v8("00deadbeef00beef", true, 4, 224);
+    assert!(
+        !run_gate(&artifact, &artifact, "20"),
+        "serve digest must equal batch.invariance_digest"
+    );
+}
+
+#[test]
+fn compare_bench_fails_serve_socket_divergence() {
+    let baseline = gate_artifact_v8("00deadbeef00cafe", true, 4, 224);
+    let current = gate_artifact_v8("00deadbeef00cafe", false, 4, 224);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "a socket batch digesting differently from the direct run must fail"
+    );
+}
+
+#[test]
+fn compare_bench_fails_dead_eviction_path() {
+    let baseline = gate_artifact_v8("00deadbeef00cafe", true, 4, 224);
+    let current = gate_artifact_v8("00deadbeef00cafe", true, 0, 224);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "zero evictions under the tiny budget means the probe went vacuous"
+    );
+}
+
+#[test]
+fn compare_bench_fails_admission_tally_drift() {
+    let baseline = gate_artifact_v8("00deadbeef00cafe", true, 4, 224);
+    let current = gate_artifact_v8("00deadbeef00cafe", true, 4, 223);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "admission tallies are deterministic and gate exactly"
+    );
+}
+
 #[test]
 fn compare_bench_passes_standalone_mc_artifact() {
     let artifact = mc_v1_artifact("00deadbeef00cafe");
@@ -584,6 +682,9 @@ fn required_blocks_table_covers_every_known_schema() {
     assert!(required_blocks("pa-bench/mdp-throughput/v7")
         .unwrap()
         .contains(&"symmetry"));
+    assert!(required_blocks("pa-bench/mdp-throughput/v8")
+        .unwrap()
+        .contains(&"serve"));
     assert_eq!(required_blocks("pa-bench/mc/v1"), Some(&["mc"][..]));
     assert_eq!(required_blocks("nope"), None);
 }

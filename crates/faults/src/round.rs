@@ -126,7 +126,7 @@ impl std::fmt::Display for FaultyRoundState {
 }
 
 /// The time cost of an action of the fault-wrapped round model: 1 for
-/// [`RoundAction::EndRound`], 0 otherwise. Pass to [`pa_mdp::explore`].
+/// [`RoundAction::EndRound`], 0 otherwise. Pass to [`pa_mdp::Explore`].
 pub fn faulty_round_cost(_state: &FaultyRoundState, action: &RoundAction) -> u32 {
     match action {
         RoundAction::Schedule(_) => 0,

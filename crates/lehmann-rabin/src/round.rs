@@ -111,7 +111,7 @@ pub enum RoundAction {
 }
 
 /// The time cost of a round-MDP action: 1 for [`RoundAction::EndRound`],
-/// 0 otherwise. Pass to [`pa_mdp::explore`] as the cost function.
+/// 0 otherwise. Pass to [`pa_mdp::Explore`] as the cost function.
 pub fn round_cost(_state: &RoundState, action: &RoundAction) -> u32 {
     match action {
         RoundAction::Schedule(_) => 0,
@@ -184,7 +184,7 @@ type AbsorbPred = Arc<dyn Fn(&Config) -> bool + Send + Sync>;
 /// The round-scheduler MDP over the Lehmann–Rabin protocol.
 ///
 /// Implements [`pa_core::Automaton`] with [`RoundState`] states; explore it
-/// with [`pa_mdp::explore`] using [`round_cost`] and analyse with the
+/// with [`pa_mdp::Explore`] using [`round_cost`] and analyse with the
 /// `pa-mdp` algorithms. [`crate::check_arrow`] wires this together for the
 /// paper's arrow claims.
 #[derive(Clone)]

@@ -162,6 +162,19 @@ impl CsrMdp {
         &self.initial
     }
 
+    /// Heap bytes held by the flattened arrays (offsets, costs, targets,
+    /// probabilities, initial states). This is the per-slot size a model
+    /// cache accounts a resident CSR at when enforcing a byte budget.
+    pub fn mem_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.choice_offsets.capacity() * size_of::<u32>()
+            + self.trans_offsets.capacity() * size_of::<u32>()
+            + self.costs.capacity() * size_of::<u32>()
+            + self.targets.capacity() * size_of::<u32>()
+            + self.probs.capacity() * size_of::<f64>()
+            + self.initial.capacity() * size_of::<usize>()) as u64
+    }
+
     /// The flat choice-index range of a state.
     #[inline]
     pub fn choice_range(&self, s: usize) -> std::ops::Range<usize> {

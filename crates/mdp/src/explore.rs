@@ -39,10 +39,6 @@
 //! determinism contract extends to quotient runs. The cost function must
 //! be constant on orbits (all shipped cost functions depend only on the
 //! action).
-//!
-//! The pre-builder free functions [`explore`], [`par_explore`], and
-//! [`par_explore_workers`] remain as deprecated thin wrappers for one
-//! release.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -183,8 +179,8 @@ enum Workers {
     Exact(usize),
 }
 
-/// Builder for state-space exploration — see the [module docs](self) for
-/// the contract and an example.
+/// Builder for state-space exploration — see the crate docs for the
+/// contract and an example.
 pub struct Explore<
     'a,
     M: Automaton,
@@ -330,8 +326,7 @@ where
 }
 
 /// Serial FIFO BFS over `automaton`, interning (canonicalized) states into
-/// `space`. Shared by the builder's serial path and the deprecated
-/// [`explore`] wrapper (whose `FnMut` cost signature predates the builder).
+/// `space`. The builder's serial path.
 fn serial_core<M: Automaton, SP: StateSpace<M::State>>(
     automaton: &M,
     cost_of: &mut impl FnMut(&M::State, &M::Action) -> u32,
@@ -641,83 +636,6 @@ where
     ExplicitMdp::new(choices, initial)
 }
 
-/// Explores the reachable state space of an implicit automaton into an
-/// [`ExplicitMdp`], assigning each transition the cost given by `cost_of`.
-///
-/// # Errors
-///
-/// Returns [`MdpError::StateLimitExceeded`] if more than `limit` states are
-/// discovered, and propagates model-validation errors (which indicate a bug
-/// in the implicit model, e.g. an unnormalized step distribution).
-#[deprecated(
-    since = "0.8.0",
-    note = "use `Explore::new(automaton).cost(..).limit(..).run()`"
-)]
-pub fn explore<M: Automaton>(
-    automaton: &M,
-    mut cost_of: impl FnMut(&M::State, &M::Action) -> u32,
-    limit: usize,
-) -> Result<Explored<M::State>, MdpError> {
-    let mut space = BoxedSpace::default();
-    let mdp = serial_core(automaton, &mut cost_of, limit, None, &mut space)?;
-    record_explored(&mdp);
-    Ok(Explored::new(space, mdp))
-}
-
-/// Parallel exploration with the default worker count (available
-/// parallelism, overridable via `PA_MDP_WORKERS`). Drop-in replacement:
-/// produces bit-for-bit the same [`Explored`] as the serial explorer.
-///
-/// # Errors
-///
-/// Same as [`explore`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use `Explore::new(automaton).cost(..).parallel().limit(..).run()`"
-)]
-pub fn par_explore<M>(
-    automaton: &M,
-    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
-    limit: usize,
-) -> Result<Explored<M::State>, MdpError>
-where
-    M: Automaton + Sync,
-    M::State: Send + Sync,
-{
-    Explore::new(automaton)
-        .cost(cost_of)
-        .limit(limit)
-        .parallel()
-        .run()
-}
-
-/// Parallel exploration with an explicit worker count (`None` resolves as
-/// in [`crate::resolve_workers`]).
-///
-/// # Errors
-///
-/// Same as [`explore`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use `Explore::new(automaton).cost(..).workers(k).limit(..).run()`"
-)]
-pub fn par_explore_workers<M>(
-    automaton: &M,
-    cost_of: impl Fn(&M::State, &M::Action) -> u32 + Sync,
-    limit: usize,
-    workers: Option<usize>,
-) -> Result<Explored<M::State>, MdpError>
-where
-    M: Automaton + Sync,
-    M::State: Send + Sync,
-{
-    Explore::new(automaton)
-        .cost(cost_of)
-        .limit(limit)
-        .workers(workers)
-        .run()
-}
-
 /// The outcome of an exhaustive invariant check over the reachable states.
 #[derive(Debug, Clone)]
 pub enum InvariantResult<S> {
@@ -887,19 +805,6 @@ mod tests {
             Explore::new(&m).limit(2).run(),
             Err(MdpError::StateLimitExceeded { limit: 2 })
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_builder() {
-        let m = coin_walk();
-        let built = Explore::new(&m).limit(1000).run().unwrap();
-        let wrapped = explore(&m, |_, _| 1, 1000).unwrap();
-        assert_eq!(built.states(), wrapped.states());
-        let par = par_explore(&m, |_, _| 1, 1000).unwrap();
-        assert_eq!(built.states(), par.states());
-        let par2 = par_explore_workers(&m, |_, _| 1, 1000, Some(2)).unwrap();
-        assert_eq!(built.states(), par2.states());
     }
 
     #[test]

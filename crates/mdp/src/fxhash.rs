@@ -5,8 +5,8 @@
 //! (SipHash-1-3) is keyed and DoS-resistant, which exploration does not
 //! need: keys are model states, not attacker-controlled input. This module
 //! provides a multiply-xor hasher in the style of Firefox's FxHash — one
-//! multiplication per word of input — plus map aliases used by
-//! [`crate::explore`] and [`crate::par_explore`].
+//! multiplication per word of input — plus map aliases used by the
+//! [`crate::Explore`] builder's serial and parallel paths.
 //!
 //! The hash is deterministic across runs and threads, which the
 //! deterministic parallel exploration relies on (shard-local maps hash the

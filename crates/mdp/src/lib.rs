@@ -90,8 +90,6 @@ pub use csr::{resolve_workers, CsrMdp, SolveStats};
 pub use error::MdpError;
 pub use expected::{has_zero_cost_cycle, min_expected_cost, ExpectedCost};
 pub use explore::{check_invariant, Explore, Explored, InvariantResult};
-#[allow(deprecated)]
-pub use explore::{explore, par_explore, par_explore_workers};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use horizon::{cost_bounded_reach_levels, BoundedPolicy, Objective};
 pub use model::{Choice, ExplicitMdp};

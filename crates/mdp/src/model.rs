@@ -38,7 +38,8 @@ impl Choice {
 /// reached — see the individual algorithms).
 ///
 /// Construct with [`ExplicitMdp::new`], which validates every distribution,
-/// or via [`crate::explore`] from an implicit [`pa_core::Automaton`].
+/// or via the [`crate::Explore`] builder from an implicit
+/// [`pa_core::Automaton`].
 #[derive(Debug, Clone)]
 pub struct ExplicitMdp {
     choices: Vec<Vec<Choice>>,
@@ -119,6 +120,26 @@ impl ExplicitMdp {
             .flat_map(|cs| cs.iter())
             .map(|c| c.transitions.len())
             .sum()
+    }
+
+    /// Heap bytes held by the nested choice lists and the initial-state
+    /// vector, counted at `Vec` capacities. Used for per-slot size
+    /// accounting when a model cache enforces a byte budget.
+    pub fn mem_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let nested: usize = self
+            .choices
+            .iter()
+            .map(|cs| {
+                cs.capacity() * size_of::<Choice>()
+                    + cs.iter()
+                        .map(|c| c.transitions.capacity() * size_of::<(usize, f64)>())
+                        .sum::<usize>()
+            })
+            .sum();
+        (self.choices.capacity() * size_of::<Vec<Choice>>()
+            + nested
+            + self.initial.capacity() * size_of::<usize>()) as u64
     }
 
     /// The choices of a state.

@@ -1,11 +1,10 @@
-//! A minimal recursive-descent JSON parser for reading bench artifacts.
+//! A minimal recursive-descent JSON parser.
 //!
-//! The vendored `serde` shim only serializes; comparing two
-//! `BENCH_*.json` files (the `compare_bench` binary and the artifact
-//! round-trip tests) needs the reverse direction. This parser covers the
-//! full JSON grammar minus exotic number forms — everything
-//! [`perf::pretty_json`](crate::perf::pretty_json) can emit — and keeps
-//! object keys in document order.
+//! The vendored `serde` shim only serializes; the service's JSONL wire
+//! protocol and the bench artifact comparisons (`compare_bench`, which
+//! re-exports this module through `pa_bench::json`) need the reverse
+//! direction. This parser covers the full JSON grammar minus exotic
+//! number forms and keeps object keys in document order.
 
 use std::fmt;
 
@@ -344,9 +343,9 @@ mod tests {
     }
 
     #[test]
-    fn round_trips_pretty_printed_reports() {
+    fn whitespace_variants_parse_identically() {
         let compact = r#"{"schema":"v2","rings":[{"n":3,"speedup":1.25}],"ok":true}"#;
-        let pretty = crate::perf::pretty_json(compact);
-        assert_eq!(Json::parse(&pretty).unwrap(), Json::parse(compact).unwrap());
+        let spaced = "{ \"schema\" : \"v2\" ,\n  \"rings\" : [ { \"n\" : 3 , \"speedup\" : 1.25 } ] ,\n  \"ok\" : true }";
+        assert_eq!(Json::parse(spaced).unwrap(), Json::parse(compact).unwrap());
     }
 }

@@ -1,0 +1,36 @@
+//! `pa-serve` — a long-lived analysis service over the batch core.
+//!
+//! PR 8's `pa-batch` made "model × query × fault plan" a first-class
+//! job with a deterministic concurrent driver. This crate turns that
+//! driver into a *service*: a daemon that accepts streamed JSONL job
+//! submissions over a unix-domain socket (or stdin), keeps one shared
+//! [`pa_batch::ModelCache`] warm across batches under an LRU byte
+//! budget, and persists every batch report to an append-only JSONL sink.
+//!
+//! * [`json`] — the recursive-descent JSON parser (moved here from
+//!   `pa-bench`, which re-exports it for compatibility).
+//! * [`wire`] — the `pa-serve/wire/v1` line protocol: requests
+//!   (`job`/`run`/`stats`/`ping`/`drain`), spec codecs that round-trip
+//!   every [`pa_batch::JobSpec`] with its key intact, and structured
+//!   per-line errors.
+//! * [`server`] — the daemon: admission control, bounded-queue
+//!   backpressure, report persistence, and graceful drain.
+//!
+//! The headline contract, pinned by `tests/service.rs` and CI's
+//! `serve-smoke` job: a batch submitted over the socket yields the same
+//! canonical report digest as calling [`pa_batch::run_batch`] directly —
+//! for any worker count and any cache budget, including budgets small
+//! enough to force evictions mid-stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use server::{ServeConfig, Server};
+pub use wire::{
+    error_line, parse_request, spec_to_wire, CustomRegistry, Request, RunOptions, WireError,
+    MAX_LINE_BYTES,
+};

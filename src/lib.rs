@@ -23,6 +23,10 @@
 //! * [`batch`] — deterministic concurrent batch driver: many
 //!   (ring × query × fault plan) jobs over a bounded worker pool with a
 //!   shared model cache and per-job telemetry scopes.
+//! * [`serve`] — long-lived analysis service over the batch core:
+//!   streamed JSONL jobs over a unix socket or stdio with admission
+//!   control, bounded-queue backpressure, LRU model-cache eviction under
+//!   a byte budget, per-batch report persistence, and graceful drain.
 //!
 //! # Quick start
 //!
@@ -46,4 +50,5 @@ pub use pa_lehmann_rabin as lehmann_rabin;
 pub use pa_mc as mc;
 pub use pa_mdp as mdp;
 pub use pa_prob as prob;
+pub use pa_serve as serve;
 pub use pa_sim as sim;
