@@ -82,8 +82,27 @@
 //! `starts_where`, `target_where`, CSR queries — is generic over
 //! [`pa_mdp::StateSpace`], so the full-space and quotient models run the
 //! same analysis code; the tests pin their arrow answers bitwise equal.
+//!
+//! # Stored (out-of-core) models
+//!
+//! A cache configured with [`ModelCache::with_spill`] can additionally
+//! hold *stored* quotient models ([`ModelCache::model_quotient_stored`]):
+//! the exploration is routed through [`pa_store::SpillTo::spill_to`], the
+//! CSR rows live in a `pa-store/csr/v1` file, and queries page blocks in
+//! through a budgeted [`pa_store::BlockCache`]. Crucially, a stored slot
+//! is accounted at [`pa_store::StoredModel::mem_bytes`] — the resident
+//! state-space tables plus the *block-cache budget*, i.e. what the model
+//! costs while held — **not** at the (arbitrarily larger) on-disk model
+//! size. That is the whole point of spilling: a model far beyond the
+//! cache's byte budget occupies only its configured cache slice, so the
+//! budget keeps bounding peak RSS rather than disk. Stored slots
+//! participate in the same LRU eviction as in-core slots; evicting one
+//! drops its space tables and block cache while the file stays on disk,
+//! and a rebuild rewrites the file bitwise identically (serial streamed
+//! exploration is deterministic).
 
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -92,6 +111,7 @@ use pa_faults::{
 };
 use pa_lehmann_rabin::{reachable_configs, reachable_configs_quotient, Config, RoundConfig};
 use pa_mdp::{BoxedSpace, CsrMdp, Explore, Explored, PackedSpace, RingRotation, StateSpace};
+use pa_store::{SpillTo, StoredModel};
 use pa_telemetry::TelemetryScope;
 
 use crate::report::CacheStats;
@@ -122,6 +142,44 @@ pub struct SharedModel<SP = BoxedSpace<FaultyRoundState>> {
 /// rotation, bit-packed. Fault-free by construction (fault plans name
 /// processes and break the symmetry).
 pub type QuotientModel = SharedModel<PackedSpace<FaultyStateCodec>>;
+
+/// The stored (out-of-core) counterpart of [`QuotientModel`]: the same
+/// bit-packed orbit space resident, the CSR rows spilled to a
+/// `pa-store/csr/v1` file and paged in through a budgeted block cache.
+///
+/// Mirrors the [`SharedModel`] query surface the jobs use
+/// ([`StoredQuotientModel::starts_where`] plus the
+/// [`pa_store::StoredModel`] accessors via [`StoredQuotientModel::model`]);
+/// the block-streamed engines answer bitwise identically to the in-core
+/// CSR kernels, which the tests pin.
+#[derive(Debug)]
+pub struct StoredQuotientModel {
+    /// Ring size.
+    pub n: usize,
+    /// The spilled model: packed orbit space + stored rows.
+    pub model: StoredModel<FaultyRoundState, PackedSpace<FaultyStateCodec>>,
+}
+
+impl StoredQuotientModel {
+    /// Initial-state indices whose start configuration satisfies `pred`.
+    /// The quotient is fault-free by construction, so the crash mask
+    /// argument is always 0 — kept for signature parity with
+    /// [`SharedModel::starts_where`].
+    pub fn starts_where(&self, mut pred: impl FnMut(&Config, u32) -> bool) -> Vec<usize> {
+        pa_mdp::CsrSource::initial_states(self.model.store())
+            .iter()
+            .copied()
+            .filter(|&i| pred(&self.model.state(i).inner.config, 0))
+            .collect()
+    }
+
+    /// Bytes this model is accounted at while cached: the resident space
+    /// tables plus the block-cache budget — *not* the on-disk model size
+    /// (see the module docs).
+    pub fn mem_bytes(&self) -> u64 {
+        self.model.mem_bytes()
+    }
+}
 
 impl<SP: StateSpace<FaultyRoundState>> SharedModel<SP> {
     /// Initial-state indices whose start configuration satisfies `pred`
@@ -186,6 +244,16 @@ struct MapStats {
 enum Victim {
     Model((usize, FaultPlan)),
     Quotient(usize),
+    Stored(usize),
+}
+
+/// Where and how a spill-enabled cache puts stored models (see
+/// [`ModelCache::with_spill`]).
+struct SpillConfig {
+    /// Directory holding one `quotient-n{n}/model.pacsr` per ring size.
+    dir: PathBuf,
+    /// Block-cache budget (payload bytes) per stored model.
+    cache_budget: u64,
 }
 
 /// The keyed model cache shared by every job of a batch run — or, under
@@ -194,9 +262,14 @@ pub struct ModelCache {
     configs: Mutex<HashMap<usize, Entry<Vec<Config>>>>,
     models: Mutex<HashMap<(usize, FaultPlan), Entry<SharedModel>>>,
     quotient_models: Mutex<HashMap<usize, Entry<QuotientModel>>>,
+    stored_models: Mutex<HashMap<usize, Entry<StoredQuotientModel>>>,
     config_stats: MapStats,
     model_stats: MapStats,
     quotient_stats: MapStats,
+    stored_stats: MapStats,
+    /// Spill directory + per-model block-cache budget; `None` means
+    /// [`ModelCache::model_quotient_stored`] is unavailable.
+    spill: Option<SpillConfig>,
     /// Byte budget over resident model slots; `None` = unbounded.
     budget: Option<u64>,
     /// Bytes currently accounted across live model + quotient slots.
@@ -232,9 +305,12 @@ impl ModelCache {
             configs: Mutex::new(HashMap::new()),
             models: Mutex::new(HashMap::new()),
             quotient_models: Mutex::new(HashMap::new()),
+            stored_models: Mutex::new(HashMap::new()),
             config_stats: MapStats::default(),
             model_stats: MapStats::default(),
             quotient_stats: MapStats::default(),
+            stored_stats: MapStats::default(),
+            spill: None,
             budget,
             resident: AtomicU64::new(0),
             clock: AtomicU64::new(0),
@@ -242,6 +318,21 @@ impl ModelCache {
             rebuilds: AtomicU64::new(0),
             scope: TelemetryScope::new("cache"),
         }
+    }
+
+    /// Enables [`ModelCache::model_quotient_stored`]: spilled models live
+    /// under `dir` (one `quotient-n{n}/model.pacsr` per ring size) and
+    /// each pages its rows through a block cache of `cache_budget` payload
+    /// bytes. Stored slots are accounted at space tables + `cache_budget`
+    /// — not the on-disk size — so a [`ModelCache::with_budget`] cache can
+    /// hold models far beyond its byte budget (see the module docs).
+    #[must_use]
+    pub fn with_spill(mut self, dir: impl Into<PathBuf>, cache_budget: u64) -> ModelCache {
+        self.spill = Some(SpillConfig {
+            dir: dir.into(),
+            cache_budget,
+        });
+        self
     }
 
     /// Core lookup: find-or-create the key's slot (stamping LRU), run the
@@ -370,9 +461,21 @@ impl ModelCache {
                     }
                 }
             }
+            {
+                let stored = self.stored_models.lock().expect("cache map poisoned");
+                for (key, entry) in stored.iter() {
+                    if entry.bytes > 0
+                        && entry.last_use != protect
+                        && victim.as_ref().is_none_or(|(lu, _)| entry.last_use < *lu)
+                    {
+                        victim = Some((entry.last_use, Victim::Stored(*key)));
+                    }
+                }
+            }
             match victim {
                 Some((_, Victim::Model(key))) => self.evict(&self.models, &key),
                 Some((_, Victim::Quotient(key))) => self.evict(&self.quotient_models, &key),
+                Some((_, Victim::Stored(key))) => self.evict(&self.stored_models, &key),
                 None => break,
             }
         }
@@ -517,6 +620,63 @@ impl ModelCache {
         result
     }
 
+    /// The stored (out-of-core) quotient model of the fault-free ring of
+    /// `n`: the same exploration as [`ModelCache::model_quotient`], routed
+    /// through [`pa_store::SpillTo::spill_to`] so the CSR rows live on
+    /// disk and queries page them in through the configured block-cache
+    /// budget. Requires [`ModelCache::with_spill`].
+    ///
+    /// The slot is accounted at [`StoredQuotientModel::mem_bytes`] —
+    /// resident space tables plus the block-cache budget, not the on-disk
+    /// model size — and participates in LRU eviction like any other slot.
+    /// Answers are bitwise identical to the in-core quotient's for any
+    /// budget (the block-streamed engines are operation-order twins of the
+    /// CSR kernels).
+    ///
+    /// # Errors
+    ///
+    /// `"cache has no spill directory"` if the cache was built without
+    /// [`ModelCache::with_spill`]; otherwise stringified ring-validation,
+    /// codec, exploration, or store I/O errors.
+    pub fn model_quotient_stored(
+        &self,
+        n: usize,
+        limit: usize,
+    ) -> Result<Arc<StoredQuotientModel>, String> {
+        let Some(spill) = &self.spill else {
+            return Err("cache has no spill directory (ModelCache::with_spill)".to_string());
+        };
+        let dir = spill.dir.join(format!("quotient-n{n}"));
+        let cache_budget = spill.cache_budget;
+        let (result, stamp) = self.get_or_build(
+            &self.stored_models,
+            &self.stored_stats,
+            &n,
+            "batch.cache.stored_hits",
+            "batch.cache.stored_misses",
+            StoredQuotientModel::mem_bytes,
+            || {
+                let configs = reachable_configs_quotient(n, limit).map_err(|e| e.to_string())?;
+                let cfg = RoundConfig::new(n).map_err(|e| e.to_string())?;
+                let model = FaultyRoundMdp::new(cfg, FaultPlan::none())
+                    .map_err(|e| e.to_string())?
+                    .with_starts(configs);
+                let codec =
+                    FaultyStateCodec::new(n, model.round_cap()).map_err(|e| e.to_string())?;
+                let stored = Explore::new(&model)
+                    .cost(faulty_round_cost)
+                    .limit(limit)
+                    .symmetry(RingRotation::new(n))
+                    .spill_to(&dir, cache_budget)
+                    .run_in(PackedSpace::new(codec))
+                    .map_err(|e| e.to_string())?;
+                Ok(StoredQuotientModel { n, model: stored })
+            },
+        );
+        self.enforce_budget(stamp);
+        result
+    }
+
     /// Model-map hits (accesses that found a built or in-flight slot).
     pub fn model_hits(&self) -> u64 {
         self.model_stats.hits.load(Ordering::Relaxed)
@@ -547,6 +707,16 @@ impl ModelCache {
     /// Quotient-map misses (distinct ring sizes quotient-explored).
     pub fn quotient_misses(&self) -> u64 {
         self.quotient_stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Stored-map hits.
+    pub fn stored_hits(&self) -> u64 {
+        self.stored_stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Stored-map misses (distinct ring sizes spilled to disk).
+    pub fn stored_misses(&self) -> u64 {
+        self.stored_stats.misses.load(Ordering::Relaxed)
     }
 
     /// Slots dropped by the byte budget over the cache's lifetime.
@@ -584,6 +754,16 @@ impl ModelCache {
     /// Number of quotient models currently live.
     pub fn distinct_quotient_models(&self) -> usize {
         self.quotient_models
+            .lock()
+            .expect("cache map poisoned")
+            .values()
+            .filter(|e| e.slot.is_some())
+            .count()
+    }
+
+    /// Number of stored (out-of-core) models currently live.
+    pub fn distinct_stored_models(&self) -> usize {
+        self.stored_models
             .lock()
             .expect("cache map poisoned")
             .values()
@@ -794,6 +974,118 @@ mod tests {
                 "{arrow}: full {on_full} vs quotient {on_quot}"
             );
         }
+    }
+
+    /// [`arrow_worst`] over the stored backend: same predicates, same
+    /// query, block-streamed engines.
+    fn arrow_worst_stored(model: &StoredQuotientModel, arrow: &pa_core::Arrow) -> f64 {
+        let from = pa_faults::set_pred_under(arrow.from()).unwrap();
+        let to = pa_faults::set_pred_under(arrow.to()).unwrap();
+        let starts = model.starts_where(|c, m| from(c, m));
+        assert!(!starts.is_empty(), "arrow source must be reachable");
+        let n = model.n;
+        let values = model
+            .model
+            .query_where(|s| to(&s.inner.config, s.crashed_mask(n)))
+            .objective(pa_mdp::QueryObjective::MinProb)
+            .horizon(pa_lehmann_rabin::time_to_budget(arrow.time()))
+            .run()
+            .unwrap()
+            .values;
+        starts
+            .into_iter()
+            .map(|i| values[i])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn spill_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pa-batch-cache-spill-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn stored_quotient_answers_match_the_in_core_quotient_bitwise() {
+        let dir = spill_dir("parity");
+        // A one-byte block-cache budget: at most one block resident per
+        // sweep, the harshest paging schedule.
+        let cache = ModelCache::new().with_spill(&dir, 1);
+        let quot = cache.model_quotient(3, 1_000_000).unwrap();
+        let stored = cache.model_quotient_stored(3, 1_000_000).unwrap();
+        assert_eq!(
+            stored.model.num_states(),
+            quot.explored.num_states(),
+            "same orbit space"
+        );
+        for (arrow, _why) in pa_lehmann_rabin::paper::all_arrows() {
+            assert_eq!(
+                arrow_worst(quot.as_ref(), &arrow).to_bits(),
+                arrow_worst_stored(stored.as_ref(), &arrow).to_bits(),
+                "{arrow}: stored backend must answer bitwise identically"
+            );
+        }
+        assert_eq!(cache.stored_misses(), 1);
+        let again = cache.model_quotient_stored(3, 1_000_000).unwrap();
+        assert!(Arc::ptr_eq(&stored, &again));
+        assert_eq!(cache.stored_hits(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stored_models_are_accounted_at_cache_size_not_model_size() {
+        let dir = spill_dir("accounting");
+        let budget = 4096u64;
+        let cache = ModelCache::new().with_spill(&dir, budget);
+        let stored = cache.model_quotient_stored(3, 1_000_000).unwrap();
+        // The contract: space tables + block-cache budget, independent of
+        // how many bytes of CSR rows sit on disk.
+        assert_eq!(
+            stored.mem_bytes(),
+            stored.model.space().mem_bytes() + budget
+        );
+        assert_eq!(cache.resident_bytes(), stored.mem_bytes());
+        // And genuinely cheaper than holding the in-core quotient.
+        let quot = cache.model_quotient(3, 1_000_000).unwrap();
+        assert!(stored.mem_bytes() < quot.mem_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stored_slots_participate_in_eviction_and_rebuild_bitwise() {
+        let dir = spill_dir("evict");
+        let probe = ModelCache::new().with_spill(&dir, 4096);
+        let reference = probe.model_quotient_stored(3, 1_000_000).unwrap();
+        let one_slot = reference.mem_bytes();
+
+        // Budget fits one stored slot but not two distinct maps' worth:
+        // building the (larger) in-core quotient must evict the stored LRU.
+        let cache = ModelCache::with_budget(one_slot + one_slot / 2).with_spill(&dir, 4096);
+        let first = cache.model_quotient_stored(3, 1_000_000).unwrap();
+        assert_eq!(cache.evictions(), 0);
+        cache.model_quotient(3, 1_000_000).unwrap();
+        assert!(cache.evictions() >= 1, "stored slot evicted to fit");
+        assert_eq!(cache.distinct_stored_models(), 0, "tombstone is not live");
+
+        // Re-demand rebuilds (not a miss) bitwise identically — the spill
+        // file is rewritten by the same deterministic serial exploration.
+        let rebuilt = cache.model_quotient_stored(3, 1_000_000).unwrap();
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(cache.stored_misses(), 1, "rebuild is not a miss");
+        assert!(cache.rebuilds() >= 1);
+        for (arrow, _why) in pa_lehmann_rabin::paper::all_arrows() {
+            assert_eq!(
+                arrow_worst_stored(reference.as_ref(), &arrow).to_bits(),
+                arrow_worst_stored(rebuilt.as_ref(), &arrow).to_bits(),
+                "{arrow}: rebuilt stored model must answer bitwise identically"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_less_cache_refuses_stored_lookups_with_a_named_error() {
+        let cache = ModelCache::new();
+        let err = cache.model_quotient_stored(3, 1_000_000).unwrap_err();
+        assert!(err.contains("spill"), "{err}");
+        assert_eq!(cache.stored_misses(), 0, "refusal is not a build");
     }
 
     #[test]

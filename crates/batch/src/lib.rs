@@ -52,7 +52,7 @@ mod report;
 mod select;
 mod spec;
 
-pub use cache::{CacheSession, ModelCache, QuotientModel, SharedModel};
+pub use cache::{CacheSession, ModelCache, QuotientModel, SharedModel, StoredQuotientModel};
 pub use driver::{run_batch, run_batch_in, BatchError, JobCtx};
 pub use report::{BatchReport, CacheStats, Tally};
 pub use select::{estimated_quotient_states, estimated_ring_states, select_kind};

@@ -19,9 +19,18 @@
 //! cargo run --release -p pa-bench --bin tables -- --mc --smoke --out BENCH_mc.json
 //!                                     # sampled-tier cross-validation,
 //!                                     # n=3 artifact for the CI gate
+//! cargo run --release -p pa-bench --bin tables -- --store
+//!                                     # out-of-core smoke: spill the n=4
+//!                                     # quotient, re-query at a one-byte
+//!                                     # cache budget, gate digest parity
 //! cargo run --release -p pa-bench --bin tables -- --mc
 //!                                     # + n=4..5 cross-validation and the
 //!                                     # n=8 escape-hatch estimates
+//! cargo run --release -p pa-bench --bin tables -- e18 --full
+//!                                     # out-of-core headline: explore the
+//!                                     # n=7 round-model quotient streamed
+//!                                     # to disk and answer P —1→ C exactly
+//!                                     # (e18 without --full = n=5 sanity)
 //! ```
 
 use std::error::Error;
@@ -179,6 +188,47 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         return Ok(());
     }
+    if args.iter().any(|a| a == "--store") {
+        // The out-of-core smoke probe for CI: spill the n=4 quotient with
+        // 4 KiB blocks, re-query through the block-streamed engines at an
+        // unbounded and a one-byte cache budget, and print the digests in
+        // a greppable shape. Exits nonzero on any parity, liveness, or
+        // residency-bound failure; the spill directory must be gone by
+        // then (store_bench fails if cleanup leaves it behind).
+        println!("store: spilling the n=4 quotient and re-querying out of core…");
+        let store = perf::store_bench(5_000_000)?;
+        println!(
+            "store: n={} spilled {} states into {} CSR blocks ({} bytes on disk)",
+            store.n, store.states, store.csr_blocks, store.file_bytes,
+        );
+        println!("store: in-core digest {}", store.digest_in_core);
+        println!("store: unbounded digest {}", store.digest_unbounded);
+        println!(
+            "store: one-block digest {} ({} faults, {} hits, {} evictions, \
+             peak resident {} bytes, {:.2}s)",
+            store.digest_one_block,
+            store.faults,
+            store.hits,
+            store.evictions,
+            store.peak_resident_bytes,
+            store.query_seconds,
+        );
+        if !store.bitwise_identical {
+            return Err("stored backend diverged from the in-core engine".into());
+        }
+        if store.csr_blocks < 2 || store.evictions == 0 {
+            return Err("tight-budget probe was vacuous (single block or no evictions)".into());
+        }
+        if !store.rss_bounded {
+            return Err(format!(
+                "peak resident {} bytes exceeded budget + two blocks ({} max payload)",
+                store.peak_resident_bytes, store.max_block_payload,
+            )
+            .into());
+        }
+        println!("store: ok (spill dir cleaned)");
+        return Ok(());
+    }
     if args.iter().any(|a| a == "--bench-json") {
         let smoke = args.iter().any(|a| a == "--smoke");
         let default_path = if smoke {
@@ -288,6 +338,17 @@ fn main() -> Result<(), Box<dyn Error>> {
             report.serve.jobs_accepted,
             report.serve.backpressure_rejections,
             report.serve.lines_rejected,
+        );
+        println!(
+            "store: n={} in {} blocks, bitwise identical: {} ({}); \
+             {} faults / {} evictions at one-block budget, peak resident {} bytes",
+            report.store.n,
+            report.store.csr_blocks,
+            report.store.bitwise_identical,
+            report.store.digest_in_core,
+            report.store.faults,
+            report.store.evictions,
+            report.store.peak_resident_bytes,
         );
         return Ok(());
     }
@@ -434,6 +495,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         sections.push((
             "E17 — survival past the full-space engine: quotient-exact zero-fault column, sampled fault columns",
             rows,
+        ));
+    }
+
+    // E18 is opt-in only: the full shape explores the 323M-orbit n = 7
+    // round-model quotient out of core (35 GB of spill, an hour serial),
+    // which has no place in the default everything run.
+    if selected.iter().any(|s| s == "e18") {
+        let (n, limit, budget) = if full {
+            (7, 400_000_000, 256 * 1024 * 1024)
+        } else {
+            (5, experiments::STATE_LIMIT, 1024 * 1024)
+        };
+        println!("running E18 (out-of-core frontier, n={n}; spills to the temp dir)…");
+        sections.push((
+            "E18 — exact verdict past RAM comfort: the spilled round-model quotient",
+            experiments::out_of_core_frontier(n, limit, budget)?,
         ));
     }
 

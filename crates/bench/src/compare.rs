@@ -38,6 +38,14 @@
 //!    and the batch block's invariance digest, the LRU eviction and
 //!    rebuild counters must be live under the tiny-budget probe, and the
 //!    admission/backpressure/malformed-line tallies are exact.
+//! 9. **Out-of-core invariants** (schema ≥ v9): the stored backend's
+//!    value digests must equal the in-core digest at both the unbounded
+//!    and the one-block cache budget (hard fail — a drift means the
+//!    block-streamed engines diverged from the CSR kernels), the digests
+//!    must match the baseline exactly, the structural counts (states,
+//!    blocks) are exact, the tight-budget probe must actually fault and
+//!    evict, and peak paging residency must stay within budget + two
+//!    blocks.
 
 use crate::json::Json;
 
@@ -183,6 +191,20 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "mc",
             "symmetry",
             "serve",
+        ],
+    ),
+    (
+        "pa-bench/mdp-throughput/v9",
+        &[
+            "rings",
+            "telemetry",
+            "telemetry_overhead",
+            "faults",
+            "batch",
+            "mc",
+            "symmetry",
+            "serve",
+            "store",
         ],
     ),
     ("pa-bench/mc/v1", &["mc"]),
@@ -564,6 +586,53 @@ fn gate_serve(gate: &mut Gate, baseline: &Json, current: &Json) {
     );
 }
 
+fn gate_store(gate: &mut Gate, baseline: &Json, current: &Json) {
+    // Structure is deterministic: same exploration, same block split.
+    for metric in ["n", "states", "csr_blocks", "block_bytes"] {
+        let base = baseline
+            .path(&["store", metric])
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match current.path(&["store", metric]).and_then(Json::as_f64) {
+            Some(cur) => gate.check_exact(&format!("store.{metric}"), base, cur),
+            None => gate.fail(format!("store.{metric}: missing from current artifact")),
+        }
+    }
+    // The headline contract: stored results are bitwise identical to
+    // in-core at every budget. A false is an engine-divergence bug, not a
+    // perf regression.
+    gate.check_true(
+        "store.bitwise_identical",
+        current
+            .path(&["store", "bitwise_identical"])
+            .and_then(Json::as_bool),
+    );
+    for digest in ["digest_in_core", "digest_unbounded", "digest_one_block"] {
+        gate.check_exact_str(
+            &format!("store.{digest}"),
+            baseline.path(&["store", digest]).and_then(Json::as_str),
+            current.path(&["store", digest]).and_then(Json::as_str),
+        );
+    }
+    // Liveness: the one-byte budget must actually page and evict,
+    // otherwise the tight-budget digest passed without pressure.
+    gate.check_positive(
+        "store.faults",
+        current.path(&["store", "faults"]).and_then(Json::as_f64),
+    );
+    gate.check_positive(
+        "store.evictions",
+        current.path(&["store", "evictions"]).and_then(Json::as_f64),
+    );
+    // The memory bound the subsystem exists for.
+    gate.check_true(
+        "store.rss_bounded",
+        current
+            .path(&["store", "rss_bounded"])
+            .and_then(Json::as_bool),
+    );
+}
+
 /// Runs every gate the artifacts' schema requires. Failures (including
 /// schema mismatches, unknown schemas, and missing blocks) are collected
 /// in the returned [`Gate`]; an empty `failures` list means pass.
@@ -632,6 +701,9 @@ pub fn compare_docs(baseline: &Json, current: &Json, tolerance_pct: f64) -> Gate
     }
     if has("serve") {
         gate_serve(&mut gate, baseline, current);
+    }
+    if has("store") {
+        gate_store(&mut gate, baseline, current);
     }
     gate
 }

@@ -30,7 +30,11 @@
 //! batches must digest identically to direct `run_batch` runs across
 //! worker counts and cache budgets, LRU evictions must actually fire
 //! under a tiny budget, and the admission/backpressure tallies are gated
-//! exactly).
+//! exactly). Schema v9 adds the [`StoreBench`] block: the out-of-core
+//! probe (the `n = 4` quotient spilled to a multi-block `pa-store/csr/v1`
+//! file must answer every paper arrow bitwise identically to the in-core
+//! engine at an unbounded *and* a one-block cache budget, with eviction
+//! liveness and the paging-residency bound gated).
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -533,6 +537,203 @@ pub fn serve_bench() -> Result<ServeBench, Box<dyn std::error::Error>> {
     })
 }
 
+/// The out-of-core block of `BENCH_mdp.json` (schema v9): the `n = 4`
+/// rotation-quotient model spilled to a multi-block `pa-store/csr/v1`
+/// file (4 KiB blocks, so even the smoke model splits) and re-queried
+/// through the block-streamed engines at two cache budgets — unbounded
+/// and one byte (exactly one resident block). Every paper arrow's full
+/// value vector is digested for all three backends; `compare_bench` gates
+/// the digests bitwise-equal, eviction liveness under the tight budget,
+/// and the paging-residency bound.
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreBench {
+    /// Ring size of the probe model.
+    pub n: usize,
+    /// Orbit states spilled.
+    pub states: u64,
+    /// CSR blocks in the spill file (must be > 1 or the budget probe is
+    /// vacuous).
+    pub csr_blocks: u64,
+    /// Target payload bytes per block the writer was configured with.
+    pub block_bytes: u64,
+    /// On-disk bytes of the finished spill file.
+    pub file_bytes: u64,
+    /// Largest single CSR block payload, bytes.
+    pub max_block_payload: u64,
+    /// FNV-64 digest over the five paper arrows' full value vectors,
+    /// in-core CSR engine.
+    pub digest_in_core: String,
+    /// The same digest from the stored backend, unbounded block cache.
+    pub digest_unbounded: String,
+    /// The same digest from the stored backend at a one-byte budget
+    /// (exactly one resident block at a time).
+    pub digest_one_block: String,
+    /// Whether all three digests agree. Must be `true`; gated hard.
+    pub bitwise_identical: bool,
+    /// Block faults of the tight-budget run.
+    pub faults: u64,
+    /// Block-cache hits of the tight-budget run.
+    pub hits: u64,
+    /// Evictions of the tight-budget run. Must be positive — zero means
+    /// the digest equality above passed without any paging pressure.
+    pub evictions: u64,
+    /// Peak resident payload bytes of the tight-budget run's cache.
+    pub peak_resident_bytes: u64,
+    /// The memory-bound contract: peak paging residency stayed within
+    /// budget + two blocks (the pinned block plus the one being faulted
+    /// in before eviction runs). With a one-byte budget this pins peak
+    /// RSS growth to two blocks regardless of model size. Gated hard.
+    pub rss_bounded: bool,
+    /// Wall seconds of the streamed (spilling) exploration.
+    pub spill_seconds: f64,
+    /// Wall seconds of the five tight-budget queries.
+    pub query_seconds: f64,
+}
+
+/// Builds the [`StoreBench`] block; see the type docs. The spill
+/// directory lives under the system temp dir and is removed before
+/// returning (verified — a stale directory fails the run).
+pub fn store_bench(limit: usize) -> Result<StoreBench, Box<dyn std::error::Error>> {
+    use pa_faults::{set_pred_under, FaultyStateCodec};
+    use pa_lehmann_rabin::{reachable_configs_quotient, time_to_budget};
+    use pa_mdp::PackedSpace;
+    use pa_store::{SpillTo, StoredCsr};
+
+    let n = 4usize;
+    let block_bytes = 4096usize;
+    let configs = reachable_configs_quotient(n, limit)?;
+    let cfg = RoundConfig::new(n)?;
+    let model = pa_faults::FaultyRoundMdp::new(cfg, FaultPlan::none())?.with_starts(configs);
+    let codec = FaultyStateCodec::new(n, model.round_cap())?;
+
+    // In-core reference: the exact quotient pipeline the cache runs.
+    let explored = Explore::new(&model)
+        .cost(faulty_round_cost)
+        .limit(limit)
+        .parallel()
+        .symmetry(RingRotation::new(n))
+        .run_in(PackedSpace::new(codec))?;
+    let csr = CsrMdp::from_explicit(&explored.mdp);
+
+    let arrows = paper::all_arrows();
+    let masks: Vec<(Vec<bool>, u32)> = arrows
+        .iter()
+        .map(|(arrow, _)| {
+            let to = set_pred_under(arrow.to()).expect("paper arrows resolve");
+            (
+                explored.target_where(|s| to(&s.inner.config, s.crashed_mask(n))),
+                time_to_budget(arrow.time()),
+            )
+        })
+        .collect();
+
+    let digest_of = |vectors: &[Vec<f64>]| {
+        let mut bytes = Vec::with_capacity(vectors.iter().map(Vec::len).sum::<usize>() * 8);
+        for values in vectors {
+            for v in values {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        format!("{:016x}", pa_store::fnv1a_64(&bytes))
+    };
+
+    let mut in_core = Vec::new();
+    for (mask, horizon) in &masks {
+        in_core.push(
+            Query::csr(&csr)
+                .objective(QueryObjective::MinProb)
+                .target(mask.clone())
+                .horizon(*horizon)
+                .run()?
+                .values,
+        );
+    }
+    let digest_in_core = digest_of(&in_core);
+
+    // Spill once (streamed, serial) with small blocks so the file splits.
+    let dir = std::env::temp_dir().join(format!("pa-bench-store-{}", std::process::id()));
+    let t0 = Instant::now();
+    let stored = Explore::new(&model)
+        .cost(faulty_round_cost)
+        .limit(limit)
+        .symmetry(RingRotation::new(n))
+        .spill_to(&dir, u64::MAX)
+        .block_bytes(block_bytes)
+        .run_in(PackedSpace::new(codec))?;
+    let spill_seconds = t0.elapsed().as_secs_f64();
+    let path = stored.store().file().path().to_path_buf();
+    let file_bytes = std::fs::metadata(&path)?.len();
+    let csr_metas: Vec<_> = stored
+        .store()
+        .file()
+        .blocks()
+        .iter()
+        .filter(|m| m.kind == pa_store::BlockKind::Csr)
+        .cloned()
+        .collect();
+    let max_block_payload = csr_metas.iter().map(|m| m.payload_len).max().unwrap_or(0);
+
+    let mut unbounded = Vec::new();
+    for (mask, horizon) in &masks {
+        unbounded.push(
+            Query::source(stored.store())
+                .objective(QueryObjective::MinProb)
+                .target(mask.clone())
+                .horizon(*horizon)
+                .run()?
+                .values,
+        );
+    }
+    let digest_unbounded = digest_of(&unbounded);
+
+    // Reopen at a one-byte budget: exactly one resident block per access.
+    let tight = StoredCsr::open(&path, 1)?;
+    let t0 = Instant::now();
+    let mut one_block = Vec::new();
+    for (mask, horizon) in &masks {
+        one_block.push(
+            Query::source(&tight)
+                .objective(QueryObjective::MinProb)
+                .target(mask.clone())
+                .horizon(*horizon)
+                .run()?
+                .values,
+        );
+    }
+    let query_seconds = t0.elapsed().as_secs_f64();
+    let digest_one_block = digest_of(&one_block);
+    let stats = tight.cache().local_stats();
+    drop(tight);
+    drop(stored);
+    std::fs::remove_dir_all(&dir)?;
+    if dir.exists() {
+        return Err(format!("spill dir {} survived cleanup", dir.display()).into());
+    }
+
+    let bitwise_identical =
+        digest_in_core == digest_unbounded && digest_in_core == digest_one_block;
+    let rss_bounded = stats.peak_resident_bytes <= 1 + 2 * max_block_payload;
+    Ok(StoreBench {
+        n,
+        states: explored.num_states() as u64,
+        csr_blocks: csr_metas.len() as u64,
+        block_bytes: block_bytes as u64,
+        file_bytes,
+        max_block_payload,
+        digest_in_core,
+        digest_unbounded,
+        digest_one_block,
+        bitwise_identical,
+        faults: stats.faults,
+        hits: stats.hits,
+        evictions: stats.evictions,
+        peak_resident_bytes: stats.peak_resident_bytes,
+        rss_bounded,
+        spill_seconds,
+        query_seconds,
+    })
+}
+
 /// One ring size's rotation-quotient measurement on the protocol
 /// automaton: orbit count, reduction factor and the cost of exploring the
 /// quotient. Past the largest ring where the full space is still
@@ -770,6 +971,11 @@ pub struct BenchReport {
     /// across worker counts and cache budgets, eviction liveness, and the
     /// exact admission tallies, all gated by `compare_bench`.
     pub serve: ServeBench,
+    /// The out-of-core block (schema v9): in-core vs stored-backend value
+    /// digests at unbounded and one-block cache budgets, eviction
+    /// liveness, and the paging-residency bound, all gated by
+    /// `compare_bench`.
+    pub store: StoreBench,
 }
 
 fn read_cpu_model() -> String {
@@ -1131,8 +1337,10 @@ pub fn bench_report_sized(
     let symmetry = symmetry_bench(max_n)?;
     eprintln!("probing the analysis service over unix sockets…");
     let serve = serve_bench()?;
+    eprintln!("spilling the n=4 quotient and re-querying out of core…");
+    let store = store_bench(5_000_000)?;
     Ok(BenchReport {
-        schema: "pa-bench/mdp-throughput/v8".to_string(),
+        schema: "pa-bench/mdp-throughput/v9".to_string(),
         model: "Lehmann-Rabin ring, saturating user model, target = critical region".to_string(),
         regenerate: "cargo run --release -p pa-bench --bin tables -- --bench-json".to_string(),
         machine: machine(),
@@ -1144,6 +1352,7 @@ pub fn bench_report_sized(
         mc,
         symmetry,
         serve,
+        store,
     })
 }
 

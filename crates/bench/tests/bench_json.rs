@@ -17,7 +17,7 @@ fn bench_report_emits_a_valid_telemetry_block() {
 
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("pa-bench/mdp-throughput/v8")
+        Some("pa-bench/mdp-throughput/v9")
     );
     assert_eq!(
         doc.get("rings").and_then(Json::as_array).map(<[_]>::len),
@@ -222,6 +222,37 @@ fn bench_report_emits_a_valid_telemetry_block() {
         doc.path(&["batch", "invariance_digest"])
             .and_then(Json::as_str),
         "serve and batch hash the same n=3 suite"
+    );
+
+    // The store block (schema v9) carries the out-of-core parity probe:
+    // in-core, unbounded-stored, and one-block-stored value digests are
+    // all equal, the tight budget actually paged and evicted, and peak
+    // paging residency stayed within budget + two blocks.
+    assert_eq!(
+        doc.path(&["store", "bitwise_identical"])
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        doc.path(&["store", "rss_bounded"]).and_then(Json::as_bool),
+        Some(true)
+    );
+    let store_metric = |name: &str| {
+        doc.path(&["store", name])
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("store.{name} missing"))
+    };
+    assert!(
+        store_metric("csr_blocks") > 1.0,
+        "probe must be multi-block"
+    );
+    assert!(store_metric("faults") > 0.0);
+    assert!(store_metric("evictions") > 0.0);
+    assert_eq!(
+        doc.path(&["store", "digest_in_core"])
+            .and_then(Json::as_str),
+        doc.path(&["store", "digest_one_block"])
+            .and_then(Json::as_str),
     );
 
     // Residual trajectory and rounds-to-fire histogram made it through.
@@ -605,6 +636,61 @@ fn compare_bench_fails_admission_tally_drift() {
     assert!(
         !run_gate(&baseline, &current, "20"),
         "admission tallies are deterministic and gate exactly"
+    );
+}
+
+fn store_block(digest_one_block: &str, evictions: u64, rss_bounded: bool) -> String {
+    format!(
+        r#"{{"n":4,"states":55502,"csr_blocks":700,"block_bytes":4096,"file_bytes":7414992,"max_block_payload":4180,"digest_in_core":"1fdd989c9731faba","digest_unbounded":"1fdd989c9731faba","digest_one_block":"{digest_one_block}","bitwise_identical":{},"faults":54600,"hits":0,"evictions":{evictions},"peak_resident_bytes":8356,"rss_bounded":{rss_bounded},"spill_seconds":0.5,"query_seconds":0.8}}"#,
+        digest_one_block == "1fdd989c9731faba",
+    )
+}
+
+/// A v9 artifact: the v8 fixture plus the `store` block.
+fn gate_artifact_v9(digest_one_block: &str, evictions: u64, rss_bounded: bool) -> String {
+    let mut doc = gate_artifact_v8("00deadbeef00cafe", true, 4, 224)
+        .replace("pa-bench/mdp-throughput/v8", "pa-bench/mdp-throughput/v9");
+    assert_eq!(doc.pop(), Some('}'));
+    doc.push_str(&format!(
+        r#","store":{}}}"#,
+        store_block(digest_one_block, evictions, rss_bounded)
+    ));
+    doc
+}
+
+#[test]
+fn compare_bench_passes_v9_artifacts_with_store_block() {
+    let artifact = gate_artifact_v9("1fdd989c9731faba", 54599, true);
+    assert!(run_gate(&artifact, &artifact, "20"));
+}
+
+#[test]
+fn compare_bench_fails_stored_backend_divergence() {
+    let baseline = gate_artifact_v9("1fdd989c9731faba", 54599, true);
+    let current = gate_artifact_v9("badbadbadbadbad0", 54599, true);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "a stored-backend digest diverging from in-core must fail"
+    );
+}
+
+#[test]
+fn compare_bench_fails_dead_store_eviction_path() {
+    let baseline = gate_artifact_v9("1fdd989c9731faba", 54599, true);
+    let current = gate_artifact_v9("1fdd989c9731faba", 0, true);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "zero evictions at the one-byte budget means the probe went vacuous"
+    );
+}
+
+#[test]
+fn compare_bench_fails_unbounded_paging_residency() {
+    let baseline = gate_artifact_v9("1fdd989c9731faba", 54599, true);
+    let current = gate_artifact_v9("1fdd989c9731faba", 54599, false);
+    assert!(
+        !run_gate(&baseline, &current, "20"),
+        "peak residency past budget + two blocks must fail"
     );
 }
 

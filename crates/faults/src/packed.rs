@@ -46,6 +46,24 @@ impl FaultyStateCodec {
         })
     }
 
+    /// A codec for analyses bounded by a time `horizon`: round counters
+    /// stay within `horizon + 1` on any path a bounded query can
+    /// distinguish, so the horizon itself must fit the packed round field.
+    ///
+    /// This is the constructor for horizon-driven pipelines (the
+    /// out-of-core bench and example paths) that have no [`FaultPlan`] to
+    /// derive a cap from: it turns a horizon too deep for the 12-bit
+    /// field into the same typed error as an oversized plan cap — instead
+    /// of the silent low-bit truncation an unchecked `pack` would commit.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::RoundCapUnencodable`] if `horizon + 1` exceeds
+    /// [`MAX_PACKED_ROUND`]; ring-size errors from the inner codec.
+    pub fn for_horizon(n: usize, horizon: u32) -> Result<FaultyStateCodec, FaultError> {
+        FaultyStateCodec::new(n, horizon.saturating_add(1))
+    }
+
     /// Ring size.
     pub fn n(&self) -> usize {
         self.inner.n()
@@ -86,6 +104,37 @@ mod tests {
             Err(FaultError::RoundCapUnencodable { .. })
         ));
         assert!(FaultyStateCodec::new(1, 1).is_err());
+    }
+
+    #[test]
+    fn horizon_constructor_guards_the_packed_round_field() {
+        assert!(FaultyStateCodec::for_horizon(3, MAX_PACKED_ROUND - 1).is_ok());
+        assert!(matches!(
+            FaultyStateCodec::for_horizon(3, MAX_PACKED_ROUND),
+            Err(FaultError::RoundCapUnencodable {
+                cap
+            }) if cap == MAX_PACKED_ROUND + 1
+        ));
+        // Saturating arithmetic: an absurd horizon is a typed error, not
+        // a wrap back into range.
+        assert!(matches!(
+            FaultyStateCodec::for_horizon(3, u32::MAX),
+            Err(FaultError::RoundCapUnencodable { .. })
+        ));
+    }
+
+    #[test]
+    fn late_plan_caps_do_not_overflow_and_are_rejected_typed() {
+        // A plan scripted at round u32::MAX must not wrap the model cap to
+        // 0 (collapsing every round counter); the cap saturates and the
+        // codec rejects it with the typed error instead of truncating.
+        let plan = FaultPlan::single(u32::MAX, 0, FaultKind::CrashStop).unwrap();
+        let m = FaultyRoundMdp::new(RoundConfig::new(3).unwrap(), plan).unwrap();
+        assert_eq!(m.round_cap(), u32::MAX);
+        assert!(matches!(
+            FaultyStateCodec::new(3, m.round_cap()),
+            Err(FaultError::RoundCapUnencodable { cap }) if cap == u32::MAX
+        ));
     }
 
     #[test]

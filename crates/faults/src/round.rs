@@ -178,7 +178,11 @@ impl FaultyRoundMdp {
         }
         let base = RoundMdp::new(cfg);
         let starts = vec![Config::initial(cfg.n)?];
-        let cap = plan.max_round() + 1;
+        // Saturating: a plan scripted at round u32::MAX must cap *at* it,
+        // not wrap to 0 (which would saturate every state's round counter
+        // at zero and collapse the model). Whether the cap then fits the
+        // packed 12-bit round field is FaultyStateCodec::new's typed check.
+        let cap = plan.max_round().saturating_add(1);
         Ok(FaultyRoundMdp {
             base,
             plan,

@@ -879,6 +879,55 @@ impl From<&ExplicitMdp> for CsrMdp {
     }
 }
 
+/// An in-core model is a [`CsrSource`] with a single block spanning every
+/// state: its offset arrays already start at 0, so the full slices satisfy
+/// the block-relative contract as-is, and the block-streamed engines
+/// execute the exact floating-point operation sequence of the in-core
+/// kernels.
+impl crate::source::CsrSource for CsrMdp {
+    fn num_states(&self) -> usize {
+        CsrMdp::num_states(self)
+    }
+
+    fn num_choices(&self) -> u64 {
+        CsrMdp::num_choices(self) as u64
+    }
+
+    fn num_transitions(&self) -> u64 {
+        CsrMdp::num_transitions(self) as u64
+    }
+
+    fn initial_states(&self) -> &[usize] {
+        CsrMdp::initial_states(self)
+    }
+
+    fn num_blocks(&self) -> usize {
+        1
+    }
+
+    fn block_states(&self, block: usize) -> std::ops::Range<usize> {
+        assert_eq!(block, 0, "CsrMdp has a single block");
+        0..CsrMdp::num_states(self)
+    }
+
+    fn with_rows(
+        &self,
+        block: usize,
+        f: &mut dyn FnMut(crate::source::CsrRows<'_>),
+    ) -> Result<(), MdpError> {
+        assert_eq!(block, 0, "CsrMdp has a single block");
+        f(crate::source::CsrRows {
+            first_state: 0,
+            choice_offsets: &self.choice_offsets,
+            trans_offsets: &self.trans_offsets,
+            costs: &self.costs,
+            targets: &self.targets,
+            probs: &self.probs,
+        });
+        Ok(())
+    }
+}
+
 /// One double-buffered Jacobi sweep over all states, chunked across
 /// `workers` scoped threads.
 ///

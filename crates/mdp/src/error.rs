@@ -46,6 +46,13 @@ pub enum MdpError {
         /// What was wrong with the query.
         reason: String,
     },
+    /// A model backend failed while streaming rows (an out-of-core store
+    /// hitting an I/O error or a corrupt block, a row sink failing to
+    /// persist a state's choices).
+    Backend {
+        /// Description of the backend failure.
+        reason: String,
+    },
     /// A [`crate::Query`] failed while running; `stage` names the analysis
     /// phase and `source` carries the underlying error (also exposed via
     /// [`std::error::Error::source`]).
@@ -90,6 +97,7 @@ impl fmt::Display for MdpError {
             ),
             MdpError::NoInitialStates => write!(f, "model has no initial states"),
             MdpError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            MdpError::Backend { reason } => write!(f, "model backend failed: {reason}"),
             MdpError::Query { stage, source } => {
                 write!(f, "query failed during {stage}: {source}")
             }
@@ -130,6 +138,9 @@ mod tests {
             MdpError::NoInitialStates,
             MdpError::InvalidQuery {
                 reason: "horizon on a cost objective".into(),
+            },
+            MdpError::Backend {
+                reason: "block 3: I/O error".into(),
             },
             MdpError::Query {
                 stage: "solve",

@@ -325,6 +325,177 @@ where
     }
 }
 
+/// A row-by-row consumer for [`Explore::run_streamed`]: receives each
+/// explored state's validated choice list exactly once, in dense-id order
+/// (`0, 1, 2, …`), instead of the exploration accumulating the whole
+/// nested model in memory.
+///
+/// `pa-store`'s block writer implements this to spill CSR blocks to disk
+/// as exploration closes them.
+pub trait RowSink {
+    /// Consumes state `id`'s choices. `id` increases by exactly one per
+    /// call. Errors (e.g. I/O failures of a disk spill) abort the
+    /// exploration; [`MdpError::Backend`] is the conventional carrier.
+    fn state_row(&mut self, id: usize, choices: &[Choice]) -> Result<(), MdpError>;
+}
+
+/// Counts of a finished [`Explore::run_streamed`] exploration — what an
+/// [`ExplicitMdp`] would have reported, without the model ever having been
+/// resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// The initial state indices.
+    pub initial: Vec<usize>,
+    /// Number of explored states (rows emitted).
+    pub num_states: usize,
+    /// Total number of choices across all rows.
+    pub num_choices: u64,
+    /// Total number of probabilistic transitions across all rows.
+    pub num_transitions: u64,
+}
+
+impl<M, F> Explore<'_, M, F>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+    F: Fn(&M::State, &M::Action) -> u32 + Sync,
+{
+    /// Runs the exploration, streaming each state's choices to `sink`
+    /// instead of materializing an [`ExplicitMdp`]. Returns the state store
+    /// and the exploration counts; peak memory is the store plus the BFS
+    /// frontier — the model itself lives wherever the sink puts it.
+    ///
+    /// Rows are emitted in dense-id order with the exact ids, choice
+    /// order, and transition order of [`Explore::run_in`] (serial FIFO BFS
+    /// assigns ids in pop order, so a popped state's row is final).
+    /// Streaming always runs the serial engine — a worker-count setting is
+    /// ignored — and the serial/parallel determinism contract makes that
+    /// the same model the parallel explorer would build.
+    ///
+    /// Each row is validated as [`ExplicitMdp::new`] would (empty support,
+    /// non-finite or negative weights, weight sums); successor indices come
+    /// from the interner and are in range by construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explore::run_in`], plus whatever `sink` returns.
+    pub fn run_streamed<SP>(
+        self,
+        mut space: SP,
+        sink: &mut dyn RowSink,
+    ) -> Result<(SP, StreamSummary), MdpError>
+    where
+        SP: StateSpace<M::State> + Send + Sync,
+    {
+        if self.capacity_hint > 0 {
+            space.reserve(self.capacity_hint.min(self.limit));
+        }
+        let sym = self.symmetry.as_deref();
+        let _span = pa_telemetry::span("mdp.explore.seconds");
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let intern = |s: &M::State,
+                      space: &mut SP,
+                      queue: &mut VecDeque<usize>|
+         -> Result<usize, MdpError> {
+            let canon;
+            let s = match sym {
+                Some(sym) => {
+                    canon = sym.canon(s);
+                    &canon
+                }
+                None => s,
+            };
+            let (id, new) = space.intern(s);
+            if new {
+                if space.len() > self.limit {
+                    return Err(MdpError::StateLimitExceeded { limit: self.limit });
+                }
+                queue.push_back(id);
+            }
+            Ok(id)
+        };
+
+        let mut initial = Vec::new();
+        for s in self.automaton.start_states() {
+            initial.push(intern(&s, &mut space, &mut queue)?);
+        }
+        if initial.is_empty() {
+            return Err(MdpError::NoInitialStates);
+        }
+
+        let cost_of = &self.cost_of;
+        let mut num_choices = 0u64;
+        let mut num_transitions = 0u64;
+        let mut emitted = 0usize;
+        while let Some(id) = queue.pop_front() {
+            let state = space.state(id);
+            let mut cs = Vec::new();
+            for step in self.automaton.steps(&state) {
+                let cost = cost_of(&state, &step.action);
+                let mut transitions = Vec::with_capacity(step.target.len());
+                for (t, p) in step.target.iter() {
+                    let ti = intern(t, &mut space, &mut queue)?;
+                    transitions.push((ti, p.value()));
+                }
+                cs.push(Choice { cost, transitions });
+            }
+            validate_row(id, &cs)?;
+            num_choices += cs.len() as u64;
+            num_transitions += cs.iter().map(|c| c.transitions.len() as u64).sum::<u64>();
+            debug_assert_eq!(emitted, id);
+            sink.state_row(id, &cs)?;
+            emitted += 1;
+        }
+
+        let summary = StreamSummary {
+            initial,
+            num_states: space.len(),
+            num_choices,
+            num_transitions,
+        };
+        debug_assert_eq!(emitted, summary.num_states);
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("mdp.explore.runs").inc();
+            pa_telemetry::counter("mdp.explore.states").add(summary.num_states as u64);
+            pa_telemetry::counter("mdp.explore.choices").add(summary.num_choices);
+            pa_telemetry::counter("mdp.explore.transitions").add(summary.num_transitions);
+        }
+        Ok((space, summary))
+    }
+}
+
+/// Per-row distribution validation for the streaming explorer — the same
+/// rules [`ExplicitMdp::new`] applies to a finished model (successor
+/// indices are interner-produced and therefore in range).
+fn validate_row(state: usize, cs: &[Choice]) -> Result<(), MdpError> {
+    for c in cs {
+        if c.transitions.is_empty() {
+            return Err(MdpError::BadDistribution {
+                state,
+                reason: "empty support".into(),
+            });
+        }
+        let mut sum = 0.0;
+        for &(_, p) in &c.transitions {
+            if !p.is_finite() || p < 0.0 {
+                return Err(MdpError::BadDistribution {
+                    state,
+                    reason: format!("weight {p}"),
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(MdpError::BadDistribution {
+                state,
+                reason: format!("weights sum to {sum}"),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Serial FIFO BFS over `automaton`, interning (canonicalized) states into
 /// `space`. The builder's serial path.
 fn serial_core<M: Automaton, SP: StateSpace<M::State>>(

@@ -81,6 +81,7 @@ mod model;
 pub mod query;
 pub mod reference;
 mod scc;
+pub mod source;
 pub mod space;
 pub mod symmetry;
 mod tag;
@@ -89,7 +90,7 @@ mod value_iter;
 pub use csr::{resolve_workers, CsrMdp, SolveStats};
 pub use error::MdpError;
 pub use expected::{has_zero_cost_cycle, min_expected_cost, ExpectedCost};
-pub use explore::{check_invariant, Explore, Explored, InvariantResult};
+pub use explore::{check_invariant, Explore, Explored, InvariantResult, RowSink, StreamSummary};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use horizon::{cost_bounded_reach_levels, BoundedPolicy, Objective};
 pub use model::{Choice, ExplicitMdp};
@@ -97,6 +98,7 @@ pub use query::{
     default_solver, set_default_solver, Analysis, IntoTarget, Query, QueryObjective, Solver,
 };
 pub use scc::SccDecomposition;
+pub use source::{csr_digest, CsrRows, CsrSource};
 pub use space::{BoxedSpace, PackedSpace, StateCodec, StateSpace};
 pub use symmetry::{RingRotation, RingState, Symmetry};
 pub use tag::{tag_choices, tagged_absorbing_violations, ChoiceTags, TAG_NONE};

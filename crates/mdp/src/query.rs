@@ -47,6 +47,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::csr::SolveStats;
+use crate::source::{self, CsrSource};
 use crate::{BoundedPolicy, CsrMdp, ExplicitMdp, IterOptions, MdpError, Objective};
 
 /// What a [`Query`] optimizes, quantifying over all adversaries.
@@ -199,11 +200,13 @@ impl Analysis {
 }
 
 /// The model a query runs against: a borrowed, already-flattened CSR (so
-/// repeated queries amortize the flattening) or one built and owned by the
-/// query itself.
+/// repeated queries amortize the flattening), one built and owned by the
+/// query itself, or any [`CsrSource`] backend (e.g. an out-of-core stored
+/// model) driven through the block-streamed engines.
 enum QueryModel<'m> {
     Borrowed(&'m CsrMdp),
     Owned(CsrMdp),
+    Source(&'m dyn CsrSource),
 }
 
 impl QueryModel<'_> {
@@ -211,6 +214,15 @@ impl QueryModel<'_> {
         match self {
             QueryModel::Borrowed(m) => m,
             QueryModel::Owned(m) => m,
+            QueryModel::Source(_) => unreachable!("source queries never flatten"),
+        }
+    }
+
+    fn num_states(&self) -> usize {
+        match self {
+            QueryModel::Borrowed(m) => m.num_states(),
+            QueryModel::Owned(m) => m.num_states(),
+            QueryModel::Source(s) => s.num_states(),
         }
     }
 }
@@ -245,6 +257,17 @@ impl<'m> Query<'m> {
         Query::new(QueryModel::Borrowed(mdp))
     }
 
+    /// Starts a query over any CSR backend — in-core or out-of-core —
+    /// behind the [`CsrSource`] trait.
+    ///
+    /// The analysis runs on the serial block-streamed engines, which are
+    /// bitwise identical to the in-core Jacobi kernels (see the
+    /// [`crate::source`] module docs); [`Solver::SccOrdered`] is rejected
+    /// at the `"validate"` stage and [`Query::workers`] has no effect.
+    pub fn source(src: &'m dyn CsrSource) -> Query<'m> {
+        Query::new(QueryModel::Source(src))
+    }
+
     fn new(model: QueryModel<'m>) -> Query<'m> {
         Query {
             model,
@@ -268,14 +291,14 @@ impl<'m> Query<'m> {
     /// list of state indices (`Vec<usize>` / `&[usize]`). Resolution
     /// errors are deferred to [`Query::run`].
     pub fn target(mut self, target: impl IntoTarget) -> Self {
-        let n = self.model.get().num_states();
+        let n = self.model.num_states();
         self.target = Some(target.into_target(n));
         self
     }
 
     /// Sets the target set from a predicate over state indices.
     pub fn target_where(mut self, mut pred: impl FnMut(usize) -> bool) -> Self {
-        let n = self.model.get().num_states();
+        let n = self.model.num_states();
         self.target = Some(Ok((0..n).map(&mut pred).collect()));
         self
     }
@@ -353,7 +376,6 @@ impl<'m> Query<'m> {
             .map_err(wrap("target"))?;
         let solver = self.solver.unwrap_or_else(default_solver);
         let use_scc = solver == Solver::SccOrdered;
-        let mdp = self.model.get();
         let mut stats = SolveStats::default();
 
         let prob_objective = match self.objective {
@@ -361,6 +383,76 @@ impl<'m> Query<'m> {
             QueryObjective::MaxProb => Some(Objective::MaxProb),
             QueryObjective::MinCost | QueryObjective::MaxCost => None,
         };
+
+        if let QueryModel::Source(src) = &self.model {
+            let src: &dyn CsrSource = *src;
+            if use_scc {
+                return Err(wrap("validate")(MdpError::InvalidQuery {
+                    reason: "stored backends support the Jacobi solver only (the \
+                             SCC-ordered solver keeps the whole condensation resident)"
+                        .into(),
+                }));
+            }
+            let values;
+            let mut policy = None;
+            match (prob_objective, self.horizon) {
+                (Some(objective), Some(budget)) => {
+                    let mut decisions: Vec<Vec<Option<u32>>> = Vec::new();
+                    values = source::bounded_levels_src(
+                        src,
+                        &target,
+                        budget,
+                        objective,
+                        self.with_policy.then_some(&mut decisions),
+                        &mut stats,
+                    )
+                    .map_err(wrap("solve"))?;
+                    if self.with_policy {
+                        policy = Some(BoundedPolicy {
+                            decision: decisions,
+                        });
+                    }
+                }
+                (Some(objective), None) => {
+                    if self.with_policy {
+                        return Err(wrap("validate")(MdpError::InvalidQuery {
+                            reason: "policy extraction requires a horizon (cost-indexed \
+                                     policies are only defined for bounded queries)"
+                                .into(),
+                        }));
+                    }
+                    values =
+                        source::reach_prob_src(src, &target, objective, self.options, &mut stats)
+                            .map_err(wrap("solve"))?;
+                }
+                (None, horizon) => {
+                    if horizon.is_some() || self.with_policy {
+                        return Err(wrap("validate")(MdpError::InvalidQuery {
+                            reason: "expected-cost objectives support neither a horizon nor \
+                                     policy extraction"
+                                .into(),
+                        }));
+                    }
+                    values = match self.objective {
+                        QueryObjective::MaxCost => {
+                            source::max_expected_cost_src(src, &target, self.options, &mut stats)
+                        }
+                        _ => source::min_expected_cost_src(src, &target, self.options, &mut stats),
+                    }
+                    .map_err(wrap("solve"))?;
+                }
+            }
+            return Ok(Analysis {
+                values,
+                policy,
+                stats,
+                objective: self.objective,
+                solver,
+                horizon: self.horizon,
+            });
+        }
+
+        let mdp = self.model.get();
         let values;
         let mut policy = None;
         match (prob_objective, self.horizon) {

@@ -1,0 +1,812 @@
+//! Backend-agnostic CSR access: the [`CsrSource`] trait and the
+//! block-streamed analysis engines that run on any implementation.
+//!
+//! [`crate::CsrMdp`] holds the whole model in five flat arrays; an
+//! out-of-core backend (e.g. `pa-store`'s mmap-backed block file) holds the
+//! same arrays cut into contiguous *blocks* of states and pages them in on
+//! demand. [`CsrSource`] is the seam between the two: a backend exposes its
+//! rows block by block as borrowed [`CsrRows`] slices, and every engine in
+//! this module sweeps states strictly in block order — so an in-core model
+//! (one block spanning everything) and a stored model (many blocks behind a
+//! byte-budgeted cache) execute the *same* per-state floating-point
+//! operations in the *same* order.
+//!
+//! # Bitwise parity with the in-core engines
+//!
+//! The engines here are serial twins of the kernels in `csr.rs`: identical
+//! update expressions, identical buffer rotation, identical convergence
+//! tests. The in-core kernels are bit-for-bit invariant under worker-count
+//! chunking (see the `csr` module docs), so a serial sweep already produces
+//! the canonical bytes — which makes every engine below bitwise identical
+//! to its `CsrMdp` counterpart for any block structure and any cache
+//! budget. `crates/store`'s parity tests and the bench `store` block pin
+//! this contract.
+//!
+//! Two qualitative precomputations are *set-valued* rather than numeric and
+//! use different (block-friendly) algorithms than their in-core twins:
+//! `prob0` for [`crate::Objective::MaxProb`] (a forward fixpoint instead of
+//! a backward BFS over a materialized predecessor graph) and the zero-cost
+//! cycle check (a peeling fixpoint instead of a DFS). Both compute the
+//! exact same set/answer — they are different iteration strategies for the
+//! same fixpoint — so the numeric phases they feed remain bitwise
+//! identical.
+//!
+//! The SCC-ordered solver is not available through this trait: it keeps
+//! per-component subgraphs resident by design. A [`crate::Query`] over a
+//! stored backend rejects [`crate::Solver::SccOrdered`] with
+//! [`MdpError::InvalidQuery`].
+
+use std::ops::Range;
+
+use crate::csr::SolveStats;
+use crate::{IterOptions, MdpError, Objective};
+
+/// One contiguous block of CSR rows, borrowed from a backend.
+///
+/// Offsets are *block-relative*: `choice_offsets[0] == 0` indexes into the
+/// block's own `costs`/`trans_offsets` slices, and `trans_offsets[0] == 0`
+/// indexes into the block's own `targets`/`probs` slices. Successor state
+/// ids in `targets` are **global**. The accessor methods take global state
+/// indices (within [`CsrRows::states`]) and block-local choice/transition
+/// indices, mirroring the [`crate::CsrMdp`] accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrRows<'a> {
+    /// Global index of the first state in this block.
+    pub first_state: usize,
+    /// Per-state ranges into the block's choice arrays:
+    /// `choice_offsets[s - first_state] .. choice_offsets[s - first_state + 1]`,
+    /// length `states + 1`, starting at 0.
+    pub choice_offsets: &'a [u32],
+    /// Per-choice ranges into the block's transition arrays, length
+    /// `choices + 1`, starting at 0.
+    pub trans_offsets: &'a [u32],
+    /// Cost of each choice in the block.
+    pub costs: &'a [u32],
+    /// Global successor state of each transition in the block.
+    pub targets: &'a [u32],
+    /// Probability of each transition in the block.
+    pub probs: &'a [f64],
+}
+
+impl CsrRows<'_> {
+    /// The global state indices covered by this block.
+    #[inline]
+    pub fn states(&self) -> Range<usize> {
+        self.first_state..self.first_state + (self.choice_offsets.len() - 1)
+    }
+
+    /// The block-local choice-index range of global state `s`.
+    #[inline]
+    pub fn choice_range(&self, s: usize) -> Range<usize> {
+        let ls = s - self.first_state;
+        self.choice_offsets[ls] as usize..self.choice_offsets[ls + 1] as usize
+    }
+
+    /// The block-local transition-index range of block-local choice `c`.
+    #[inline]
+    pub fn trans_range(&self, c: usize) -> Range<usize> {
+        self.trans_offsets[c] as usize..self.trans_offsets[c + 1] as usize
+    }
+
+    /// Whether global state `s` has no choices.
+    #[inline]
+    pub fn is_terminal(&self, s: usize) -> bool {
+        let ls = s - self.first_state;
+        self.choice_offsets[ls] == self.choice_offsets[ls + 1]
+    }
+
+    /// The expected value of block-local choice `c` under the value vector
+    /// `source`, accumulated in transition order — the floating-point
+    /// operation order every engine in this crate agrees on.
+    #[inline]
+    pub fn choice_value(&self, c: usize, source: &[f64]) -> f64 {
+        let mut val = 0.0f64;
+        for i in self.trans_range(c) {
+            val += self.probs[i] * source[self.targets[i] as usize];
+        }
+        val
+    }
+}
+
+/// A CSR model backend: rows grouped into contiguous blocks of states,
+/// visited in state order.
+///
+/// Implementations must partition `0..num_states()` into consecutive
+/// non-overlapping block ranges (`block_states(0).start == 0`, each block
+/// starts where the previous ended). [`crate::CsrMdp`] implements this as a
+/// single block over its full arrays; `pa-store`'s `StoredCsr` pages each
+/// block in from disk on demand.
+pub trait CsrSource: Sync {
+    /// Number of states.
+    fn num_states(&self) -> usize;
+    /// Total number of choices.
+    fn num_choices(&self) -> u64;
+    /// Total number of probabilistic transitions.
+    fn num_transitions(&self) -> u64;
+    /// The initial state indices.
+    fn initial_states(&self) -> &[usize];
+    /// Number of row blocks.
+    fn num_blocks(&self) -> usize;
+    /// The global state range of block `block`.
+    fn block_states(&self, block: usize) -> Range<usize>;
+    /// Calls `f` with block `block`'s rows. Backends that page blocks in
+    /// may fail with [`MdpError::Backend`] (I/O error, corrupt block).
+    fn with_rows(&self, block: usize, f: &mut dyn FnMut(CsrRows<'_>)) -> Result<(), MdpError>;
+}
+
+pub(crate) fn check_target_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+) -> Result<(), MdpError> {
+    if target.len() != src.num_states() {
+        return Err(MdpError::TargetLengthMismatch {
+            got: target.len(),
+            expected: src.num_states(),
+        });
+    }
+    Ok(())
+}
+
+fn for_each_block<S: CsrSource + ?Sized>(
+    src: &S,
+    f: &mut dyn FnMut(CsrRows<'_>),
+) -> Result<(), MdpError> {
+    for b in 0..src.num_blocks() {
+        src.with_rows(b, f)?;
+    }
+    Ok(())
+}
+
+/// One serial double-buffered Jacobi sweep over all blocks in state order.
+/// Identical to the serial path of `csr.rs`'s `jacobi_sweep` (which the
+/// parallel path is bitwise-pinned against): per-state updates read the
+/// previous iterate only, and the delta is the max absolute change.
+fn jacobi_sweep_src<S: CsrSource + ?Sized>(
+    src: &S,
+    next: &mut [f64],
+    prev: &[f64],
+    update: &dyn Fn(&CsrRows<'_>, usize, &[f64]) -> f64,
+) -> Result<f64, MdpError> {
+    let mut delta = 0.0f64;
+    for_each_block(src, &mut |rows| {
+        for s in rows.states() {
+            let v = update(&rows, s, prev);
+            let d = (v - prev[s]).abs();
+            if d > delta {
+                delta = d;
+            }
+            next[s] = v;
+        }
+    })?;
+    Ok(delta)
+}
+
+/// States with **maximal** reachability probability zero. Computes the same
+/// "cannot reach the target" set as [`crate::CsrMdp::prob0_max`], but as a
+/// forward least fixpoint (mark states with a positive-probability edge
+/// into the marked set until stable) instead of a backward BFS — a
+/// predecessor graph cannot be materialized for a model that does not fit
+/// in memory.
+pub(crate) fn prob0_max_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+) -> Result<Vec<bool>, MdpError> {
+    check_target_src(src, target)?;
+    let mut can_reach = target.to_vec();
+    loop {
+        let mut changed = false;
+        for_each_block(src, &mut |rows| {
+            for s in rows.states() {
+                if can_reach[s] {
+                    continue;
+                }
+                let reaches = rows.choice_range(s).any(|c| {
+                    rows.trans_range(c)
+                        .any(|i| rows.probs[i] > 0.0 && can_reach[rows.targets[i] as usize])
+                });
+                if reaches {
+                    can_reach[s] = true;
+                    changed = true;
+                }
+            }
+        })?;
+        if !changed {
+            return Ok(can_reach.iter().map(|&b| !b).collect());
+        }
+    }
+}
+
+/// States with **minimal** reachability probability zero: the same greatest
+/// fixpoint as [`crate::CsrMdp::prob0_min`], swept block by block.
+pub(crate) fn prob0_min_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+) -> Result<Vec<bool>, MdpError> {
+    check_target_src(src, target)?;
+    let mut in_x: Vec<bool> = target.iter().map(|&t| !t).collect();
+    loop {
+        let mut changed = false;
+        for_each_block(src, &mut |rows| {
+            for s in rows.states() {
+                if !in_x[s] {
+                    continue;
+                }
+                let stays = rows.is_terminal(s)
+                    || rows.choice_range(s).any(|c| {
+                        rows.trans_range(c)
+                            .all(|i| rows.probs[i] == 0.0 || in_x[rows.targets[i] as usize])
+                    });
+                if !stays {
+                    in_x[s] = false;
+                    changed = true;
+                }
+            }
+        })?;
+        if !changed {
+            return Ok(in_x);
+        }
+    }
+}
+
+/// Unbounded reachability on any backend; the serial twin of
+/// [`crate::CsrMdp::reach_prob`].
+pub(crate) fn reach_prob_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    objective: Objective,
+    options: IterOptions,
+    stats: &mut SolveStats,
+) -> Result<Vec<f64>, MdpError> {
+    let _span = pa_telemetry::span("mdp.vi.reach_prob_seconds");
+    check_target_src(src, target)?;
+    let zero = match objective {
+        Objective::MaxProb => prob0_max_src(src, target)?,
+        Objective::MinProb => prob0_min_src(src, target)?,
+    };
+    let n = src.num_states();
+    if pa_telemetry::enabled() {
+        pa_telemetry::counter("mdp.vi.runs").inc();
+    }
+    let mut cur = vec![0.0f64; n];
+    for s in 0..n {
+        if target[s] {
+            cur[s] = 1.0;
+        }
+    }
+    let mut prev = cur.clone();
+    for _ in 0..options.max_sweeps {
+        let sweep_span = pa_telemetry::span("mdp.vi.sweep_seconds");
+        let delta = jacobi_sweep_src(src, &mut cur, &prev, &|rows, s, prev| {
+            if target[s] || zero[s] || rows.is_terminal(s) {
+                return prev[s];
+            }
+            let mut best = objective.start();
+            for c in rows.choice_range(s) {
+                let val = rows.choice_value(c, prev);
+                if objective.better(val, best) {
+                    best = val;
+                }
+            }
+            best
+        })?;
+        sweep_span.finish();
+        stats.sweeps += 1;
+        stats.state_updates += n as u64;
+        if pa_telemetry::enabled() {
+            pa_telemetry::counter("mdp.vi.sweeps").inc();
+            pa_telemetry::series("mdp.vi.residual").push(delta);
+        }
+        std::mem::swap(&mut cur, &mut prev);
+        if delta <= options.epsilon {
+            break;
+        }
+    }
+    Ok(prev)
+}
+
+fn validate_costs_src<S: CsrSource + ?Sized>(src: &S) -> Result<(), MdpError> {
+    let mut bad: Option<(usize, u32)> = None;
+    for_each_block(src, &mut |rows| {
+        if bad.is_some() {
+            return;
+        }
+        for s in rows.states() {
+            for c in rows.choice_range(s) {
+                if rows.costs[c] > 1 {
+                    bad = Some((s, rows.costs[c]));
+                    return;
+                }
+            }
+        }
+    })?;
+    match bad {
+        Some((state, cost)) => Err(MdpError::BadDistribution {
+            state,
+            reason: format!("cost-bounded reachability supports costs 0 and 1, found {cost}"),
+        }),
+        None => Ok(()),
+    }
+}
+
+/// One cost-bounded induction level on any backend; the serial twin of
+/// `CsrMdp::solve_level_into` — same buffer alternation, same `4n + 8`
+/// sweep cap, same `1e-14` inner tolerance.
+#[allow(clippy::too_many_arguments)]
+fn solve_level_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    level_prev: &[f64],
+    objective: Objective,
+    values: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+    stats: &mut SolveStats,
+) -> Result<(), MdpError> {
+    let n = src.num_states();
+    values.clear();
+    values.resize(n, 0.0);
+    for s in 0..n {
+        if target[s] {
+            values[s] = 1.0;
+        }
+    }
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    let level_sweeps =
+        pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.level_sweeps"));
+    let max_sweeps = 4 * n + 8;
+    let update = |rows: &CsrRows<'_>, s: usize, prev: &[f64]| {
+        if target[s] || rows.is_terminal(s) {
+            return prev[s];
+        }
+        let mut best = objective.start();
+        for c in rows.choice_range(s) {
+            let source = if rows.costs[c] == 1 { level_prev } else { prev };
+            let val = rows.choice_value(c, source);
+            if objective.better(val, best) {
+                best = val;
+            }
+        }
+        best
+    };
+    let mut done = 0usize;
+    for k in 0..max_sweeps {
+        if let Some(c) = &level_sweeps {
+            c.inc();
+        }
+        stats.sweeps += 1;
+        stats.state_updates += n as u64;
+        let delta = if k % 2 == 0 {
+            jacobi_sweep_src(src, values, scratch, &update)?
+        } else {
+            jacobi_sweep_src(src, scratch, values, &update)?
+        };
+        done = k + 1;
+        if delta <= 1e-14 {
+            break;
+        }
+    }
+    if done.is_multiple_of(2) {
+        std::mem::swap(values, scratch);
+    }
+    Ok(())
+}
+
+/// The twin of `CsrMdp::extract_level_decisions` on any backend.
+fn extract_level_decisions_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    level_prev: &[f64],
+    values: &[f64],
+    objective: Objective,
+    dec: &mut Vec<Option<u32>>,
+) -> Result<(), MdpError> {
+    let n = src.num_states();
+    dec.clear();
+    dec.resize(n, None);
+    for_each_block(src, &mut |rows| {
+        for s in rows.states() {
+            if target[s] || rows.is_terminal(s) {
+                continue;
+            }
+            let mut best = objective.start();
+            let mut best_i = 0u32;
+            for (i, c) in rows.choice_range(s).enumerate() {
+                let source = if rows.costs[c] == 1 {
+                    level_prev
+                } else {
+                    values
+                };
+                let val = rows.choice_value(c, source);
+                if objective.better(val, best) {
+                    best = val;
+                    best_i = i as u32;
+                }
+            }
+            dec[s] = Some(best_i);
+        }
+    })
+}
+
+/// Cost-bounded backward induction on any backend; the serial twin of
+/// `CsrMdp::bounded_levels_engine` (Jacobi path — the SCC path needs the
+/// whole zero-cost condensation resident).
+pub(crate) fn bounded_levels_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    budget: u32,
+    objective: Objective,
+    mut policy: Option<&mut Vec<Vec<Option<u32>>>>,
+    stats: &mut SolveStats,
+) -> Result<Vec<f64>, MdpError> {
+    check_target_src(src, target)?;
+    validate_costs_src(src)?;
+    let _span = pa_telemetry::span("mdp.vi.cost_bounded_seconds");
+    let levels = pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.levels"));
+    let n = src.num_states();
+    let mut level_prev = vec![0.0f64; n];
+    let mut cur: Vec<f64> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    if pa_telemetry::enabled() {
+        pa_telemetry::gauge("mdp.vi.level_buffer_bytes")
+            .set_max((3 * n * std::mem::size_of::<f64>()) as i64);
+    }
+    for _k in 0..=budget {
+        solve_level_src(
+            src,
+            target,
+            &level_prev,
+            objective,
+            &mut cur,
+            &mut scratch,
+            stats,
+        )?;
+        if let Some(policy) = policy.as_deref_mut() {
+            let mut dec = Vec::new();
+            extract_level_decisions_src(src, target, &level_prev, &cur, objective, &mut dec)?;
+            policy.push(dec);
+        }
+        std::mem::swap(&mut level_prev, &mut cur);
+    }
+    if let Some(c) = levels {
+        c.add(u64::from(budget) + 1);
+    }
+    Ok(level_prev)
+}
+
+/// Qualitative almost-sure reachability on any backend: the same nested
+/// `νZ. μY.` fixpoint as [`crate::CsrMdp::prob1`], swept block by block.
+pub(crate) fn prob1_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    objective: Objective,
+) -> Result<Vec<bool>, MdpError> {
+    check_target_src(src, target)?;
+    let n = src.num_states();
+    let choice_ok = |rows: &CsrRows<'_>, c: usize, z: &[bool], y: &[bool]| -> bool {
+        let mut progresses = false;
+        for i in rows.trans_range(c) {
+            if rows.probs[i] == 0.0 {
+                continue;
+            }
+            let t = rows.targets[i] as usize;
+            if !z[t] {
+                return false;
+            }
+            progresses |= y[t];
+        }
+        progresses
+    };
+    let mut z = vec![true; n];
+    loop {
+        let mut y = target.to_vec();
+        loop {
+            let mut changed = false;
+            for_each_block(src, &mut |rows| {
+                for s in rows.states() {
+                    if y[s] || !z[s] || rows.is_terminal(s) {
+                        continue;
+                    }
+                    let ok = match objective {
+                        Objective::MinProb => {
+                            rows.choice_range(s).all(|c| choice_ok(&rows, c, &z, &y))
+                        }
+                        Objective::MaxProb => {
+                            rows.choice_range(s).any(|c| choice_ok(&rows, c, &z, &y))
+                        }
+                    };
+                    if ok {
+                        y[s] = true;
+                        changed = true;
+                    }
+                }
+            })?;
+            if !changed {
+                break;
+            }
+        }
+        if y == z {
+            return Ok(y);
+        }
+        z = y;
+    }
+}
+
+/// Detects a cycle in the zero-cost off-target subgraph on any backend.
+/// Computes the same answer as [`crate::CsrMdp::has_zero_cost_cycle`]'s
+/// DFS, as a peeling greatest fixpoint (a DFS's random state-access pattern
+/// defeats block paging): repeatedly discard states with no zero-cost
+/// positive-probability edge into the remaining set; the remainder is
+/// nonempty iff the subgraph has a cycle.
+pub(crate) fn has_zero_cost_cycle_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+) -> Result<bool, MdpError> {
+    check_target_src(src, target)?;
+    let mut in_u: Vec<bool> = target.iter().map(|&t| !t).collect();
+    loop {
+        let mut changed = false;
+        for_each_block(src, &mut |rows| {
+            for s in rows.states() {
+                if !in_u[s] {
+                    continue;
+                }
+                let keeps = rows.choice_range(s).any(|c| {
+                    rows.costs[c] == 0
+                        && rows
+                            .trans_range(c)
+                            .any(|i| rows.probs[i] > 0.0 && in_u[rows.targets[i] as usize])
+                });
+                if !keeps {
+                    in_u[s] = false;
+                    changed = true;
+                }
+            }
+        })?;
+        if !changed {
+            return Ok(in_u.iter().any(|&b| b));
+        }
+    }
+}
+
+/// Shared expected-cost Jacobi iteration on any backend; the serial twin of
+/// `CsrMdp::expected_cost_iterate`.
+fn expected_cost_iterate_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    live: &[bool],
+    objective: Objective,
+    options: IterOptions,
+    stats: &mut SolveStats,
+) -> Result<Vec<f64>, MdpError> {
+    let n = src.num_states();
+    let ec_sweeps = pa_telemetry::enabled().then(|| pa_telemetry::counter("mdp.vi.ec_sweeps"));
+    let mut cur = vec![0.0f64; n];
+    let mut prev = cur.clone();
+    for _ in 0..options.max_sweeps {
+        if let Some(c) = &ec_sweeps {
+            c.inc();
+        }
+        stats.sweeps += 1;
+        stats.state_updates += n as u64;
+        let delta = jacobi_sweep_src(src, &mut cur, &prev, &|rows, s, prev| {
+            if target[s] || !live[s] || rows.is_terminal(s) {
+                return prev[s];
+            }
+            let mut best = objective.start();
+            for c in rows.choice_range(s) {
+                let mut val = rows.costs[c] as f64;
+                let mut ok = true;
+                for i in rows.trans_range(c) {
+                    let p = rows.probs[i];
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let t = rows.targets[i] as usize;
+                    if !target[t] && !live[t] {
+                        ok = false;
+                        break;
+                    }
+                    val += p * prev[t];
+                }
+                if ok && objective.better(val, best) {
+                    best = val;
+                }
+            }
+            if best.is_finite() {
+                best
+            } else {
+                prev[s]
+            }
+        })?;
+        std::mem::swap(&mut cur, &mut prev);
+        if delta <= options.epsilon {
+            break;
+        }
+    }
+    let mut v = prev;
+    for s in 0..n {
+        if !target[s] && !live[s] {
+            v[s] = f64::INFINITY;
+        }
+    }
+    Ok(v)
+}
+
+/// Worst-case expected accumulated cost on any backend; the twin of
+/// [`crate::CsrMdp::max_expected_cost`].
+pub(crate) fn max_expected_cost_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    options: IterOptions,
+    stats: &mut SolveStats,
+) -> Result<Vec<f64>, MdpError> {
+    check_target_src(src, target)?;
+    let proper = prob1_src(src, target, Objective::MinProb)?;
+    expected_cost_iterate_src(src, target, &proper, Objective::MaxProb, options, stats)
+}
+
+/// Best-case expected accumulated cost on any backend; the twin of
+/// [`crate::CsrMdp::min_expected_cost`].
+pub(crate) fn min_expected_cost_src<S: CsrSource + ?Sized>(
+    src: &S,
+    target: &[bool],
+    options: IterOptions,
+    stats: &mut SolveStats,
+) -> Result<Vec<f64>, MdpError> {
+    check_target_src(src, target)?;
+    if has_zero_cost_cycle_src(src, target)? {
+        return Err(MdpError::DivergentExpectation { state: 0 });
+    }
+    let feasible = prob1_src(src, target, Objective::MaxProb)?;
+    expected_cost_iterate_src(src, target, &feasible, Objective::MinProb, options, stats)
+}
+
+/// FNV-1a 64 digest of a backend's *logical* content: counts, initial
+/// states, then every row's structure (choice count; per choice its cost
+/// and transition count; per transition the global target and the exact
+/// probability bits) in state order.
+///
+/// Independent of how the backend splits rows into blocks, so an in-core
+/// [`crate::CsrMdp`] and any stored copy of the same model digest to the
+/// same value — the round-trip check the `store-smoke` CI job and the bench
+/// `store` block gate on.
+pub fn csr_digest<S: CsrSource + ?Sized>(src: &S) -> Result<u64, MdpError> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(src.num_states() as u64);
+    eat(src.num_choices());
+    eat(src.num_transitions());
+    eat(src.initial_states().len() as u64);
+    for &s in src.initial_states() {
+        eat(s as u64);
+    }
+    let mut hash = h;
+    for_each_block(src, &mut |rows| {
+        let mut h = hash;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for s in rows.states() {
+            let cr = rows.choice_range(s);
+            eat((cr.end - cr.start) as u64);
+            for c in cr {
+                eat(u64::from(rows.costs[c]));
+                let tr = rows.trans_range(c);
+                eat((tr.end - tr.start) as u64);
+                for i in tr {
+                    eat(u64::from(rows.targets[i]));
+                    eat(rows.probs[i].to_bits());
+                }
+            }
+        }
+        hash = h;
+    })?;
+    Ok(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Choice, CsrMdp, ExplicitMdp};
+
+    fn escape() -> CsrMdp {
+        CsrMdp::from_explicit(
+            &ExplicitMdp::new(
+                vec![
+                    vec![Choice::to(1, 1), Choice::dist(1, vec![(2, 0.5), (0, 0.5)])],
+                    vec![Choice::to(1, 0)],
+                    vec![],
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn csr_mdp_is_a_single_block_source() {
+        let csr = escape();
+        assert_eq!(CsrSource::num_states(&csr), 3);
+        assert_eq!(csr.num_blocks(), 1);
+        assert_eq!(csr.block_states(0), 0..3);
+        let mut seen = 0usize;
+        csr.with_rows(0, &mut |rows| {
+            for s in rows.states() {
+                seen += 1;
+                for c in rows.choice_range(s) {
+                    let _ = rows.trans_range(c);
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn generic_engines_match_in_core_bitwise() {
+        let csr = escape();
+        let target = vec![false, false, true];
+        let opts = IterOptions::default();
+        let mut stats = SolveStats::default();
+        for objective in [Objective::MaxProb, Objective::MinProb] {
+            let in_core = csr.reach_prob(&target, objective, opts, Some(1)).unwrap();
+            let generic = reach_prob_src(&csr, &target, objective, opts, &mut stats).unwrap();
+            assert_eq!(in_core, generic, "{objective:?}");
+        }
+        let in_core = csr.max_expected_cost(&target, opts, Some(1)).unwrap();
+        let generic = max_expected_cost_src(&csr, &target, opts, &mut stats).unwrap();
+        assert_eq!(in_core, generic);
+    }
+
+    #[test]
+    fn zero_cost_cycle_peeling_matches_dfs() {
+        let cyclic = CsrMdp::from_explicit(
+            &ExplicitMdp::new(
+                vec![
+                    vec![Choice::to(0, 1)],
+                    vec![Choice::to(0, 0), Choice::to(1, 2)],
+                    vec![],
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        );
+        for target in [[false, false, true], [true, false, false]] {
+            assert_eq!(
+                cyclic.has_zero_cost_cycle(&target).unwrap(),
+                has_zero_cost_cycle_src(&cyclic, &target).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn digest_is_block_structure_independent_and_content_sensitive() {
+        let a = escape();
+        let d1 = csr_digest(&a).unwrap();
+        let d2 = csr_digest(&a).unwrap();
+        assert_eq!(d1, d2);
+        let other = CsrMdp::from_explicit(
+            &ExplicitMdp::new(
+                vec![
+                    vec![
+                        Choice::to(1, 1),
+                        Choice::dist(1, vec![(2, 0.25), (0, 0.75)]),
+                    ],
+                    vec![Choice::to(1, 0)],
+                    vec![],
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        );
+        assert_ne!(d1, csr_digest(&other).unwrap());
+    }
+}

@@ -1,0 +1,367 @@
+//! The tentpole correctness gate: every analysis on a stored backend must
+//! be **bitwise identical** to the in-core pipeline — for any cache
+//! budget, down to a single resident block.
+//!
+//! Models are the real paper models at `n = 3` (the release-mode bench
+//! `store` block re-pins the same contract at `n = 4`): all five arrow
+//! checks on the round model, the expected-time bracket, a fault-plan
+//! query on the faulty round model, and the rotation-quotient model with
+//! packed keys.
+
+use pa_faults::{
+    faulty_round_cost, FaultEvent, FaultKind, FaultPlan, FaultyRoundMdp, FaultyStateCodec,
+};
+use pa_lehmann_rabin::{
+    paper, reachable_configs, reachable_configs_quotient, region_pred, round_cost, set_pred,
+    time_to_budget, Config, RoundConfig, RoundMdp,
+};
+use pa_mdp::{
+    csr_digest, CsrSource, Explore, MdpError, PackedSpace, Query, QueryObjective, RingRotation,
+    Solver,
+};
+use pa_store::SpillTo;
+
+const N: usize = 3;
+const LIMIT: usize = 2_000_000;
+
+/// Cache budgets the whole suite quantifies over: effectively unbounded,
+/// and 1 byte — which forces every block out as soon as it is unpinned,
+/// so only the block being swept is ever resident.
+const BUDGETS: [u64; 2] = [u64::MAX, 1];
+
+/// Tiny blocks so even the n=3 models split into many of them.
+const BLOCK_BYTES: usize = 4096;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pa-store-parity-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn round_model(from: &str, to_expr: &pa_core::SetExpr) -> RoundMdp {
+    let from = region_pred(from).unwrap();
+    let to = set_pred(to_expr).unwrap();
+    let starts: Vec<Config> = reachable_configs(N, LIMIT)
+        .unwrap()
+        .into_iter()
+        .filter(from)
+        .collect();
+    assert!(!starts.is_empty());
+    RoundMdp::new(RoundConfig::new(N).unwrap())
+        .with_starts(starts)
+        .with_absorb(move |c| to(c))
+}
+
+fn assert_bitwise(tag: &str, in_core: &[f64], stored: &[f64]) {
+    assert_eq!(in_core.len(), stored.len(), "{tag}: length");
+    for (i, (a, b)) in in_core.iter().zip(stored).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{tag}: state {i} diverges ({a} vs {b})"
+        );
+    }
+}
+
+#[test]
+fn all_five_arrows_are_bitwise_identical_for_any_budget() {
+    for (arrow, name) in paper::all_arrows() {
+        let atoms: Vec<&str> = arrow.from().atoms().collect();
+        assert_eq!(atoms.len(), 1, "paper arrows start from a single region");
+        let model = round_model(atoms[0], arrow.to());
+        let to = set_pred(arrow.to()).unwrap();
+        let budget = time_to_budget(arrow.time());
+
+        let explored = Explore::new(&model)
+            .cost(round_cost)
+            .limit(LIMIT)
+            .run()
+            .unwrap();
+        let target = explored.target_where(|rs| to(&rs.config));
+        let in_core = explored
+            .query()
+            .objective(QueryObjective::MinProb)
+            .target(target.clone())
+            .horizon(budget)
+            .solver(Solver::Jacobi)
+            .run()
+            .unwrap();
+        let csr = pa_mdp::CsrMdp::from_explicit(&explored.mdp);
+        let in_core_digest = csr_digest(&csr).unwrap();
+
+        for cache_budget in BUDGETS {
+            let dir = tmpdir(&format!("arrow-{name}-{cache_budget}"));
+            let stored = Explore::new(&model)
+                .cost(round_cost)
+                .limit(LIMIT)
+                .spill_to(&dir, cache_budget)
+                .block_bytes(BLOCK_BYTES)
+                .run()
+                .unwrap();
+            assert!(
+                CsrSource::num_blocks(stored.store()) > 1,
+                "{name}: model must split into multiple blocks for the test to bite"
+            );
+            assert_eq!(
+                csr_digest(stored.store()).unwrap(),
+                in_core_digest,
+                "{name}: stored content digest"
+            );
+            let target2 = stored.target_where(|rs| to(&rs.config));
+            assert_eq!(target, target2, "{name}: target mask");
+            let analysis = stored
+                .query()
+                .objective(QueryObjective::MinProb)
+                .target(target2)
+                .horizon(budget)
+                .run()
+                .unwrap();
+            assert_bitwise(name, &in_core.values, &analysis.values);
+            if cache_budget == 1 {
+                let stats = stored.store().cache().local_stats();
+                assert!(stats.evictions > 0, "{name}: a 1-byte budget must evict");
+                assert!(
+                    stats.faults > stats.evictions,
+                    "{name}: every eviction implies a refault later or earlier"
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn expected_time_bracket_is_bitwise_identical() {
+    let arrow = paper::arrow_g_to_p();
+    let model = round_model("G", arrow.to());
+    let to = set_pred(arrow.to()).unwrap();
+
+    let explored = Explore::new(&model)
+        .cost(round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    let target = explored.target_where(|rs| to(&rs.config));
+    let mut in_core = Vec::new();
+    for objective in [QueryObjective::MaxCost, QueryObjective::MinCost] {
+        in_core.push(
+            explored
+                .query()
+                .objective(objective)
+                .target(target.clone())
+                .solver(Solver::Jacobi)
+                .run()
+                .unwrap()
+                .values,
+        );
+    }
+
+    for cache_budget in BUDGETS {
+        let dir = tmpdir(&format!("bracket-{cache_budget}"));
+        let stored = Explore::new(&model)
+            .cost(round_cost)
+            .limit(LIMIT)
+            .spill_to(&dir, cache_budget)
+            .block_bytes(BLOCK_BYTES)
+            .run()
+            .unwrap();
+        let target2 = stored.target_where(|rs| to(&rs.config));
+        for (i, objective) in [QueryObjective::MaxCost, QueryObjective::MinCost]
+            .into_iter()
+            .enumerate()
+        {
+            let analysis = stored
+                .query()
+                .objective(objective)
+                .target(target2.clone())
+                .run()
+                .unwrap();
+            assert_bitwise(
+                &format!("bracket {objective:?}"),
+                &in_core[i],
+                &analysis.values,
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn fault_plan_query_is_bitwise_identical() {
+    let configs = reachable_configs(N, LIMIT).unwrap();
+    let cfg = RoundConfig::new(N).unwrap();
+    let plan = FaultPlan::new(vec![FaultEvent {
+        round: 2,
+        process: 0,
+        kind: FaultKind::CrashStop,
+    }])
+    .unwrap();
+    let model = FaultyRoundMdp::new(cfg, plan)
+        .unwrap()
+        .with_starts(configs.clone());
+    let in_p = region_pred("P").unwrap();
+
+    let explored = Explore::new(&model)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .run()
+        .unwrap();
+    let target = explored.target_where(|s| in_p(&s.inner.config));
+    let in_core = explored
+        .query()
+        .objective(QueryObjective::MinProb)
+        .target(target.clone())
+        .horizon(8)
+        .solver(Solver::Jacobi)
+        .run()
+        .unwrap();
+
+    for cache_budget in BUDGETS {
+        let dir = tmpdir(&format!("faults-{cache_budget}"));
+        let stored = Explore::new(&model)
+            .cost(faulty_round_cost)
+            .limit(LIMIT)
+            .spill_to(&dir, cache_budget)
+            .block_bytes(BLOCK_BYTES)
+            .run()
+            .unwrap();
+        let target2 = stored.target_where(|s| in_p(&s.inner.config));
+        assert_eq!(target, target2);
+        let analysis = stored
+            .query()
+            .objective(QueryObjective::MinProb)
+            .target(target2)
+            .horizon(8)
+            .run()
+            .unwrap();
+        assert_bitwise("fault plan", &in_core.values, &analysis.values);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn quotient_model_with_packed_keys_round_trips_and_matches() {
+    let configs = reachable_configs_quotient(N, LIMIT).unwrap();
+    let cfg = RoundConfig::new(N).unwrap();
+    let model = FaultyRoundMdp::new(cfg, FaultPlan::none())
+        .unwrap()
+        .with_starts(configs.clone());
+    let codec = FaultyStateCodec::new(N, model.round_cap()).unwrap();
+    let in_p = region_pred("P").unwrap();
+
+    let explored = Explore::new(&model)
+        .cost(faulty_round_cost)
+        .limit(LIMIT)
+        .symmetry(RingRotation::new(N))
+        .run_in(PackedSpace::new(codec))
+        .unwrap();
+    let target = explored.target_where(|s| in_p(&s.inner.config));
+    let in_core = explored
+        .query()
+        .objective(QueryObjective::MinProb)
+        .target(target.clone())
+        .horizon(6)
+        .solver(Solver::Jacobi)
+        .run()
+        .unwrap();
+
+    for cache_budget in BUDGETS {
+        let dir = tmpdir(&format!("quotient-{cache_budget}"));
+        let codec = FaultyStateCodec::new(N, model.round_cap()).unwrap();
+        let stored = Explore::new(&model)
+            .cost(faulty_round_cost)
+            .limit(LIMIT)
+            .symmetry(RingRotation::new(N))
+            .spill_to(&dir, cache_budget)
+            .block_bytes(BLOCK_BYTES)
+            .run_in(PackedSpace::new(codec))
+            .unwrap();
+        // The packed key words round-trip through the keys blocks.
+        let on_disk = stored.store().file().read_keys().unwrap();
+        let in_memory: Vec<u64> = stored
+            .space()
+            .words()
+            .iter()
+            .flat_map(|w| w.iter().copied())
+            .collect();
+        assert_eq!(on_disk, in_memory, "spilled keys are the interned words");
+        let target2 = stored.target_where(|s| in_p(&s.inner.config));
+        assert_eq!(target, target2);
+        let analysis = stored
+            .query()
+            .objective(QueryObjective::MinProb)
+            .target(target2)
+            .horizon(6)
+            .run()
+            .unwrap();
+        assert_bitwise("quotient", &in_core.values, &analysis.values);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn scc_solver_is_rejected_on_stored_backends_at_validate() {
+    let arrow = paper::arrow_p_to_c();
+    let model = round_model("P", arrow.to());
+    let dir = tmpdir("scc-reject");
+    let stored = Explore::new(&model)
+        .cost(round_cost)
+        .limit(LIMIT)
+        .spill_to(&dir, u64::MAX)
+        .run()
+        .unwrap();
+    let err = stored
+        .query()
+        .objective(QueryObjective::MinProb)
+        .target_where(|_| true)
+        .horizon(1)
+        .solver(Solver::SccOrdered)
+        .run()
+        .unwrap_err();
+    match err {
+        MdpError::Query { stage, source } => {
+            assert_eq!(stage, "validate");
+            assert!(matches!(*source, MdpError::InvalidQuery { .. }));
+        }
+        other => panic!("expected a validate-stage Query error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopened_store_answers_identically_without_the_original_space() {
+    // A store file outlives the process that wrote it: reopen via
+    // StoredCsr::open and query with an index-mask target.
+    let arrow = paper::arrow_f_to_gp();
+    let model = round_model("F", arrow.to());
+    let to = set_pred(arrow.to()).unwrap();
+    let budget = time_to_budget(arrow.time());
+    let dir = tmpdir("reopen");
+    let stored = Explore::new(&model)
+        .cost(round_cost)
+        .limit(LIMIT)
+        .spill_to(&dir, u64::MAX)
+        .block_bytes(BLOCK_BYTES)
+        .run()
+        .unwrap();
+    let target = stored.target_where(|rs| to(&rs.config));
+    let first = stored
+        .query()
+        .objective(QueryObjective::MinProb)
+        .target(target.clone())
+        .horizon(budget)
+        .run()
+        .unwrap();
+    let path = stored.store().file().path().to_path_buf();
+    drop(stored);
+
+    let reopened = pa_store::StoredCsr::open(&path, 1).unwrap();
+    let again = Query::source(&reopened)
+        .objective(QueryObjective::MinProb)
+        .target(target)
+        .horizon(budget)
+        .run()
+        .unwrap();
+    assert_bitwise("reopen", &first.values, &again.values);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

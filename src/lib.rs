@@ -20,6 +20,10 @@
 //! * [`faults`] — fault-injection layer (crash-stop, crash-restart,
 //!   obligation-drop) and the claim survival maps that chart which paper
 //!   claims survive which faults.
+//! * [`store`] — out-of-core state spaces: explored CSR blocks spill to
+//!   an append-only, digest-checked on-disk format and are mapped back on
+//!   demand through a byte-budgeted block cache, so exploration and value
+//!   iteration run in bounded memory with bitwise-identical answers.
 //! * [`batch`] — deterministic concurrent batch driver: many
 //!   (ring × query × fault plan) jobs over a bounded worker pool with a
 //!   shared model cache and per-job telemetry scopes.
@@ -52,3 +56,4 @@ pub use pa_mdp as mdp;
 pub use pa_prob as prob;
 pub use pa_serve as serve;
 pub use pa_sim as sim;
+pub use pa_store as store;
